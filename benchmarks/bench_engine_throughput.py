@@ -1,0 +1,28 @@
+"""Micro-benchmark — end-to-end mediator throughput.
+
+Documents how many queries per second the full pipeline (intentions →
+scoring → allocation → queues → satisfaction model) sustains for each
+method, which bounds what horizon/population the experiments can use.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation.config import WorkloadSpec, scaled_config
+from repro.simulation.engine import run_simulation
+
+
+@pytest.mark.parametrize("method", ["sqlb", "capacity", "mariposa"])
+def test_engine_throughput(benchmark, method):
+    config = scaled_config(
+        duration=120.0, workload=WorkloadSpec.fixed(0.8)
+    )
+    result = benchmark.pedantic(
+        run_simulation,
+        args=(config, method),
+        kwargs={"seed": 1},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.queries_served > 1000

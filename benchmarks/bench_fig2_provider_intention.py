@@ -1,0 +1,43 @@
+"""Figure 2 — the provider-intention trade-off surface at δs = 0.5.
+
+Definition 8 over the (preference × utilisation) grid: preference and
+utilisation weigh equally at satisfaction 0.5; intentions are positive
+only where the provider wants the query *and* has spare capacity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.intentions import provider_intention_surface
+from repro.experiments.report import format_surface
+
+
+def test_fig2_provider_intention_surface(benchmark, report_writer):
+    preferences, utilizations, surface = benchmark(
+        provider_intention_surface, 0.5, 81, 81
+    )
+
+    report_writer(
+        "fig2_provider_intention",
+        format_surface(
+            preferences,
+            utilizations,
+            surface,
+            value_label="Figure 2: provider intention at satisfaction 0.5",
+            x_label="pref",
+            y_label="Ut",
+        ),
+    )
+
+    # Positive exactly on the (pref > 0, Ut < 1) quadrant.
+    positive = surface > 0
+    expected = (preferences[:, None] > 0) & (utilizations[None, :] < 1)
+    assert np.array_equal(positive, expected)
+    # Monotone: more preference never lowers the intention...
+    assert (np.diff(surface, axis=0) >= -1e-12).all()
+    # ...and more load never raises it.
+    assert (np.diff(surface, axis=1) <= 1e-12).all()
+    # The plot's corners: +1 at (pref 1, idle), lowest at (pref -1, Ut 2).
+    assert surface[-1, 0] == 1.0
+    assert surface.min() == surface[0, -1]

@@ -1,0 +1,38 @@
+"""Figure 3 — the ω trade-off surface (Equation 6).
+
+ω over the (provider satisfaction × consumer satisfaction) grid: the
+less satisfied side gets more say in the provider score.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.scoring import omega_surface
+from repro.experiments.report import format_surface
+
+
+def test_fig3_omega_surface(benchmark, report_writer):
+    provider_axis, consumer_axis, grid = benchmark(omega_surface, 81)
+
+    report_writer(
+        "fig3_omega",
+        format_surface(
+            provider_axis,
+            consumer_axis,
+            grid,
+            value_label="Figure 3: omega over the satisfaction grid",
+            x_label="prov",
+            y_label="cons",
+        ),
+    )
+
+    assert grid.min() >= 0.0 and grid.max() <= 1.0
+    # Equal satisfactions → neutral 0.5 along the diagonal.
+    assert np.allclose(np.diagonal(grid), 0.5)
+    # ω grows with consumer satisfaction, shrinks with provider's.
+    assert (np.diff(grid, axis=1) >= 0).all()
+    assert (np.diff(grid, axis=0) <= 0).all()
+    # Corners of the paper's plot.
+    assert grid[0, -1] == 1.0  # satisfied consumer, dissatisfied provider
+    assert grid[-1, 0] == 0.0

@@ -1,0 +1,42 @@
+"""Figure 4(a) — µ(δs, P) based on intentions, captive 30→100 % ramp.
+
+Paper shape: providers are most satisfied under SQLB; the baselines
+ignore intentions and sit lower from the start; SQLB's curve decreases
+as the workload ramps (loaded providers' intentions turn negative).
+"""
+
+from __future__ import annotations
+
+from _shape import series_report, tail_mean
+from conftest import BENCH_SEEDS, ramp_config
+
+from repro.experiments.captive import captive_ramp
+
+
+def test_fig4a_provider_satisfaction_mean_intentions(
+    benchmark, report_writer
+):
+    family = benchmark.pedantic(
+        captive_ramp,
+        kwargs={"config": ramp_config(), "seeds": BENCH_SEEDS},
+        rounds=1,
+        iterations=1,
+    )
+    series = "provider_intention_satisfaction_mean"
+    report_writer(
+        "fig4a_provider_satisfaction_intentions",
+        series_report(family, series, "Fig 4(a): µ(δs, P), intention-based"),
+    )
+
+    sqlb = family["sqlb"].series(series)
+    capacity = family["capacity"].series(series)
+    mariposa = family["mariposa"].series(series)
+    # SQLB satisfies provider intentions best (the paper's headline for
+    # this figure).  The paper additionally shows SQLB *declining* from
+    # a high initial value as the ramp loads providers; our scaled run
+    # starts from a colder transient instead — see EXPERIMENTS.md.
+    assert tail_mean(sqlb) > tail_mean(capacity)
+    assert tail_mean(sqlb) > tail_mean(mariposa)
+    # At high workload nobody satisfies intentions fully: utilisation
+    # drags them down (the paper's explanation for the late-run dip).
+    assert tail_mean(sqlb) < 0.8

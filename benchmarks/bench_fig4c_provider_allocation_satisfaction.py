@@ -1,0 +1,39 @@
+"""Figure 4(c) — µ(δas, P) based on preferences.
+
+Paper shape: Capacity based is the only method that *punishes*
+providers (mean allocation satisfaction below 1); SQLB and
+Mariposa-like work for them (at or above 1).
+"""
+
+from __future__ import annotations
+
+from _shape import series_report, tail_mean
+from conftest import BENCH_SEEDS, ramp_config
+
+from repro.experiments.captive import captive_ramp
+
+
+def test_fig4c_provider_allocation_satisfaction(benchmark, report_writer):
+    family = benchmark.pedantic(
+        captive_ramp,
+        kwargs={"config": ramp_config(), "seeds": BENCH_SEEDS},
+        rounds=1,
+        iterations=1,
+    )
+    series = "provider_preference_allocation_satisfaction_mean"
+    report_writer(
+        "fig4c_provider_allocation_satisfaction",
+        series_report(
+            family, series, "Fig 4(c): µ(δas, P), preference-based"
+        ),
+    )
+
+    sqlb = tail_mean(family["sqlb"].series(series))
+    capacity = tail_mean(family["capacity"].series(series))
+    mariposa = tail_mean(family["mariposa"].series(series))
+    # Capacity based punishes providers...
+    assert capacity < 0.95
+    # ...while the intention-aware methods do not.
+    assert sqlb > capacity
+    assert mariposa > capacity
+    assert sqlb >= 0.97

@@ -1,0 +1,39 @@
+"""Figure 4(d) — f(δs, P): provider satisfaction fairness.
+
+Paper shape: all three methods guarantee roughly the same satisfaction
+fairness (which, the paper stresses, does *not* mean providers are
+equally satisfied — see Figures 4(a)-(c)).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from _shape import series_report, tail_mean
+from conftest import BENCH_SEEDS, ramp_config
+
+from repro.experiments.captive import captive_ramp
+
+
+def test_fig4d_provider_satisfaction_fairness(benchmark, report_writer):
+    family = benchmark.pedantic(
+        captive_ramp,
+        kwargs={"config": ramp_config(), "seeds": BENCH_SEEDS},
+        rounds=1,
+        iterations=1,
+    )
+    series = "provider_intention_satisfaction_fairness"
+    report_writer(
+        "fig4d_provider_satisfaction_fairness",
+        series_report(family, series, "Fig 4(d): f(δs, P)"),
+    )
+
+    tails = {
+        method: tail_mean(family[method].series(series))
+        for method in family
+    }
+    for value in tails.values():
+        assert 0.0 < value <= 1.0
+    # "Almost the same satisfaction fairness" across methods.
+    for a, b in itertools.combinations(tails.values(), 2):
+        assert abs(a - b) < 0.40

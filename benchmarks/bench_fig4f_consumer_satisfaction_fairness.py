@@ -1,0 +1,38 @@
+"""Figure 4(f) — f(δs, C): consumer satisfaction fairness.
+
+Paper shape: consumer fairness is high and stable for every method —
+consumers are not in direct competition for queries, so their
+satisfaction varies much less than the providers'.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _shape import series_report, tail_mean
+from conftest import BENCH_SEEDS, ramp_config
+
+from repro.experiments.captive import captive_ramp
+
+
+def test_fig4f_consumer_satisfaction_fairness(benchmark, report_writer):
+    family = benchmark.pedantic(
+        captive_ramp,
+        kwargs={"config": ramp_config(), "seeds": BENCH_SEEDS},
+        rounds=1,
+        iterations=1,
+    )
+    series = "consumer_satisfaction_fairness"
+    report_writer(
+        "fig4f_consumer_satisfaction_fairness",
+        series_report(family, series, "Fig 4(f): f(δs, C)"),
+    )
+
+    for method in family:
+        values = family[method].series(series)
+        assert tail_mean(values) > 0.85
+        # Less variation than the provider-side fairness (Fig 4(d)).
+        provider_fairness = family[method].series(
+            "provider_intention_satisfaction_fairness"
+        )
+        assert np.nanstd(values) <= np.nanstd(provider_fairness) + 0.05

@@ -1,0 +1,38 @@
+"""Figure 4(g) — µ(Ut, P): mean provider utilisation (query load mean).
+
+Paper shape: Capacity based tracks the offered workload most tightly;
+Mariposa-like concentrates load on the most adapted providers and its
+mean utilisation runs highest as the ramp approaches 100 %.
+"""
+
+from __future__ import annotations
+
+from _shape import series_report, tail_mean
+from conftest import BENCH_SEEDS, ramp_config
+
+from repro.experiments.captive import captive_ramp
+
+
+def test_fig4g_utilization_mean(benchmark, report_writer):
+    family = benchmark.pedantic(
+        captive_ramp,
+        kwargs={"config": ramp_config(), "seeds": BENCH_SEEDS},
+        rounds=1,
+        iterations=1,
+    )
+    series = "utilization_mean"
+    report_writer(
+        "fig4g_utilization_mean",
+        series_report(family, series, "Fig 4(g): µ(Ut, P)"),
+    )
+
+    capacity = tail_mean(family["capacity"].series(series))
+    mariposa = tail_mean(family["mariposa"].series(series))
+    sqlb = tail_mean(family["sqlb"].series(series))
+    # Mariposa's crude load balancing overshoots the baselines'.
+    assert mariposa >= capacity
+    assert mariposa >= 0.95 * sqlb
+    # Everybody's mean utilisation rises with the ramp.
+    for method in family:
+        values = family[method].series(series)
+        assert tail_mean(values) > tail_mean(values[: len(values) // 2])

@@ -1,0 +1,34 @@
+"""Figure 4(h) — f(Ut, P): utilisation fairness (query load balance).
+
+Paper shape: Capacity based is the fairest balancer throughout; SQLB
+struggles at low workloads (it follows intentions when there is slack)
+but adapts and becomes fairer as the workload grows.
+"""
+
+from __future__ import annotations
+
+from _shape import head_mean, series_report, tail_mean
+from conftest import BENCH_SEEDS, ramp_config
+
+from repro.experiments.captive import captive_ramp
+
+
+def test_fig4h_utilization_fairness(benchmark, report_writer):
+    family = benchmark.pedantic(
+        captive_ramp,
+        kwargs={"config": ramp_config(), "seeds": BENCH_SEEDS},
+        rounds=1,
+        iterations=1,
+    )
+    series = "utilization_fairness"
+    report_writer(
+        "fig4h_utilization_fairness",
+        series_report(family, series, "Fig 4(h): f(Ut, P)"),
+    )
+
+    sqlb = family["sqlb"].series(series)
+    capacity = family["capacity"].series(series)
+    # Capacity based balances load at least as fairly as SQLB.
+    assert tail_mean(capacity) >= tail_mean(sqlb) - 0.05
+    # SQLB's self-adaptation: fairness improves as the workload ramps.
+    assert tail_mean(sqlb) > head_mean(sqlb) - 0.05

@@ -1,0 +1,49 @@
+"""Figure 4(i) — response time vs workload, captive participants.
+
+Paper shape: Capacity based is fastest at every workload; SQLB pays a
+moderate factor for honouring intentions (the paper reports ≈1.4× on
+average, our scaled reproduction lands between 2× and 3×); the
+Mariposa-like method is clearly the slowest (≈3× in the paper).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import BENCH_SEEDS, BENCH_WORKLOADS, bench_config
+
+from repro.experiments.captive import response_time_curve
+from repro.experiments.report import format_curve_table
+
+
+def test_fig4i_response_time_captive(benchmark, report_writer):
+    curve = benchmark.pedantic(
+        response_time_curve,
+        kwargs={
+            "config": bench_config(),
+            "seeds": BENCH_SEEDS,
+            "workloads": BENCH_WORKLOADS,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    report_writer(
+        "fig4i_response_time_captive",
+        format_curve_table(
+            curve.workloads,
+            curve.response_times,
+            value_label="Fig 4(i): response time (s), captive participants",
+        ),
+    )
+
+    capacity = curve.response_times["capacity"]
+    sqlb = curve.response_times["sqlb"]
+    mariposa = curve.response_times["mariposa"]
+    # Capacity based wins at every workload level.
+    assert (capacity <= sqlb + 1e-9).all()
+    assert (capacity <= mariposa + 1e-9).all()
+    # SQLB pays a bounded factor; Mariposa-like pays more on average.
+    sqlb_factor = float(np.mean(sqlb / capacity))
+    mariposa_factor = float(np.mean(mariposa / capacity))
+    assert 1.0 <= sqlb_factor < 4.0
+    assert mariposa_factor > sqlb_factor

@@ -1,0 +1,63 @@
+"""Figure 5(b) — response time vs workload; providers may leave by
+dissatisfaction, starvation, *or* overutilisation.
+
+Paper shape: with all departure reasons enabled, SQLB and Mariposa-like
+degrade only mildly versus their captive response times while Capacity
+based suffers most from its provider exodus.  Our scaled reproduction
+preserves SQLB's mild degradation and its advantage over Mariposa-like
+(see EXPERIMENTS.md for the capacity-based deviation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import BENCH_SEEDS, BENCH_WORKLOADS, bench_config
+
+from repro.experiments.autonomy import departure_response_times
+from repro.experiments.captive import response_time_curve
+from repro.experiments.report import format_curve_table
+
+
+def test_fig5b_response_time_all_reasons(benchmark, report_writer):
+    curve = benchmark.pedantic(
+        departure_response_times,
+        kwargs={
+            "include_overutilization": True,
+            "config": bench_config(),
+            "seeds": BENCH_SEEDS,
+            "workloads": BENCH_WORKLOADS,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    report_writer(
+        "fig5b_response_time_all_reasons",
+        format_curve_table(
+            curve.workloads,
+            curve.response_times,
+            value_label=(
+                "Fig 5(b): response time (s), all departure reasons"
+            ),
+        ),
+    )
+
+    sqlb = curve.response_times["sqlb"]
+    mariposa = curve.response_times["mariposa"]
+    # SQLB beats Mariposa-like across the mid-range workloads (see the
+    # Figure 5(a) bench and EXPERIMENTS.md for the saturation caveat).
+    mid = [i for i, w in enumerate(BENCH_WORKLOADS) if 0.3 <= w <= 0.9]
+    assert sqlb[mid].mean() < mariposa[mid].mean()
+
+    # SQLB's degradation versus its own captive runs stays bounded over
+    # the mid-range (the paper reports a factor of about 1.4).
+    captive = response_time_curve(
+        config=bench_config(),
+        seeds=BENCH_SEEDS,
+        workloads=BENCH_WORKLOADS,
+        methods=("sqlb",),
+    )
+    degradation = float(
+        np.mean(sqlb[mid] / captive.response_times["sqlb"][mid])
+    )
+    assert degradation < 2.5

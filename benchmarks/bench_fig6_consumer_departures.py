@@ -1,0 +1,43 @@
+"""Figure 6 — % of consumer departures by dissatisfaction vs workload.
+
+Paper shape: SQLB is "a clear winner with no consumer departures";
+both baselines lose more than 20 % of consumers at every workload.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import BENCH_SEEDS, BENCH_WORKLOADS, bench_config
+
+from repro.experiments.autonomy import consumer_departure_curve
+from repro.experiments.report import format_curve_table
+
+
+def test_fig6_consumer_departures(benchmark, report_writer):
+    curve = benchmark.pedantic(
+        consumer_departure_curve,
+        kwargs={
+            "config": bench_config(),
+            "seeds": BENCH_SEEDS,
+            "workloads": BENCH_WORKLOADS,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    percents = {m: 100.0 * v for m, v in curve.items()}
+    report_writer(
+        "fig6_consumer_departures",
+        format_curve_table(
+            BENCH_WORKLOADS,
+            percents,
+            value_label="Fig 6: consumer departures (%)",
+            precision=1,
+        ),
+    )
+
+    # SQLB: no consumer departures at any workload.
+    assert (curve["sqlb"] == 0.0).all()
+    # The baselines punish consumers and lose a substantial share.
+    assert float(np.mean(curve["capacity"])) > 0.20
+    assert float(np.mean(curve["mariposa"])) > 0.20

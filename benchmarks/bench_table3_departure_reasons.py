@@ -1,0 +1,55 @@
+"""Table 3 — provider departure reasons at 80 % workload, broken down
+by consumer-interest, adaptation, and capacity class.
+
+Paper shape: Capacity based loses providers primarily by
+dissatisfaction; the Mariposa-like method loses them primarily through
+load pathologies (overutilisation of the adapted providers /
+starvation of the others); SQLB loses much less overall, and what it
+loses is concentrated in the low-value classes — it "mainly maintains
+the high-interest, high-adaptation, and high-capacity providers".
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_SEEDS, bench_config
+
+from repro.experiments.autonomy import departure_reason_table
+from repro.experiments.report import format_reason_table
+
+
+def test_table3_departure_reasons(benchmark, report_writer):
+    tables = benchmark.pedantic(
+        departure_reason_table,
+        kwargs={
+            "workload": 0.80,
+            "config": bench_config(),
+            "seeds": BENCH_SEEDS,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    report_writer(
+        "table3_departure_reasons", format_reason_table(tables)
+    )
+
+    for table in tables.values():
+        # The paper's structural invariant: each class-dimension row of
+        # a reason sums to that reason's total.
+        table.check_consistency(tolerance=1e-6)
+
+    sqlb = tables["sqlb"]
+    capacity = tables["capacity"]
+    mariposa = tables["mariposa"]
+
+    # Capacity based: dissatisfaction is the dominant reason.
+    assert capacity.totals["dissatisfaction"] >= max(
+        capacity.totals["starvation"], capacity.totals["overutilization"]
+    )
+    # Mariposa-like: load pathologies claim a substantial share.
+    load_pathologies = (
+        mariposa.totals["starvation"] + mariposa.totals["overutilization"]
+    )
+    assert load_pathologies > 0.0
+    # SQLB loses the fewest providers overall.
+    assert sum(sqlb.totals.values()) < sum(capacity.totals.values())
+    assert sum(sqlb.totals.values()) < sum(mariposa.totals.values())

@@ -1,0 +1,45 @@
+"""Micro-benchmark — vectorised vs scalar scoring (DESIGN.md §4).
+
+The simulator scores every candidate provider per query; this bench
+documents the speedup of the NumPy path over the scalar reference
+implementation (and re-checks they agree on the benched inputs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.scoring import provider_score, provider_score_vector
+
+N_PROVIDERS = 400  # the paper-scale candidate set
+
+
+@pytest.fixture(scope="module")
+def inputs():
+    rng = np.random.default_rng(5)
+    pi = rng.uniform(-1, 1, N_PROVIDERS)
+    ci = rng.uniform(-1, 1, N_PROVIDERS)
+    om = rng.uniform(0, 1, N_PROVIDERS)
+    return pi, ci, om
+
+
+def test_scalar_scoring_reference(benchmark, inputs):
+    pi, ci, om = inputs
+
+    def scalar():
+        return [
+            provider_score(pi[i], ci[i], om[i]) for i in range(N_PROVIDERS)
+        ]
+
+    result = benchmark(scalar)
+    assert len(result) == N_PROVIDERS
+
+
+def test_vectorized_scoring_matches_and_is_fast(benchmark, inputs):
+    pi, ci, om = inputs
+    result = benchmark(provider_score_vector, pi, ci, om)
+    expected = [
+        provider_score(pi[i], ci[i], om[i]) for i in range(N_PROVIDERS)
+    ]
+    assert np.allclose(result, expected)

@@ -1,0 +1,83 @@
+"""Compute-grid scenario: autonomous resource providers under load.
+
+The paper's second motivating scenario (Section 1.1): companies request
+computing resources (CPU units) from provider companies through a
+mediator, as in the Grid4All project.  Providers are autonomous — if
+the mediator chronically dissatisfies, starves, or overloads them, they
+take their machines elsewhere.
+
+This example runs the three allocation methods in the *autonomous*
+regime at a heavy workload and reports who keeps their grid together:
+how many providers and consumers remain, why the leavers left, and what
+that does to response times.
+
+Run with::
+
+    python examples/compute_grid.py
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro import DepartureRules, WorkloadSpec, run_simulation, scaled_config
+
+
+def main() -> None:
+    config = scaled_config(
+        duration=700.0,
+        workload=WorkloadSpec.fixed(0.8),
+    ).with_departures(DepartureRules.autonomous(include_overutilization=True))
+
+    print("Compute grid: autonomous providers at 80% workload")
+    print("=" * 70)
+    for method in ("sqlb", "capacity", "mariposa"):
+        result = run_simulation(config, method, seed=17)
+        providers_left = [
+            d for d in result.departures if d.kind == "provider"
+        ]
+        consumers_left = [
+            d for d in result.departures if d.kind == "consumer"
+        ]
+        reasons = Counter(d.reason for d in providers_left)
+        capacity_classes = Counter(
+            ("low", "medium", "high")[d.capacity_class]
+            for d in providers_left
+        )
+
+        print(f"\n--- {method} " + "-" * (62 - len(method)))
+        print(
+            f"providers retained: "
+            f"{config.n_providers - len(providers_left)}/{config.n_providers}"
+            f"   consumers retained: "
+            f"{config.n_consumers - len(consumers_left)}/{config.n_consumers}"
+        )
+        if reasons:
+            reason_text = ", ".join(
+                f"{reason}: {count}" for reason, count in reasons.most_common()
+            )
+            class_text = ", ".join(
+                f"{band}-capacity: {count}"
+                for band, count in capacity_classes.most_common()
+            )
+            print(f"provider departure reasons: {reason_text}")
+            print(f"departed provider classes:  {class_text}")
+        print(
+            f"mean response time (post-warmup): "
+            f"{result.response_time_post_warmup:.2f} s"
+        )
+        print(
+            f"queries: issued {result.queries_issued}, "
+            f"unserved {result.queries_unserved}"
+        )
+
+    print(
+        "\nReading: SQLB keeps every consumer and most providers in the\n"
+        "grid; the baselines bleed participants — capacity-based through\n"
+        "chronic provider dissatisfaction, Mariposa-like through load\n"
+        "pathologies on the providers it keeps winning queries for."
+    )
+
+
+if __name__ == "__main__":
+    main()

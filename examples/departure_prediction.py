@@ -1,0 +1,64 @@
+"""Departure prediction: the satisfaction model as an early warning.
+
+Section 3.3 of the paper lists diagnosis among the model's purposes,
+and Section 6.3.1 uses it: from *captive* measurements alone the
+authors predict that Capacity based will lose providers to
+dissatisfaction and that the baselines will lose consumers — then
+verify it by switching autonomy on.
+
+This example replays that reasoning: run each method captive, read the
+risk flags off the metrics, then run the same environment autonomous
+and compare predictions with realised departures.
+
+Run with::
+
+    python examples/departure_prediction.py
+"""
+
+from __future__ import annotations
+
+from repro import DepartureRules, WorkloadSpec, run_simulation, scaled_config
+from repro.experiments.prediction import predict_departure_risks
+
+
+def main() -> None:
+    captive = scaled_config(
+        duration=400.0, workload=WorkloadSpec.fixed(0.8)
+    )
+    autonomous = captive.with_departures(DepartureRules.autonomous(True))
+
+    print("Predicting departures from captive metrics (80% workload)")
+    print("=" * 70)
+    for method in ("sqlb", "capacity", "mariposa"):
+        report = predict_departure_risks(
+            run_simulation(captive, method, seed=19)
+        )
+        realised = run_simulation(autonomous, method, seed=19)
+        provider_loss = realised.provider_departure_fraction()
+        consumer_loss = realised.consumer_departure_fraction()
+
+        flagged = [name for name, on in report.flags().items() if on]
+        print(f"\n--- {method} " + "-" * (62 - len(method)))
+        print(f"predicted risks: {', '.join(flagged) or 'none'}")
+        print(
+            "evidence: "
+            + ", ".join(
+                f"{key}={value:.3f}"
+                for key, value in report.evidence.items()
+            )
+        )
+        print(
+            f"realised departures: providers {provider_loss:.0%}, "
+            f"consumers {consumer_loss:.0%}"
+        )
+
+    print(
+        "\nReading: the captive metrics alone single out capacity-based\n"
+        "allocation for provider dissatisfaction and flag the baselines'\n"
+        "consumers as punished — and the autonomous runs then realise\n"
+        "exactly those departures, as the paper's Section 6.3.2 does."
+    )
+
+
+if __name__ == "__main__":
+    main()

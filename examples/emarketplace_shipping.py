@@ -1,0 +1,109 @@
+"""E-marketplace scenario: courier companies with shifting interests.
+
+The paper's Example 1: a courier company promotes a new *international*
+shipping service and temporarily prefers international queries over
+national ones; once the campaign ends its preferences revert.  This
+example models that with two query classes (national / international),
+per-query-class provider preferences, and a capability matchmaker
+(not every courier ships internationally) — then shows how SQLB routes
+around the preference shift while the capacity-based mediator ignores
+it entirely.
+
+Run with::
+
+    python examples/emarketplace_shipping.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import MediatorSimulation, WorkloadSpec, scaled_config
+from repro.simulation.config import QueryClassSpec
+from repro.simulation.matchmaking import CapabilityMatchmaker
+
+NATIONAL, INTERNATIONAL = 0, 1
+
+
+def build_config():
+    """Two query classes: national (cheap) and international (costly)."""
+    return scaled_config(
+        n_consumers=30,
+        n_providers=60,
+        duration=400.0,
+        workload=WorkloadSpec.fixed(0.7),
+        query_classes=QueryClassSpec(
+            costs=(110.0, 170.0), weights=(0.6, 0.4)
+        ),
+        # One preference draw per (provider, query class): a courier's
+        # interest in international shipments is a stable stance, not a
+        # per-query coin flip.
+        provider_pref_mode="per_query_class",
+    )
+
+
+def run_campaign(method: str, promote_international: bool, seed: int = 7):
+    """One marketplace run; optionally simulate the promotion period."""
+    config = build_config()
+    simulation = MediatorSimulation(config, method, seed=seed)
+
+    # 70 % of couriers also ship internationally; everyone ships
+    # nationally.  The matchmaker is sound and complete over this.
+    rng = np.random.default_rng(seed)
+    international_capable = rng.random(config.n_providers) < 0.7
+    capability = np.ones((config.n_providers, 2), dtype=bool)
+    capability[:, INTERNATIONAL] = international_capable
+    simulation._matchmaker = CapabilityMatchmaker(capability)
+
+    if promote_international:
+        # The advertising campaign: international-capable couriers
+        # boost their preference for international queries and cool on
+        # national ones (Example 1 of the paper).
+        table = simulation.provider_prefs._per_class_table
+        assert table is not None
+        table[international_capable, INTERNATIONAL] = np.clip(
+            table[international_capable, INTERNATIONAL] + 0.6, -1.0, 1.0
+        )
+        table[international_capable, NATIONAL] = np.clip(
+            table[international_capable, NATIONAL] - 0.4, -1.0, 1.0
+        )
+
+    result = simulation.run()
+    international_share = (
+        simulation.queues.completed_counts()[international_capable].sum()
+        / max(1, simulation.queues.completed_counts().sum())
+    )
+    return result, float(international_share)
+
+
+def main() -> None:
+    print("E-marketplace: courier companies and an international promo")
+    print("=" * 68)
+    header = (
+        f"{'method':<10} {'promo':<6} {'prov δs(prf)':>12} "
+        f"{'intl-capable share':>19} {'resp.time(s)':>13}"
+    )
+    print(header)
+    for method in ("sqlb", "capacity"):
+        for promo in (False, True):
+            result, share = run_campaign(method, promo)
+            satisfaction = result.series(
+                "provider_preference_satisfaction_mean"
+            )[-1]
+            print(
+                f"{method:<10} {str(promo):<6} {satisfaction:>12.3f} "
+                f"{share:>18.1%} {result.response_time_post_warmup:>13.2f}"
+            )
+    print(
+        "\nReading: under SQLB the promotion changes *what* the\n"
+        "international-capable couriers perform — they shed the national\n"
+        "queries they now dislike, and their preference-based\n"
+        "satisfaction climbs well past the no-promo run.  The\n"
+        "capacity-based mediator allocates identically with or without\n"
+        "the campaign (same share, same response time): providers'\n"
+        "stances simply do not reach it."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Reputation trade-off: sweeping the consumer's υ parameter.
+
+Definition 7 lets a consumer balance its own preferences against
+provider reputation: ``ci = prf^υ · rep^(1-υ)``.  The paper sets υ = 1
+in its experiments (pure preferences); this example explores the rest
+of the dial.  We build an environment where preference and reputation
+*disagree* — the providers consumers like are unreliable — and sweep υ
+from 0 (trust reputation only) to 1 (trust own preferences only).
+
+Run with::
+
+    python examples/reputation_tradeoff.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import MediatorSimulation, WorkloadSpec, scaled_config
+
+
+def run_with_upsilon(upsilon: float, seed: int = 23):
+    config = scaled_config(
+        n_consumers=20,
+        n_providers=40,
+        duration=300.0,
+        workload=WorkloadSpec.fixed(0.6),
+        consumer_intention_mode="formula",  # the literal Definition 7
+        upsilon=upsilon,
+    )
+    simulation = MediatorSimulation(config, "sqlb", seed=seed)
+
+    # Make reputation anti-correlated with popular taste: the
+    # high-interest providers are the flaky ones.
+    interest = simulation.consumer_prefs.interest_classes
+    reputations = np.where(interest == 2, 0.1, 0.9)
+    simulation.reputation._values[:] = reputations
+
+    result = simulation.run()
+    counts = simulation.queues.completed_counts()
+    reputable_share = counts[reputations > 0.5].sum() / counts.sum()
+    return result, float(reputable_share)
+
+
+def main() -> None:
+    print("Definition 7: trading preferences for reputation (υ sweep)")
+    print("=" * 66)
+    print(
+        f"{'υ':>5} {'share to reputable':>19} {'cons δs':>9} "
+        f"{'resp.time(s)':>13}"
+    )
+    for upsilon in (0.0, 0.25, 0.5, 0.75, 1.0):
+        result, reputable_share = run_with_upsilon(upsilon)
+        satisfaction = result.series("consumer_satisfaction_mean")[-1]
+        print(
+            f"{upsilon:>5.2f} {reputable_share:>18.1%} "
+            f"{satisfaction:>9.3f} "
+            f"{result.response_time_post_warmup:>13.2f}"
+        )
+    print(
+        "\nReading: υ = 0 routes queries to the reputable-but-unloved\n"
+        "providers; υ = 1 chases the consumers' own taste.  Recorded\n"
+        "satisfaction is measured against the shown intentions, so it\n"
+        "tracks whichever signal the consumer chose to trust."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy shim so editable installs work without the `wheel` package.
+
+Offline environments here lack `wheel`, which PEP 517 editable installs
+require; `pip install -e . --no-build-isolation --no-use-pep517` goes
+through this file instead.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

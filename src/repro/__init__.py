@@ -1,0 +1,85 @@
+"""SQLB — Satisfaction-based Query Load Balancing.
+
+A from-scratch Python reproduction of *"SQLB: A Query Allocation
+Framework for Autonomous Consumers and Providers"* (Quiané-Ruiz,
+Lamarre, Valduriez; VLDB 2007): the satisfaction model and metrics
+(Sections 3-4), the SQLB framework (Section 5), the Capacity-based and
+Mariposa-like baselines (Section 6.2), and the mediator simulation the
+evaluation runs on.
+
+Quick start::
+
+    from repro import scaled_config, run_simulation
+
+    result = run_simulation(scaled_config(), "sqlb", seed=42)
+    print(result.series("provider_intention_satisfaction_mean")[-1])
+"""
+
+from repro.allocation import (
+    PAPER_METHODS,
+    AllocationMethod,
+    AllocationRequest,
+    CapacityBasedMethod,
+    MariposaMethod,
+    SQLBMethod,
+    build_method,
+)
+from repro.core import (
+    SQLBAllocation,
+    allocate_query,
+    consumer_intention,
+    omega,
+    provider_intention,
+    provider_score,
+)
+from repro.model import (
+    ConsumerProfile,
+    ProviderProfile,
+    fairness,
+    mean,
+    min_max_ratio,
+)
+from repro.simulation import (
+    DepartureRules,
+    MediatorSimulation,
+    SimulationConfig,
+    SimulationResult,
+    WorkloadSpec,
+    paper_config,
+    run_simulation,
+    scaled_config,
+    tiny_config,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PAPER_METHODS",
+    "AllocationMethod",
+    "AllocationRequest",
+    "CapacityBasedMethod",
+    "ConsumerProfile",
+    "DepartureRules",
+    "MariposaMethod",
+    "MediatorSimulation",
+    "ProviderProfile",
+    "SQLBAllocation",
+    "SQLBMethod",
+    "SimulationConfig",
+    "SimulationResult",
+    "WorkloadSpec",
+    "allocate_query",
+    "build_method",
+    "consumer_intention",
+    "fairness",
+    "mean",
+    "min_max_ratio",
+    "omega",
+    "paper_config",
+    "provider_intention",
+    "provider_score",
+    "run_simulation",
+    "scaled_config",
+    "tiny_config",
+    "__version__",
+]

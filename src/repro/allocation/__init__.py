@@ -1,0 +1,33 @@
+"""Query-allocation methods: SQLB plus the paper's baselines.
+
+The engine-facing interface is :class:`~repro.allocation.base.AllocationMethod`;
+methods are usually built through :func:`~repro.allocation.registry.build_method`.
+"""
+
+from repro.allocation.base import AllocationMethod, AllocationRequest
+from repro.allocation.capacity_based import CapacityBasedMethod
+from repro.allocation.economic import EconomicSQLBMethod
+from repro.allocation.knbest import KnBestMethod
+from repro.allocation.mariposa import MariposaMethod
+from repro.allocation.naive import RandomMethod, RoundRobinMethod
+from repro.allocation.registry import (
+    PAPER_METHODS,
+    available_methods,
+    build_method,
+)
+from repro.allocation.sqlb_method import SQLBMethod
+
+__all__ = [
+    "PAPER_METHODS",
+    "AllocationMethod",
+    "AllocationRequest",
+    "CapacityBasedMethod",
+    "EconomicSQLBMethod",
+    "KnBestMethod",
+    "MariposaMethod",
+    "RandomMethod",
+    "RoundRobinMethod",
+    "SQLBMethod",
+    "available_methods",
+    "build_method",
+]

@@ -1,0 +1,109 @@
+"""Allocation-method interface shared by SQLB and the baselines.
+
+The simulation engine performs everything that is common to all methods
+— gathering the candidate set, computing participants' intentions
+(lines 2-5 of Algorithm 1), measuring utilisation, bookkeeping — and
+delegates only the *selection* decision.  Each method receives an
+:class:`AllocationRequest` snapshot and returns which candidates get the
+query.  This mirrors the paper's setup: "for all the query allocation
+methods we tested, the configuration is the same and the only thing
+that changes is the way in which each method allocates the queries"
+(Section 6.1).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # avoid a circular import with repro.simulation
+    from repro.simulation.queries import Query
+
+__all__ = ["AllocationMethod", "AllocationRequest"]
+
+
+@dataclass(frozen=True)
+class AllocationRequest:
+    """Everything a method may look at when allocating one query.
+
+    Attributes
+    ----------
+    time:
+        Current simulation time (seconds).
+    query:
+        The incoming query (cost, ``q.n``, consumer).
+    candidates:
+        Provider indices in ``P_q`` (active and capable), ascending.
+    consumer_intentions:
+        Raw ``CI_q`` aligned with ``candidates``.
+    provider_intentions:
+        Raw ``PI_q`` aligned with ``candidates``.
+    provider_preferences:
+        The candidates' private preferences for this query.  Baselines
+        that model provider-side behaviour (Mariposa bids are computed
+        *by the providers*) may use them; a preference-blind method like
+        Capacity based must not.
+    utilizations:
+        Current ``Ut(p)`` per candidate.
+    capacities:
+        Treatment units per second per candidate.
+    backlog_seconds:
+        Seconds of queued work ahead of a new arrival, per candidate.
+    consumer_satisfaction:
+        Mediator-visible (intention-based) ``δs(c)`` of the issuer.
+    provider_satisfactions:
+        Mediator-visible (intention-based) ``δs(p)`` per candidate.
+    rng:
+        Method-private randomness (tie-breaking and the like).
+    """
+
+    time: float
+    query: Query
+    candidates: np.ndarray
+    consumer_intentions: np.ndarray
+    provider_intentions: np.ndarray
+    provider_preferences: np.ndarray
+    utilizations: np.ndarray
+    capacities: np.ndarray
+    backlog_seconds: np.ndarray
+    consumer_satisfaction: float
+    provider_satisfactions: np.ndarray
+    rng: np.random.Generator
+
+    @property
+    def n_candidates(self) -> int:
+        return int(self.candidates.size)
+
+    @property
+    def n_to_select(self) -> int:
+        """``min(q.n, N)`` — how many providers must be selected."""
+        return min(self.query.n_desired, self.n_candidates)
+
+
+class AllocationMethod(abc.ABC):
+    """One query-allocation strategy.
+
+    Subclasses are stateless with respect to the population (all state
+    they need arrives in the request), but may keep internal state such
+    as round-robin cursors; :meth:`reset` clears it between runs.
+    """
+
+    #: Short identifier used in reports and the registry.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def select(self, request: AllocationRequest) -> np.ndarray:
+        """Positions (into ``request.candidates``) of the selected providers.
+
+        Must return exactly ``request.n_to_select`` distinct positions,
+        best first.
+        """
+
+    def reset(self) -> None:
+        """Clear any per-run internal state (no-op by default)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"{type(self).__name__}(name={self.name!r})"

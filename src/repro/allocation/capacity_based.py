@@ -1,0 +1,37 @@
+"""The *Capacity based* baseline (Section 6.2.1 of the paper).
+
+The classic query-load-balancing approach in heterogeneous distributed
+information systems ([13, 18, 21] in the paper): allocate each query to
+the providers with the highest *available capacity* — the least
+utilised, weighted by raw power — taking no account whatsoever of the
+consumer's or providers' intentions.
+
+Available capacity is ``C_p · (1 - Ut(p))``: the units per second the
+provider still has to offer, which goes negative under overload so
+overloaded providers rank strictly below merely busy ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.allocation.base import AllocationMethod, AllocationRequest
+from repro.core.ranking import rank_providers, select_top
+
+__all__ = ["CapacityBasedMethod"]
+
+
+class CapacityBasedMethod(AllocationMethod):
+    """Allocate to the highest-available-capacity providers."""
+
+    name = "capacity"
+
+    def __init__(self, tie_break: str = "random") -> None:
+        self._tie_break = tie_break
+
+    def select(self, request: AllocationRequest) -> np.ndarray:
+        available = request.capacities * (1.0 - request.utilizations)
+        ranking = rank_providers(
+            available, rng=request.rng, tie_break=self._tie_break
+        )
+        return select_top(ranking, request.query.n_desired)

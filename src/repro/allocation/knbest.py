@@ -1,0 +1,87 @@
+"""KnBest-style allocation (Quiané-Ruiz et al., DASFAA 2007 [17]).
+
+The paper's related work cites KnBest as a *complementary* set of
+balanced request-allocation strategies "one can use to improve
+results".  The KnBest idea: instead of deterministically taking the
+``n`` best providers under the base criterion (which starves everyone
+else), take the ``K = k_factor · n`` best and draw the ``n`` winners at
+random among them.  The randomisation spreads load across the whole
+good-enough set at a bounded cost in per-query optimality.
+
+This implementation layers KnBest over either base criterion used in
+this repository:
+
+* ``base="capacity"`` — K best by available capacity (the classic
+  KnBest over a QLB criterion);
+* ``base="score"`` — K best by the SQLB score (Definition 9), giving a
+  randomised SQLB variant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.allocation.base import AllocationMethod, AllocationRequest
+from repro.core.ranking import rank_providers
+from repro.core.scoring import omega_vector, provider_score_vector
+
+__all__ = ["KnBestMethod"]
+
+_BASES = ("capacity", "score")
+
+
+class KnBestMethod(AllocationMethod):
+    """Pick ``q.n`` providers uniformly among the ``k_factor·q.n`` best.
+
+    Parameters
+    ----------
+    base:
+        The ranking criterion the candidate short-list is built from:
+        ``"capacity"`` (available capacity) or ``"score"`` (SQLB's
+        Definition 9).
+    k_factor:
+        Short-list size multiplier ``K / n``; must be at least 1.
+        ``k_factor=1`` degenerates to the deterministic base method.
+    epsilon:
+        ``ε`` for Definition 9 (only used with ``base="score"``).
+    """
+
+    name = "knbest"
+
+    def __init__(
+        self,
+        base: str = "capacity",
+        k_factor: int = 3,
+        epsilon: float = 1.0,
+    ) -> None:
+        if base not in _BASES:
+            raise ValueError(f"base must be one of {_BASES}, got {base!r}")
+        if k_factor < 1:
+            raise ValueError(f"k_factor must be at least 1, got {k_factor}")
+        if epsilon <= 0:
+            raise ValueError(f"epsilon must be positive, got {epsilon}")
+        self._base = base
+        self._k_factor = int(k_factor)
+        self._epsilon = float(epsilon)
+
+    def _base_scores(self, request: AllocationRequest) -> np.ndarray:
+        if self._base == "capacity":
+            return request.capacities * (1.0 - request.utilizations)
+        omegas = omega_vector(
+            request.consumer_satisfaction, request.provider_satisfactions
+        )
+        return provider_score_vector(
+            request.provider_intentions,
+            request.consumer_intentions,
+            omegas,
+            epsilon=self._epsilon,
+        )
+
+    def select(self, request: AllocationRequest) -> np.ndarray:
+        n_needed = request.n_to_select
+        ranking = rank_providers(self._base_scores(request), rng=request.rng)
+        shortlist = ranking[: min(self._k_factor * n_needed, ranking.size)]
+        winners = request.rng.choice(
+            shortlist, size=n_needed, replace=False
+        )
+        return np.asarray(winners, dtype=np.int64)

@@ -1,0 +1,55 @@
+"""Naive baselines (not in the paper; used for ablations and tests).
+
+* :class:`RandomMethod` — uniform random selection.  Interesting as a
+  floor: it is intention-blind *and* load-blind.
+* :class:`RoundRobinMethod` — deterministic rotation over the candidate
+  set; the classic homogeneous-cluster answer, which ignores capacity
+  heterogeneity entirely.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.allocation.base import AllocationMethod, AllocationRequest
+
+__all__ = ["RandomMethod", "RoundRobinMethod"]
+
+
+class RandomMethod(AllocationMethod):
+    """Select ``q.n`` candidates uniformly at random."""
+
+    name = "random"
+
+    def select(self, request: AllocationRequest) -> np.ndarray:
+        return request.rng.choice(
+            request.n_candidates, size=request.n_to_select, replace=False
+        )
+
+
+class RoundRobinMethod(AllocationMethod):
+    """Rotate through provider indices, skipping absent candidates.
+
+    The cursor is over the *global* provider index space, so the
+    rotation stays fair when the candidate set varies query to query.
+    """
+
+    name = "round_robin"
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def reset(self) -> None:
+        self._cursor = 0
+
+    def select(self, request: AllocationRequest) -> np.ndarray:
+        candidates = request.candidates
+        n_needed = request.n_to_select
+        # Positions of candidates at or after the cursor, then wrap.
+        after = np.flatnonzero(candidates >= self._cursor)
+        before = np.flatnonzero(candidates < self._cursor)
+        order = np.concatenate((after, before))
+        chosen = order[:n_needed]
+        last_provider = int(candidates[chosen[-1]])
+        self._cursor = last_provider + 1
+        return chosen

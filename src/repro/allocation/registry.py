@@ -1,0 +1,62 @@
+"""Method registry: build allocation methods by name from a config.
+
+Experiments refer to methods by the short names the paper uses
+(``sqlb``, ``capacity``, ``mariposa``); the registry centralises their
+construction so every experiment builds them identically.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import TYPE_CHECKING
+
+from repro.allocation.base import AllocationMethod
+from repro.allocation.capacity_based import CapacityBasedMethod
+from repro.allocation.economic import EconomicSQLBMethod
+from repro.allocation.knbest import KnBestMethod
+from repro.allocation.mariposa import MariposaMethod
+from repro.allocation.naive import RandomMethod, RoundRobinMethod
+from repro.allocation.sqlb_method import SQLBMethod
+
+if TYPE_CHECKING:  # avoid a circular import with repro.simulation
+    from repro.simulation.config import SimulationConfig
+
+__all__ = ["PAPER_METHODS", "available_methods", "build_method"]
+
+#: The three methods the paper's evaluation compares.
+PAPER_METHODS = ("sqlb", "capacity", "mariposa")
+
+_BUILDERS: dict[str, Callable[[SimulationConfig], AllocationMethod]] = {
+    "sqlb": lambda config: SQLBMethod(
+        epsilon=config.epsilon, fixed_omega=config.fixed_omega
+    ),
+    "capacity": lambda config: CapacityBasedMethod(),
+    "mariposa": lambda config: MariposaMethod(
+        base_spread=config.mariposa.base_spread,
+        load_weight=config.mariposa.load_weight,
+        max_delay=config.mariposa.max_delay,
+    ),
+    "random": lambda config: RandomMethod(),
+    "round_robin": lambda config: RoundRobinMethod(),
+    # Extensions beyond the paper's evaluation (see their modules):
+    "knbest": lambda config: KnBestMethod(base="capacity"),
+    "knbest_score": lambda config: KnBestMethod(base="score"),
+    "sqlb_econ": lambda config: EconomicSQLBMethod(),
+}
+
+
+def available_methods() -> tuple[str, ...]:
+    """All registered method names."""
+    return tuple(_BUILDERS)
+
+
+def build_method(name: str, config: SimulationConfig) -> AllocationMethod:
+    """Construct the named method configured for ``config``."""
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown allocation method {name!r}; "
+            f"available: {sorted(_BUILDERS)}"
+        ) from None
+    return builder(config)

@@ -1,0 +1,58 @@
+"""SQLB as an allocation method (Section 5 of the paper).
+
+A thin adapter: the scoring/ranking/selection logic lives in
+:mod:`repro.core.sqlb`; this class feeds it from an
+:class:`~repro.allocation.base.AllocationRequest`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.allocation.base import AllocationMethod, AllocationRequest
+from repro.core.sqlb import allocate_query
+
+__all__ = ["SQLBMethod"]
+
+
+class SQLBMethod(AllocationMethod):
+    """Satisfaction-based Query Load Balancing.
+
+    Parameters
+    ----------
+    epsilon:
+        ``ε`` for Definition 9.
+    fixed_omega:
+        Optional constant ``ω`` overriding Equation 6 (the paper's
+        cooperative-provider variant; ``None`` uses Equation 6).
+    tie_break:
+        Ranking tie-break policy (see :mod:`repro.core.ranking`).
+    """
+
+    name = "sqlb"
+
+    def __init__(
+        self,
+        epsilon: float = 1.0,
+        fixed_omega: float | None = None,
+        tie_break: str = "random",
+    ) -> None:
+        if epsilon <= 0:
+            raise ValueError(f"epsilon must be positive, got {epsilon}")
+        self._epsilon = float(epsilon)
+        self._fixed_omega = fixed_omega
+        self._tie_break = tie_break
+
+    def select(self, request: AllocationRequest) -> np.ndarray:
+        allocation = allocate_query(
+            provider_intentions=request.provider_intentions,
+            consumer_intentions=request.consumer_intentions,
+            consumer_satisfaction=request.consumer_satisfaction,
+            provider_satisfactions=request.provider_satisfactions,
+            n_desired=request.query.n_desired,
+            epsilon=self._epsilon,
+            fixed_omega=self._fixed_omega,
+            rng=request.rng,
+            tie_break=self._tie_break,
+        )
+        return allocation.selected

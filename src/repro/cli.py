@@ -1,0 +1,204 @@
+"""Command-line interface.
+
+Three subcommands::
+
+    python -m repro methods
+        List the registered allocation methods.
+
+    python -m repro run --method sqlb --workload 0.8 --duration 400
+        Run one simulation and print a summary (add --autonomous to let
+        participants leave, --paper-scale for the Table 2 environment).
+
+    python -m repro figure 4a
+        Regenerate one of the paper's figures/tables (4a-4i, 5a-5c, 6,
+        table3) and print the same series/rows the paper reports.
+"""
+
+from __future__ import annotations
+
+import argparse
+from collections import Counter
+
+from repro.allocation.registry import PAPER_METHODS, available_methods
+from repro.experiments.autonomy import (
+    consumer_departure_curve,
+    departure_reason_table,
+    departure_response_times,
+    provider_departure_curve,
+)
+from repro.experiments.captive import (
+    DEFAULT_WORKLOADS,
+    FIGURE4_SERIES,
+    captive_ramp,
+    response_time_curve,
+)
+from repro.experiments.report import (
+    format_curve_table,
+    format_reason_table,
+    format_series_table,
+)
+from repro.simulation.config import (
+    DepartureRules,
+    WorkloadSpec,
+    paper_config,
+    scaled_config,
+)
+from repro.simulation.engine import run_simulation
+
+__all__ = ["build_parser", "main"]
+
+FIGURES = tuple(FIGURE4_SERIES) + ("4i", "5a", "5b", "5c", "6", "table3")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SQLB (VLDB 2007) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("methods", help="list registered allocation methods")
+
+    run = sub.add_parser("run", help="run one simulation")
+    run.add_argument("--method", default="sqlb", choices=available_methods())
+    run.add_argument(
+        "--workload",
+        type=float,
+        default=0.8,
+        help="fixed workload as a fraction of total system capacity",
+    )
+    run.add_argument("--duration", type=float, default=400.0)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--autonomous",
+        action="store_true",
+        help="allow participants to leave (Section 6.3.2 thresholds)",
+    )
+    run.add_argument(
+        "--paper-scale",
+        action="store_true",
+        help="use the exact Table 2 environment (slow)",
+    )
+
+    figure = sub.add_parser(
+        "figure", help="regenerate one of the paper's figures/tables"
+    )
+    figure.add_argument("which", choices=FIGURES)
+    figure.add_argument(
+        "--seeds",
+        type=int,
+        nargs="+",
+        default=[11],
+        help="repetition seeds (the paper averages 10)",
+    )
+    return parser
+
+
+def _cmd_methods() -> str:
+    lines = ["registered allocation methods:"]
+    for name in available_methods():
+        marker = " (paper)" if name in PAPER_METHODS else ""
+        lines.append(f"  {name}{marker}")
+    return "\n".join(lines)
+
+
+def _cmd_run(args: argparse.Namespace) -> str:
+    if args.paper_scale:
+        config = paper_config(workload=WorkloadSpec.fixed(args.workload))
+    else:
+        config = scaled_config(
+            duration=args.duration,
+            # Keep a post-warmup measurement window even on short runs.
+            warmup_time=min(150.0, args.duration / 4.0),
+            workload=WorkloadSpec.fixed(args.workload),
+        )
+    if args.autonomous:
+        config = config.with_departures(DepartureRules.autonomous(True))
+    result = run_simulation(config, args.method, seed=args.seed)
+
+    lines = [
+        f"method: {result.method_name}   seed: {result.seed}   "
+        f"workload: {args.workload:.0%}",
+        f"queries issued/served/unserved: {result.queries_issued}/"
+        f"{result.queries_served}/{result.queries_unserved}",
+        f"response time (post-warmup mean): "
+        f"{result.response_time_post_warmup:.2f} s",
+        f"provider satisfaction (intentions): "
+        f"{result.series('provider_intention_satisfaction_mean')[-1]:.3f}",
+        f"provider alloc. satisfaction (preferences): "
+        f"{result.series('provider_preference_allocation_satisfaction_mean')[-1]:.3f}",
+        f"consumer alloc. satisfaction: "
+        f"{result.series('consumer_allocation_satisfaction_mean')[-1]:.3f}",
+    ]
+    if args.autonomous:
+        providers = Counter(
+            d.reason for d in result.departures if d.kind == "provider"
+        )
+        consumers = sum(
+            1 for d in result.departures if d.kind == "consumer"
+        )
+        lines.append(
+            f"departures: providers {dict(providers) or 0}, "
+            f"consumers {consumers}"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_figure(args: argparse.Namespace) -> str:
+    seeds = tuple(args.seeds)
+    which = args.which
+    if which in FIGURE4_SERIES:
+        family = captive_ramp(seeds=seeds)
+        series = FIGURE4_SERIES[which]
+        times = next(iter(family.values())).times()
+        return format_series_table(
+            times,
+            {m: family[m].series(series) for m in family},
+            value_label=f"Figure {which}: {series}",
+        )
+    if which == "4i":
+        curve = response_time_curve(seeds=seeds)
+        return format_curve_table(
+            curve.workloads,
+            curve.response_times,
+            value_label="Figure 4(i): response time (s), captive",
+        )
+    if which in ("5a", "5b"):
+        curve = departure_response_times(
+            include_overutilization=(which == "5b"), seeds=seeds
+        )
+        return format_curve_table(
+            curve.workloads,
+            curve.response_times,
+            value_label=f"Figure {which}: response time (s), autonomous",
+        )
+    if which == "5c":
+        curve = provider_departure_curve(seeds=seeds)
+        return format_curve_table(
+            DEFAULT_WORKLOADS,
+            {m: 100.0 * v for m, v in curve.items()},
+            value_label="Figure 5(c): provider departures (%)",
+            precision=1,
+        )
+    if which == "6":
+        curve = consumer_departure_curve(seeds=seeds)
+        return format_curve_table(
+            DEFAULT_WORKLOADS,
+            {m: 100.0 * v for m, v in curve.items()},
+            value_label="Figure 6: consumer departures (%)",
+            precision=1,
+        )
+    if which == "table3":
+        return format_reason_table(departure_reason_table(seeds=seeds))
+    raise AssertionError(f"unhandled figure {which!r}")  # pragma: no cover
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "methods":
+        print(_cmd_methods())
+    elif args.command == "run":
+        print(_cmd_run(args))
+    elif args.command == "figure":
+        print(_cmd_figure(args))
+    return 0

@@ -1,0 +1,43 @@
+"""The paper's primary contribution: the SQLB scoring/allocation core.
+
+Definitions 7-9, Equation 6, and Algorithm 1 as pure functions (scalar
+reference versions plus vectorised hot-path versions).
+"""
+
+from repro.core.intentions import (
+    DEFAULT_EPSILON,
+    clip_intention,
+    consumer_intention,
+    consumer_intention_vector,
+    provider_intention,
+    provider_intention_surface,
+    provider_intention_vector,
+)
+from repro.core.ranking import rank_providers, select_top
+from repro.core.scoring import (
+    omega,
+    omega_surface,
+    omega_vector,
+    provider_score,
+    provider_score_vector,
+)
+from repro.core.sqlb import SQLBAllocation, allocate_query
+
+__all__ = [
+    "DEFAULT_EPSILON",
+    "SQLBAllocation",
+    "allocate_query",
+    "clip_intention",
+    "consumer_intention",
+    "consumer_intention_vector",
+    "omega",
+    "omega_surface",
+    "omega_vector",
+    "provider_intention",
+    "provider_intention_surface",
+    "provider_intention_vector",
+    "provider_score",
+    "provider_score_vector",
+    "rank_providers",
+    "select_top",
+]

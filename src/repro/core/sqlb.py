@@ -1,0 +1,132 @@
+"""The SQLB query-allocation principle (Algorithm 1 of the paper).
+
+This module is the pure-functional heart of the framework: given the
+intention vectors ``CI_q`` and ``PI_q`` collected from the consumer and
+the candidate providers, plus the mediator-visible satisfactions that
+drive Equation 6, it scores, ranks, and selects providers.
+
+It is deliberately free of any simulation or transport concern — the
+mediator in :mod:`repro.simulation` and the method adapter in
+:mod:`repro.allocation` both call into here, and so can a real system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.intentions import DEFAULT_EPSILON
+from repro.core.ranking import rank_providers, select_top
+from repro.core.scoring import omega_vector, provider_score_vector
+
+__all__ = ["SQLBAllocation", "allocate_query"]
+
+
+@dataclass(frozen=True)
+class SQLBAllocation:
+    """The outcome of one run of Algorithm 1 for a single query.
+
+    Attributes
+    ----------
+    selected:
+        Indices (into the candidate set ``P_q``) of the providers the
+        query is allocated to, best first — the providers with
+        ``All_oc[p] = 1``.
+    ranking:
+        The full ``R_q`` permutation, best first.
+    scores:
+        ``scr_q(p)`` per candidate, aligned with the candidate set.
+    omegas:
+        The per-provider ``ω`` used in the scores (Equation 6 output, or
+        the fixed override).
+    """
+
+    selected: np.ndarray
+    ranking: np.ndarray
+    scores: np.ndarray
+    omegas: np.ndarray
+
+    @property
+    def allocation_vector(self) -> np.ndarray:
+        """The paper's ``All_oc`` vector: 1 for selected candidates, else 0."""
+        vector = np.zeros(self.scores.size, dtype=np.int8)
+        vector[self.selected] = 1
+        return vector
+
+    def __post_init__(self) -> None:
+        if self.scores.ndim != 1:
+            raise ValueError("scores must be 1-D")
+        if self.ranking.shape != self.scores.shape:
+            raise ValueError("ranking must align with scores")
+
+
+def allocate_query(
+    provider_intentions: np.ndarray,
+    consumer_intentions: np.ndarray,
+    consumer_satisfaction: float,
+    provider_satisfactions: np.ndarray,
+    n_desired: int,
+    epsilon: float = DEFAULT_EPSILON,
+    fixed_omega: float | None = None,
+    rng: np.random.Generator | None = None,
+    tie_break: str = "random",
+) -> SQLBAllocation:
+    """Run Algorithm 1's scoring/ranking/selection steps for one query.
+
+    The intention-gathering steps (lines 2-5 of Algorithm 1) happen at
+    the caller: this function receives the resulting ``PI_q`` and
+    ``CI_q`` vectors.
+
+    Parameters
+    ----------
+    provider_intentions:
+        ``PI_q`` — raw provider intentions, one per candidate in ``P_q``.
+    consumer_intentions:
+        ``CI_q`` — raw consumer intentions towards each candidate.
+    consumer_satisfaction:
+        The consumer's intention-based satisfaction ``δs(c)`` as visible
+        to the mediator (drives Equation 6).
+    provider_satisfactions:
+        Each candidate's intention-based satisfaction ``δs(p)`` as
+        visible to the mediator.
+    n_desired:
+        ``q.n`` — how many providers the consumer wants.
+    epsilon:
+        ``ε`` for Definition 9.
+    fixed_omega:
+        When given, overrides Equation 6 with a constant ``ω`` (the paper
+        allows e.g. ``ω = 0`` for cooperative-provider deployments).
+    rng, tie_break:
+        Ranking tie-break policy; see :func:`repro.core.ranking.rank_providers`.
+
+    Raises
+    ------
+    ValueError
+        If the candidate set is empty — the paper only considers feasible
+        queries, so an empty ``P_q`` is a caller bug.
+    """
+    pi = np.asarray(provider_intentions, dtype=float)
+    ci = np.asarray(consumer_intentions, dtype=float)
+    if pi.size == 0:
+        raise ValueError("P_q must contain at least one provider")
+    if pi.shape != ci.shape:
+        raise ValueError(
+            f"PI_q shape {pi.shape} does not match CI_q shape {ci.shape}"
+        )
+    if fixed_omega is not None:
+        if not 0.0 <= fixed_omega <= 1.0:
+            raise ValueError(f"fixed omega must be in [0, 1], got {fixed_omega}")
+        omegas = np.full(pi.shape, float(fixed_omega))
+    else:
+        omegas = omega_vector(consumer_satisfaction, provider_satisfactions)
+        if omegas.shape != pi.shape:
+            raise ValueError(
+                "provider_satisfactions must align with provider_intentions"
+            )
+    scores = provider_score_vector(pi, ci, omegas, epsilon=epsilon)
+    ranking = rank_providers(scores, rng=rng, tie_break=tie_break)
+    selected = select_top(ranking, n_desired)
+    return SQLBAllocation(
+        selected=selected, ranking=ranking, scores=scores, omegas=omegas
+    )

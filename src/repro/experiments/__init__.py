@@ -1,0 +1,59 @@
+"""Experiment harness regenerating every table and figure of the paper.
+
+See DESIGN.md §3 for the experiment index.  The benches in
+``benchmarks/`` are thin wrappers over these functions.
+"""
+
+from repro.experiments.autonomy import (
+    DepartureReasonTable,
+    consumer_departure_curve,
+    departure_reason_table,
+    departure_response_times,
+    provider_departure_curve,
+)
+from repro.experiments.captive import (
+    DEFAULT_WORKLOADS,
+    FIGURE4_SERIES,
+    captive_ramp,
+    captive_ramp_config,
+    response_time_curve,
+)
+from repro.experiments.harness import (
+    DEFAULT_SEEDS,
+    MethodAverages,
+    average_series,
+    run_method_family,
+    run_repeated,
+)
+from repro.experiments.prediction import (
+    DepartureRiskReport,
+    predict_departure_risks,
+)
+from repro.experiments.report import (
+    format_curve_table,
+    format_reason_table,
+    format_series_table,
+    format_surface,
+)
+
+__all__ = [
+    "DEFAULT_SEEDS",
+    "DEFAULT_WORKLOADS",
+    "DepartureReasonTable",
+    "DepartureRiskReport",
+    "FIGURE4_SERIES",
+    "MethodAverages",
+    "average_series",
+    "captive_ramp",
+    "captive_ramp_config",
+    "consumer_departure_curve",
+    "departure_reason_table",
+    "departure_response_times",
+    "format_curve_table",
+    "format_reason_table",
+    "format_series_table",
+    "format_surface",
+    "predict_departure_risks",
+    "provider_departure_curve",
+    "response_time_curve",
+]

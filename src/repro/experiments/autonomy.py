@@ -1,0 +1,182 @@
+"""Autonomy experiments (Section 6.3.2, Figures 5-6 and Table 3).
+
+Participants are free to leave once their thresholds trip.  The
+experiment families:
+
+* :func:`departure_response_times` — Figure 5(a) (dissatisfaction +
+  starvation) and Figure 5(b) (all reasons): response time vs workload.
+* :func:`provider_departure_curve` — Figure 5(c): % of providers that
+  left, per workload.
+* :func:`consumer_departure_curve` — Figure 6: % of consumers that
+  left, per workload.
+* :func:`departure_reason_table` — Table 3: at one workload (80 % in
+  the paper), the % of the provider population that left by each reason,
+  broken down three ways (consumer-interest band, adaptation band,
+  capacity band).  Each breakdown row of a reason sums to that reason's
+  total, exactly as in the paper's table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.allocation.registry import PAPER_METHODS
+from repro.experiments.captive import DEFAULT_WORKLOADS, response_time_curve
+from repro.experiments.harness import (
+    DEFAULT_SEEDS,
+    run_method_family,
+)
+from repro.simulation.config import (
+    DepartureRules,
+    SimulationConfig,
+    WorkloadSpec,
+    scaled_config,
+)
+
+__all__ = [
+    "DepartureReasonTable",
+    "consumer_departure_curve",
+    "departure_reason_table",
+    "departure_response_times",
+    "provider_departure_curve",
+]
+
+REASONS = ("dissatisfaction", "starvation", "overutilization")
+DIMENSIONS = ("interest", "adaptation", "capacity")
+BANDS = ("low", "medium", "high")
+
+
+def departure_response_times(
+    include_overutilization: bool,
+    config: SimulationConfig | None = None,
+    methods: tuple[str, ...] = PAPER_METHODS,
+    seeds: tuple[int, ...] = DEFAULT_SEEDS,
+    workloads: tuple[float, ...] = DEFAULT_WORKLOADS,
+):
+    """Figure 5(a) (``include_overutilization=False``) / 5(b) (True)."""
+    rules = DepartureRules.autonomous(
+        include_overutilization=include_overutilization
+    )
+    return response_time_curve(
+        config=config,
+        methods=methods,
+        seeds=seeds,
+        workloads=workloads,
+        departures=rules,
+    )
+
+
+def _departure_fractions(
+    kind: str,
+    config: SimulationConfig | None,
+    methods: tuple[str, ...],
+    seeds: tuple[int, ...],
+    workloads: tuple[float, ...],
+) -> dict[str, np.ndarray]:
+    base = config if config is not None else scaled_config()
+    rules = DepartureRules.autonomous(include_overutilization=True)
+    fractions: dict[str, list[float]] = {method: [] for method in methods}
+    for workload in workloads:
+        run_config = base.with_workload(
+            WorkloadSpec.fixed(workload)
+        ).with_departures(rules)
+        family = run_method_family(run_config, methods, seeds)
+        for method in methods:
+            averages = family[method]
+            value = (
+                averages.provider_departure_fraction()
+                if kind == "provider"
+                else averages.consumer_departure_fraction()
+            )
+            fractions[method].append(value)
+    return {m: np.asarray(v) for m, v in fractions.items()}
+
+
+def provider_departure_curve(
+    config: SimulationConfig | None = None,
+    methods: tuple[str, ...] = PAPER_METHODS,
+    seeds: tuple[int, ...] = DEFAULT_SEEDS,
+    workloads: tuple[float, ...] = DEFAULT_WORKLOADS,
+) -> dict[str, np.ndarray]:
+    """Figure 5(c): provider departure fraction per workload."""
+    return _departure_fractions("provider", config, methods, seeds, workloads)
+
+
+def consumer_departure_curve(
+    config: SimulationConfig | None = None,
+    methods: tuple[str, ...] = PAPER_METHODS,
+    seeds: tuple[int, ...] = DEFAULT_SEEDS,
+    workloads: tuple[float, ...] = DEFAULT_WORKLOADS,
+) -> dict[str, np.ndarray]:
+    """Figure 6: consumer departure fraction per workload."""
+    return _departure_fractions("consumer", config, methods, seeds, workloads)
+
+
+@dataclass(frozen=True)
+class DepartureReasonTable:
+    """The Table 3 structure for one method.
+
+    ``cells[reason][dimension][band]`` is the percentage of the original
+    provider population that departed for ``reason`` and belongs to
+    ``band`` along ``dimension``; ``totals[reason]`` is the reason's
+    total percentage (each dimension row sums to it, as in the paper).
+    """
+
+    method: str
+    cells: dict[str, dict[str, dict[str, float]]]
+    totals: dict[str, float]
+
+    def check_consistency(self, tolerance: float = 1e-9) -> None:
+        """Assert each breakdown row sums to its reason total."""
+        for reason, dims in self.cells.items():
+            for dimension, bands in dims.items():
+                row_sum = sum(bands.values())
+                if abs(row_sum - self.totals[reason]) > tolerance:
+                    raise AssertionError(
+                        f"{self.method}/{reason}/{dimension}: row sums to "
+                        f"{row_sum}, expected {self.totals[reason]}"
+                    )
+
+
+def departure_reason_table(
+    workload: float = 0.80,
+    config: SimulationConfig | None = None,
+    methods: tuple[str, ...] = PAPER_METHODS,
+    seeds: tuple[int, ...] = DEFAULT_SEEDS,
+) -> dict[str, DepartureReasonTable]:
+    """Table 3: departure reasons × class breakdowns at one workload."""
+    base = config if config is not None else scaled_config()
+    run_config = base.with_workload(
+        WorkloadSpec.fixed(workload)
+    ).with_departures(DepartureRules.autonomous(include_overutilization=True))
+    family = run_method_family(run_config, methods, seeds)
+
+    tables = {}
+    for method in methods:
+        averages = family[method]
+        n_seeds = len(averages.results)
+        n_providers = run_config.n_providers
+        cells = {
+            reason: {dim: {band: 0.0 for band in BANDS} for dim in DIMENSIONS}
+            for reason in REASONS
+        }
+        totals = {reason: 0.0 for reason in REASONS}
+        for result in averages.results:
+            for record in result.departures:
+                if record.kind != "provider":
+                    continue
+                share = 100.0 / (n_providers * n_seeds)
+                totals[record.reason] += share
+                bands_of = {
+                    "interest": record.interest_class,
+                    "adaptation": record.adaptation_class,
+                    "capacity": record.capacity_class,
+                }
+                for dimension, band_index in bands_of.items():
+                    cells[record.reason][dimension][BANDS[band_index]] += share
+        tables[method] = DepartureReasonTable(
+            method=method, cells=cells, totals=totals
+        )
+    return tables

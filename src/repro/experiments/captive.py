@@ -1,0 +1,113 @@
+"""Captive-participant experiments (Section 6.3.1, Figure 4).
+
+Two experiment families:
+
+* :func:`captive_ramp` — participants cannot leave; the workload ramps
+  uniformly from 30 % to 100 % of total system capacity over the run.
+  Figures 4(a)-(h) are all different series of this one family.
+* :func:`response_time_curve` — fixed workloads from 20 % to 100 %;
+  post-warmup mean response time per method (Figure 4(i)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.allocation.registry import PAPER_METHODS
+from repro.experiments.harness import (
+    DEFAULT_SEEDS,
+    MethodAverages,
+    run_method_family,
+)
+from repro.simulation.config import (
+    DepartureRules,
+    SimulationConfig,
+    WorkloadSpec,
+    scaled_config,
+)
+
+__all__ = [
+    "DEFAULT_WORKLOADS",
+    "FIGURE4_SERIES",
+    "captive_ramp",
+    "captive_ramp_config",
+    "response_time_curve",
+]
+
+#: Workload grid (fractions of total system capacity) for the
+#: response-time and autonomy curves; the paper plots 20-100 %.
+DEFAULT_WORKLOADS = (0.2, 0.4, 0.6, 0.8, 1.0)
+
+#: Figure id → the engine series it plots (see DESIGN.md §3).
+FIGURE4_SERIES = {
+    "4a": "provider_intention_satisfaction_mean",
+    "4b": "provider_preference_satisfaction_mean",
+    "4c": "provider_preference_allocation_satisfaction_mean",
+    "4d": "provider_intention_satisfaction_fairness",
+    "4e": "consumer_allocation_satisfaction_mean",
+    "4f": "consumer_satisfaction_fairness",
+    "4g": "utilization_mean",
+    "4h": "utilization_fairness",
+}
+
+
+def captive_ramp_config(base: SimulationConfig | None = None) -> SimulationConfig:
+    """The Figure 4(a)-(h) environment: captive, 30→100 % ramp."""
+    config = base if base is not None else scaled_config()
+    return config.with_departures(DepartureRules.captive()).with_workload(
+        WorkloadSpec(kind="ramp", start_fraction=0.30, end_fraction=1.00)
+    )
+
+
+def captive_ramp(
+    config: SimulationConfig | None = None,
+    methods: tuple[str, ...] = PAPER_METHODS,
+    seeds: tuple[int, ...] = DEFAULT_SEEDS,
+) -> dict[str, MethodAverages]:
+    """Run (or fetch from cache) the Figure 4(a)-(h) simulation family."""
+    return run_method_family(captive_ramp_config(config), methods, seeds)
+
+
+@dataclass(frozen=True)
+class ResponseTimeCurve:
+    """Mean post-warmup response time per method per workload level."""
+
+    workloads: tuple[float, ...]
+    response_times: dict[str, np.ndarray]  # method → aligned with workloads
+
+    def factor_vs(self, baseline: str) -> dict[str, np.ndarray]:
+        """Response-time ratios of every method against one baseline."""
+        reference = self.response_times[baseline]
+        return {
+            method: values / reference
+            for method, values in self.response_times.items()
+        }
+
+
+def response_time_curve(
+    config: SimulationConfig | None = None,
+    methods: tuple[str, ...] = PAPER_METHODS,
+    seeds: tuple[int, ...] = DEFAULT_SEEDS,
+    workloads: tuple[float, ...] = DEFAULT_WORKLOADS,
+    departures: DepartureRules | None = None,
+) -> ResponseTimeCurve:
+    """Post-warmup response time versus workload (Figure 4(i) captive;
+    pass autonomy rules for the Figure 5(a)/5(b) variants)."""
+    base = config if config is not None else scaled_config()
+    rules = departures if departures is not None else DepartureRules.captive()
+    times: dict[str, list[float]] = {method: [] for method in methods}
+    for workload in workloads:
+        run_config = base.with_workload(
+            WorkloadSpec.fixed(workload)
+        ).with_departures(rules)
+        family = run_method_family(run_config, methods, seeds)
+        for method in methods:
+            times[method].append(family[method].response_time())
+    return ResponseTimeCurve(
+        workloads=tuple(workloads),
+        response_times={
+            method: np.asarray(values) for method, values in times.items()
+        },
+    )

@@ -1,0 +1,142 @@
+"""Departure prediction from captive-run metrics (Section 3.3 / 6.3.1).
+
+A stated purpose of the satisfaction model is diagnostic: "applying the
+proposed metrics over the provided model allows the prediction of
+possible departures of participants" — the paper predicts, from the
+*captive* Figure 4 measurements alone, that Capacity based will lose
+providers to dissatisfaction and Mariposa-like to overutilisation, and
+then verifies both in the autonomy experiments.
+
+This module operationalises that reading of the metrics:
+
+* providers are at **dissatisfaction risk** when the mean
+  preference-based allocation satisfaction sits below 1 (the method
+  punishes them) or a large fraction of them is individually punished;
+* providers are at **starvation / overutilisation risk** when the
+  utilisation balance (Min-Max ratio σ) is poor — some providers sit
+  far below or above their fair share;
+* consumers are at **dissatisfaction risk** when their mean allocation
+  satisfaction is below 1.
+
+The thresholds are deliberately coarse — this is a qualitative early
+warning, exactly how the paper uses it — and the test suite checks the
+predictions against realised autonomous-run departures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.model import metrics
+from repro.simulation.engine import SimulationResult
+
+__all__ = ["DepartureRiskReport", "predict_departure_risks"]
+
+
+@dataclass(frozen=True)
+class DepartureRiskReport:
+    """Qualitative departure risks read off one captive run.
+
+    Attributes
+    ----------
+    provider_dissatisfaction / provider_load_pathology /
+    consumer_dissatisfaction:
+        Risk flags: does the captive evidence predict departures of
+        that kind once participants become autonomous?
+    evidence:
+        The metric values the flags were derived from, for reporting.
+    """
+
+    method: str
+    provider_dissatisfaction: bool
+    provider_load_pathology: bool
+    consumer_dissatisfaction: bool
+    evidence: dict[str, float]
+
+    def flags(self) -> dict[str, bool]:
+        """The three risk flags keyed by name."""
+        return {
+            "provider_dissatisfaction": self.provider_dissatisfaction,
+            "provider_load_pathology": self.provider_load_pathology,
+            "consumer_dissatisfaction": self.consumer_dissatisfaction,
+        }
+
+    def any_risk(self) -> bool:
+        return any(self.flags().values())
+
+
+def predict_departure_risks(
+    result: SimulationResult,
+    punishment_threshold: float = 0.95,
+    punished_fraction_threshold: float = 0.35,
+    balance_threshold: float = 0.25,
+) -> DepartureRiskReport:
+    """Read the Section 4 metrics off a captive run's final state.
+
+    Parameters
+    ----------
+    result:
+        A finished (normally captive) simulation run.
+    punishment_threshold:
+        Mean allocation satisfaction below this flags dissatisfaction
+        risk (1.0 is the model's neutral point; a small tolerance keeps
+        sampling noise from flagging a neutral method).
+    punished_fraction_threshold:
+        Alternatively, flag when this fraction of active providers is
+        individually punished (δs < δa).
+    balance_threshold:
+        Utilisation Min-Max ratio σ below this flags load pathology
+        (starvation on the min side, overutilisation on the max side).
+    """
+    active_p = result.final["provider_active"]
+    active_c = result.final["consumer_active"]
+    if not active_p.any() or not active_c.any():
+        raise ValueError(
+            "risk prediction needs a populated (captive) run as input"
+        )
+
+    provider_sat = result.final["provider_satisfaction_preference"][active_p]
+    provider_adq = result.final["provider_adequation_preference"][active_p]
+    with np.errstate(divide="ignore", invalid="ignore"):
+        alloc_sat = np.where(
+            provider_adq > 0, provider_sat / provider_adq, 1.0
+        )
+    alloc_sat_mean = float(np.mean(alloc_sat))
+    punished_fraction = float(np.mean(provider_sat < provider_adq))
+
+    utilization = result.final["utilization"][active_p]
+    balance = metrics.min_max_ratio(np.maximum(utilization, 0.0))
+
+    consumer_sat = result.final["consumer_satisfaction"][active_c]
+    consumer_adq = result.final["consumer_adequation"][active_c]
+    with np.errstate(divide="ignore", invalid="ignore"):
+        consumer_alloc = np.where(
+            consumer_adq > 0, consumer_sat / consumer_adq, 1.0
+        )
+    consumer_alloc_mean = float(np.mean(consumer_alloc))
+    # The fraction individually punished is the sharper signal: the
+    # consumer departure rule is exactly δs < δa, so a neutral *mean*
+    # can hide half the population sitting below it.
+    consumer_punished = float(np.mean(consumer_sat < consumer_adq))
+
+    return DepartureRiskReport(
+        method=result.method_name,
+        provider_dissatisfaction=(
+            alloc_sat_mean < punishment_threshold
+            or punished_fraction > punished_fraction_threshold
+        ),
+        provider_load_pathology=balance < balance_threshold,
+        consumer_dissatisfaction=(
+            consumer_alloc_mean < punishment_threshold
+            or consumer_punished > punished_fraction_threshold
+        ),
+        evidence={
+            "provider_allocation_satisfaction_mean": alloc_sat_mean,
+            "provider_punished_fraction": punished_fraction,
+            "utilization_min_max_ratio": balance,
+            "consumer_allocation_satisfaction_mean": consumer_alloc_mean,
+            "consumer_punished_fraction": consumer_punished,
+        },
+    )

@@ -1,0 +1,41 @@
+"""The satisfaction model of the paper (Sections 3 and 4).
+
+Exports the participant characterisations (adequation, satisfaction,
+allocation satisfaction over the k last interactions) and the three
+system metrics (mean, Jain fairness, Min-Max balance).
+"""
+
+from repro.model.consumer_profile import (
+    ConsumerProfile,
+    query_adequation,
+    query_satisfaction,
+)
+from repro.model.memory import InteractionMemory, RowRingLog
+from repro.model.metrics import (
+    DEFAULT_MIN_MAX_C0,
+    fairness,
+    fairness_of,
+    mean,
+    mean_of,
+    min_max_ratio,
+    min_max_ratio_of,
+    summarize,
+)
+from repro.model.provider_profile import ProviderProfile
+
+__all__ = [
+    "DEFAULT_MIN_MAX_C0",
+    "ConsumerProfile",
+    "InteractionMemory",
+    "ProviderProfile",
+    "RowRingLog",
+    "fairness",
+    "fairness_of",
+    "mean",
+    "mean_of",
+    "min_max_ratio",
+    "min_max_ratio_of",
+    "query_adequation",
+    "query_satisfaction",
+    "summarize",
+]

@@ -1,0 +1,333 @@
+"""Bounded interaction memories (the paper's "k last interactions").
+
+Section 3 of the paper defines every participant characteristic
+(adequation, satisfaction, allocation satisfaction) as an average over the
+participant's *k last interactions* with the system: the k last issued
+queries for a consumer, the k last proposed queries for a provider.
+
+This module provides the storage for those sliding windows:
+
+* :class:`InteractionMemory` — a scalar ring buffer with O(1) running
+  mean, used by the object-level profiles in
+  :mod:`repro.model.consumer_profile` and
+  :mod:`repro.model.provider_profile`.
+* :class:`RowRingLog` — a vectorised bank of per-entity ring buffers with
+  several value channels and per-channel running sums, used on the
+  simulator hot path where one query touches hundreds of providers at
+  once.
+
+Running sums accumulate floating-point drift, so both classes refresh
+their sums from the raw buffer after a fixed number of pushes; tests
+assert the running mean never diverges from a recomputed one.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["InteractionMemory", "RowRingLog"]
+
+#: Refresh running sums from the raw buffer every this many pushes.
+_RESYNC_INTERVAL = 4096
+
+
+class InteractionMemory:
+    """A fixed-capacity ring buffer of floats with an O(1) running mean.
+
+    Models the memory a single participant keeps of its ``k`` last
+    interactions (footnote 3 of the paper: ``k`` may differ per
+    participant).  Once more than ``capacity`` values have been pushed,
+    the oldest value silently falls out of the window, exactly as the
+    paper's sliding assessment requires.
+
+    Parameters
+    ----------
+    capacity:
+        The ``k`` of the paper — how many interactions are remembered.
+        Must be a positive integer.
+
+    Examples
+    --------
+    >>> mem = InteractionMemory(capacity=2)
+    >>> mem.push(1.0)
+    >>> mem.push(0.0)
+    >>> mem.push(0.5)      # evicts the 1.0
+    >>> mem.mean()
+    0.25
+    """
+
+    __slots__ = ("_buffer", "_capacity", "_count", "_pos", "_pushes", "_sum")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self._capacity = int(capacity)
+        self._buffer = np.zeros(self._capacity, dtype=float)
+        self._pos = 0
+        self._count = 0
+        self._sum = 0.0
+        self._pushes = 0
+
+    @property
+    def capacity(self) -> int:
+        """The window size ``k``."""
+        return self._capacity
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __bool__(self) -> bool:
+        # An empty memory is falsy, mirroring standard containers.
+        return self._count > 0
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self.values())
+
+    def push(self, value: float) -> None:
+        """Record one interaction, evicting the oldest if at capacity."""
+        if self._count == self._capacity:
+            self._sum -= self._buffer[self._pos]
+        else:
+            self._count += 1
+        self._buffer[self._pos] = value
+        self._sum += value
+        self._pos = (self._pos + 1) % self._capacity
+        self._pushes += 1
+        if self._pushes % _RESYNC_INTERVAL == 0:
+            self._resync()
+
+    def extend(self, values: Sequence[float]) -> None:
+        """Push several interactions in chronological order."""
+        for value in values:
+            self.push(value)
+
+    def mean(self, default: float = 0.0) -> float:
+        """Average of the remembered window, or ``default`` when empty."""
+        if self._count == 0:
+            return default
+        return self._sum / self._count
+
+    def values(self) -> np.ndarray:
+        """The remembered values, oldest first (a copy)."""
+        if self._count < self._capacity:
+            return self._buffer[: self._count].copy()
+        return np.concatenate(
+            (self._buffer[self._pos :], self._buffer[: self._pos])
+        )
+
+    def clear(self) -> None:
+        """Forget every interaction."""
+        self._buffer[:] = 0.0
+        self._pos = 0
+        self._count = 0
+        self._sum = 0.0
+
+    def _resync(self) -> None:
+        if self._count < self._capacity:
+            self._sum = float(self._buffer[: self._count].sum())
+        else:
+            self._sum = float(self._buffer.sum())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"InteractionMemory(capacity={self._capacity}, "
+            f"len={self._count}, mean={self.mean():.4f})"
+        )
+
+
+class RowRingLog:
+    """A bank of per-row ring buffers with named channels and masked sums.
+
+    One row per entity (e.g. one per provider), each row a sliding window
+    of the entity's last ``capacity`` interactions.  Every interaction
+    carries one float per *channel* (e.g. the shown intention and the
+    private preference) plus a boolean *performed* flag.  The class keeps,
+    per row and channel, a running sum over the whole window and a running
+    sum restricted to performed entries, which is exactly what
+    Definitions 4 and 5 of the paper need (adequation averages over all
+    proposed queries, satisfaction only over the performed subset).
+
+    All mutating operations accept arrays of row indices so that a single
+    query that is proposed to hundreds of providers costs one vectorised
+    call.
+
+    Parameters
+    ----------
+    rows:
+        Number of entities.
+    capacity:
+        Window size ``k`` shared by all rows.
+    channels:
+        Names of the float channels stored per interaction.
+    """
+
+    def __init__(self, rows: int, capacity: int, channels: Sequence[str]) -> None:
+        if rows <= 0:
+            raise ValueError(f"rows must be positive, got {rows}")
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if not channels:
+            raise ValueError("at least one channel is required")
+        if len(set(channels)) != len(channels):
+            raise ValueError(f"duplicate channel names in {channels!r}")
+        self._rows = int(rows)
+        self._capacity = int(capacity)
+        self._channels = tuple(channels)
+        self._data = {
+            name: np.zeros((self._rows, self._capacity), dtype=float)
+            for name in self._channels
+        }
+        self._performed = np.zeros((self._rows, self._capacity), dtype=bool)
+        self._pos = np.zeros(self._rows, dtype=np.int64)
+        self._count = np.zeros(self._rows, dtype=np.int64)
+        self._sum_all = {
+            name: np.zeros(self._rows, dtype=float) for name in self._channels
+        }
+        self._sum_performed = {
+            name: np.zeros(self._rows, dtype=float) for name in self._channels
+        }
+        self._count_performed = np.zeros(self._rows, dtype=np.int64)
+        self._pushes = 0
+
+    @property
+    def rows(self) -> int:
+        return self._rows
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def channels(self) -> tuple[str, ...]:
+        return self._channels
+
+    def counts(self) -> np.ndarray:
+        """Per-row number of remembered interactions (copy)."""
+        return self._count.copy()
+
+    def performed_counts(self) -> np.ndarray:
+        """Per-row number of remembered *performed* interactions (copy)."""
+        return self._count_performed.copy()
+
+    def push(
+        self,
+        row_indices: np.ndarray,
+        values: dict[str, np.ndarray],
+        performed: np.ndarray,
+    ) -> None:
+        """Record one interaction for each row in ``row_indices``.
+
+        Parameters
+        ----------
+        row_indices:
+            Integer array of distinct rows that observed this interaction.
+        values:
+            Mapping from channel name to a float array aligned with
+            ``row_indices``.
+        performed:
+            Boolean array aligned with ``row_indices``; ``True`` where the
+            row actually performed the interaction (for providers: the
+            query was allocated to them).
+        """
+        rows = np.asarray(row_indices, dtype=np.int64)
+        if rows.size == 0:
+            return
+        performed = np.asarray(performed, dtype=bool)
+        if performed.shape != rows.shape:
+            raise ValueError("performed must align with row_indices")
+        if set(values) != set(self._channels):
+            missing = set(self._channels) ^ set(values)
+            raise ValueError(f"channel mismatch: {sorted(missing)}")
+
+        pos = self._pos[rows]
+        full = self._count[rows] == self._capacity
+        old_performed = self._performed[rows, pos] & full
+
+        for name in self._channels:
+            new = np.asarray(values[name], dtype=float)
+            if new.shape != rows.shape:
+                raise ValueError(f"channel {name!r} must align with row_indices")
+            old = self._data[name][rows, pos]
+            # Evict the outgoing entry from both running sums, then add
+            # the incoming one.
+            np.subtract.at(self._sum_all[name], rows, np.where(full, old, 0.0))
+            np.subtract.at(
+                self._sum_performed[name],
+                rows,
+                np.where(old_performed, old, 0.0),
+            )
+            self._data[name][rows, pos] = new
+            np.add.at(self._sum_all[name], rows, new)
+            np.add.at(
+                self._sum_performed[name], rows, np.where(performed, new, 0.0)
+            )
+
+        np.subtract.at(
+            self._count_performed, rows, old_performed.astype(np.int64)
+        )
+        np.add.at(self._count_performed, rows, performed.astype(np.int64))
+        self._performed[rows, pos] = performed
+        self._count[rows] = np.minimum(self._count[rows] + 1, self._capacity)
+        self._pos[rows] = (pos + 1) % self._capacity
+
+        self._pushes += 1
+        if self._pushes % _RESYNC_INTERVAL == 0:
+            self._resync()
+
+    def push_all_rows(
+        self, values: dict[str, np.ndarray], performed: np.ndarray
+    ) -> None:
+        """Record one interaction observed by *every* row.
+
+        This is the common case in the paper's evaluation, where every
+        provider is able to treat every query and therefore every query is
+        proposed to all of them.
+        """
+        self.push(np.arange(self._rows), values, performed)
+
+    def mean_all(self, channel: str, default: float = 0.0) -> np.ndarray:
+        """Per-row mean of ``channel`` over the whole window."""
+        sums = self._sum_all[channel]
+        out = np.full(self._rows, default, dtype=float)
+        nonempty = self._count > 0
+        out[nonempty] = sums[nonempty] / self._count[nonempty]
+        return out
+
+    def mean_performed(self, channel: str, default: float = 0.0) -> np.ndarray:
+        """Per-row mean of ``channel`` over performed entries only."""
+        sums = self._sum_performed[channel]
+        out = np.full(self._rows, default, dtype=float)
+        nonempty = self._count_performed > 0
+        out[nonempty] = sums[nonempty] / self._count_performed[nonempty]
+        return out
+
+    def row_values(self, row: int, channel: str) -> np.ndarray:
+        """The remembered values of one row/channel, oldest first."""
+        count = int(self._count[row])
+        pos = int(self._pos[row])
+        data = self._data[channel][row]
+        if count < self._capacity:
+            return data[:count].copy()
+        return np.concatenate((data[pos:], data[:pos]))
+
+    def _resync(self) -> None:
+        # Rebuild running sums from the raw buffers to cancel FP drift.
+        valid = (
+            np.arange(self._capacity)[None, :] < self._count[:, None]
+        )
+        performed = self._performed & valid
+        for name in self._channels:
+            data = self._data[name]
+            self._sum_all[name] = np.where(valid, data, 0.0).sum(axis=1)
+            self._sum_performed[name] = np.where(performed, data, 0.0).sum(
+                axis=1
+            )
+        self._count_performed = performed.sum(axis=1)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"RowRingLog(rows={self._rows}, capacity={self._capacity}, "
+            f"channels={self._channels!r})"
+        )

@@ -1,0 +1,225 @@
+"""Provider characterisation (Section 3.2 of the paper).
+
+A provider judges the system along three axes, all computed over its
+``k`` last *proposed* queries (the set ``PQ_k_p``, whether or not the
+query was eventually allocated to it):
+
+* **Adequation** ``δa(p)`` — "how well do my expectations correspond to
+  the last queries that have been proposed to me?" (Definition 4): the
+  rescaled average of the provider's shown intentions over every proposed
+  query.
+* **Satisfaction** ``δs(p)`` — "how well do the last queries I have
+  treated meet my expectations?" (Definition 5): the same average
+  restricted to the *performed* subset ``SQ_k_p ⊆ PQ_k_p``.
+* **Allocation satisfaction** ``δas(p) = δs(p) / δa(p)``
+  (Definition 6), read exactly like the consumer version.
+
+Both adequation and satisfaction are 0 by definition while the relevant
+set is empty.
+
+The profile tracks two value channels per proposed query: the public
+**intention** the provider showed to the mediator and its private
+**preference**.  The intention-based satisfaction is what the mediator
+can observe (used in Equation 6); the preference-based satisfaction is
+what the provider privately feels and is the one Definition 8 requires
+for computing its next intention (Section 5.2), and the one Figures
+4(b)/4(c) plot.
+"""
+
+from __future__ import annotations
+
+from repro.model.memory import InteractionMemory
+
+__all__ = ["ProviderProfile"]
+
+#: The two bases a provider characteristic can be computed from.
+_BASES = ("intention", "preference")
+
+
+class ProviderProfile:
+    """Sliding-window characterisation of one provider.
+
+    Parameters
+    ----------
+    k:
+        Window size over proposed queries (``proSatSize`` in Table 2;
+        500 in the paper's simulations).
+    initial_satisfaction:
+        Reported while no query has been proposed/performed yet
+        (``iniSatisfaction`` in Table 2; 0.5 in the paper).
+
+    Notes
+    -----
+    Definition 5 averages over ``SQ_k_p``, the performed queries *among
+    the k last proposed* — the satisfaction window is coupled to the
+    proposed window, it is not an independent buffer of the last k
+    performed queries.  We implement that coupling faithfully: each entry
+    of the proposed window carries a ``performed`` flag, and satisfaction
+    averages the flagged entries only, so a performed query stops
+    counting as soon as it ages out of the proposed window.
+    """
+
+    __slots__ = (
+        "_initial",
+        "_intention_all",
+        "_intention_performed",
+        "_k",
+        "_performed_flags",
+        "_preference_all",
+        "_preference_performed",
+    )
+
+    def __init__(self, k: int, initial_satisfaction: float = 0.5) -> None:
+        if not 0.0 <= initial_satisfaction <= 1.0:
+            raise ValueError(
+                f"initial satisfaction must be in [0, 1], got {initial_satisfaction}"
+            )
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        self._k = int(k)
+        self._initial = float(initial_satisfaction)
+        # Whole-window running views (adequation numerators).
+        self._intention_all = InteractionMemory(k)
+        self._preference_all = InteractionMemory(k)
+        # Performed-subset bookkeeping: flags aligned with the window plus
+        # running sums maintained by replaying evictions.
+        self._performed_flags = InteractionMemory(k)
+        self._intention_performed = _MaskedRunningMean(k)
+        self._preference_performed = _MaskedRunningMean(k)
+
+    @property
+    def k(self) -> int:
+        """The window size."""
+        return self._k
+
+    @property
+    def queries_proposed(self) -> int:
+        """How many proposed queries are currently in the window."""
+        return len(self._intention_all)
+
+    @property
+    def queries_performed(self) -> int:
+        """How many *performed* queries are currently in the window."""
+        return self._intention_performed.count
+
+    def record_proposal(
+        self, intention: float, preference: float, performed: bool
+    ) -> None:
+        """Record one proposed query and whether this provider got it."""
+        self._intention_all.push(intention)
+        self._preference_all.push(preference)
+        self._performed_flags.push(1.0 if performed else 0.0)
+        self._intention_performed.push(intention, performed)
+        self._preference_performed.push(preference, performed)
+
+    def adequation(self, basis: str = "intention") -> float:
+        """``δa(p)`` (Definition 4); 0 when nothing was proposed yet."""
+        memory = self._select_all(basis)
+        if not memory:
+            return 0.0
+        return (memory.mean() + 1.0) / 2.0
+
+    def satisfaction(self, basis: str = "intention") -> float:
+        """``δs(p)`` (Definition 5); 0 when nothing was performed yet.
+
+        Use ``basis="preference"`` for the private satisfaction that
+        Definition 8 (provider intention) and Figure 4(b) require.
+        """
+        tracker = self._select_performed(basis)
+        if tracker.count == 0:
+            return 0.0
+        return (tracker.mean() + 1.0) / 2.0
+
+    def satisfaction_or_initial(self, basis: str = "intention") -> float:
+        """Like :meth:`satisfaction` but the paper's initial value pre-warmup.
+
+        Table 2 initialises every participant's satisfaction at 0.5 and
+        lets it *evolve* with interactions; Definition 5's hard zero only
+        applies to a provider that genuinely never performed anything.
+        Intention computation (Definition 8) uses this variant so a brand
+        new provider is not treated as maximally dissatisfied.
+        """
+        if self.queries_performed == 0:
+            return self._initial
+        return self.satisfaction(basis)
+
+    def adequation_or_initial(self, basis: str = "intention") -> float:
+        """Like :meth:`adequation` but the paper's initial value pre-warmup."""
+        if self.queries_proposed == 0:
+            return self._initial
+        return self.adequation(basis)
+
+    def allocation_satisfaction(self, basis: str = "intention") -> float:
+        """``δas(p) = δs(p) / δa(p)`` (Definition 6).
+
+        When adequation is exactly zero we return ``inf`` if satisfaction
+        is positive and the neutral ``1.0`` otherwise (same convention as
+        the consumer profile).
+        """
+        adequation = self.adequation(basis)
+        satisfaction = self.satisfaction(basis)
+        if adequation == 0.0:
+            return float("inf") if satisfaction > 0.0 else 1.0
+        return satisfaction / adequation
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"ProviderProfile(k={self._k}, proposed={self.queries_proposed}, "
+            f"performed={self.queries_performed})"
+        )
+
+    def _select_all(self, basis: str) -> InteractionMemory:
+        if basis == "intention":
+            return self._intention_all
+        if basis == "preference":
+            return self._preference_all
+        raise ValueError(f"basis must be one of {_BASES}, got {basis!r}")
+
+    def _select_performed(self, basis: str) -> "_MaskedRunningMean":
+        if basis == "intention":
+            return self._intention_performed
+        if basis == "preference":
+            return self._preference_performed
+        raise ValueError(f"basis must be one of {_BASES}, got {basis!r}")
+
+
+class _MaskedRunningMean:
+    """Running mean over the flagged subset of a sliding window.
+
+    Keeps its own copy of (value, flag) pairs in a ring so the eviction
+    of an old flagged entry correctly shrinks the subset — the behaviour
+    Definition 5's ``SQ_k_p ⊆ PQ_k_p`` coupling requires.
+    """
+
+    __slots__ = ("_capacity", "_count", "_flags", "_pos", "_size", "_sum", "_values")
+
+    def __init__(self, capacity: int) -> None:
+        self._capacity = capacity
+        self._values = [0.0] * capacity
+        self._flags = [False] * capacity
+        self._pos = 0
+        self._size = 0
+        self._sum = 0.0
+        self._count = 0
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def push(self, value: float, flagged: bool) -> None:
+        if self._size == self._capacity and self._flags[self._pos]:
+            self._sum -= self._values[self._pos]
+            self._count -= 1
+        if self._size < self._capacity:
+            self._size += 1
+        self._values[self._pos] = value
+        self._flags[self._pos] = flagged
+        if flagged:
+            self._sum += value
+            self._count += 1
+        self._pos = (self._pos + 1) % self._capacity
+
+    def mean(self) -> float:
+        if self._count == 0:
+            raise ValueError("no flagged entries in the window")
+        return self._sum / self._count

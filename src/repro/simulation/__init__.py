@@ -1,0 +1,76 @@
+"""The mediator simulation substrate (Section 6.1's evaluation environment).
+
+A discrete-event simulation of a mono-mediator distributed information
+system: Poisson query arrivals, heterogeneous provider capacities and
+preferences, FIFO provider queues, sliding-window utilisation, the
+satisfaction model, and autonomy (departures).
+"""
+
+from repro.simulation.capacity import CapacityAssignment, assign_capacities
+from repro.simulation.config import (
+    CapacityClassMix,
+    ClassBand,
+    DepartureRules,
+    MariposaParams,
+    PreferenceClassMix,
+    QueryClassSpec,
+    SimulationConfig,
+    WorkloadSpec,
+    paper_config,
+    scaled_config,
+    tiny_config,
+)
+from repro.simulation.departures import DeparturePolicy, DepartureRecord
+from repro.simulation.engine import (
+    MediatorSimulation,
+    SimulationResult,
+    run_simulation,
+)
+from repro.simulation.matchmaking import (
+    CapabilityMatchmaker,
+    Matchmaker,
+    UniversalMatchmaker,
+)
+from repro.simulation.participants import ConsumerPool, ProviderPool
+from repro.simulation.queries import Query, QueryFactory
+from repro.simulation.queueing import ProviderQueues
+from repro.simulation.reputation import ReputationRegistry
+from repro.simulation.rng import RngFactory, spawn_generators
+from repro.simulation.stats import TimeSeriesCollector
+from repro.simulation.utilization import UtilizationTracker
+from repro.simulation.workload import PoissonArrivals
+
+__all__ = [
+    "CapabilityMatchmaker",
+    "CapacityAssignment",
+    "CapacityClassMix",
+    "ClassBand",
+    "ConsumerPool",
+    "DeparturePolicy",
+    "DepartureRecord",
+    "DepartureRules",
+    "MariposaParams",
+    "Matchmaker",
+    "MediatorSimulation",
+    "PoissonArrivals",
+    "PreferenceClassMix",
+    "ProviderPool",
+    "ProviderQueues",
+    "Query",
+    "QueryClassSpec",
+    "QueryFactory",
+    "ReputationRegistry",
+    "RngFactory",
+    "SimulationConfig",
+    "SimulationResult",
+    "TimeSeriesCollector",
+    "UniversalMatchmaker",
+    "UtilizationTracker",
+    "WorkloadSpec",
+    "assign_capacities",
+    "paper_config",
+    "run_simulation",
+    "scaled_config",
+    "spawn_generators",
+    "tiny_config",
+]

@@ -1,0 +1,81 @@
+"""Provider capacity generation (Section 6.1, after Saroiu et al. [20]).
+
+Providers fall into three capacity classes — 10 % low, 60 % medium, 30 %
+high — with high-capacity providers 3× more powerful than medium and 7×
+more powerful than low.  Capacity is expressed in *treatment units per
+second*; a high-capacity provider performs the paper's 130-unit query in
+1.3 s, pinning the high rate at 100 units/s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.simulation.config import CapacityClassMix
+
+__all__ = ["CapacityAssignment", "assign_capacities", "draw_class_indices"]
+
+#: Canonical band order used across the simulator: 0=low, 1=medium, 2=high.
+CLASS_LOW, CLASS_MEDIUM, CLASS_HIGH = 0, 1, 2
+
+
+def draw_class_indices(
+    n: int, fractions: tuple[float, float, float], rng: np.random.Generator
+) -> np.ndarray:
+    """Assign ``n`` entities to the three bands with *exact* proportions.
+
+    Uses largest-remainder rounding so a population of 400 providers
+    contains exactly 40 low / 240 medium / 120 high (up to remainder
+    seats), then shuffles, so class membership is uncorrelated with
+    entity index.  Exact proportions keep small scaled populations
+    faithful to the paper's mix.
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    quotas = np.array([n * f for f in fractions], dtype=float)
+    counts = np.floor(quotas).astype(int)
+    remainder = n - int(counts.sum())
+    if remainder > 0:
+        # Hand the leftover seats to the largest fractional remainders.
+        order = np.argsort(-(quotas - counts))
+        for i in range(remainder):
+            counts[order[i % 3]] += 1
+    classes = np.repeat(np.arange(3), counts)
+    rng.shuffle(classes)
+    return classes
+
+
+@dataclass(frozen=True)
+class CapacityAssignment:
+    """Capacity classes and rates for one provider population.
+
+    Attributes
+    ----------
+    classes:
+        Per-provider band index (0=low, 1=medium, 2=high).
+    rates:
+        Per-provider capacity in treatment units per second.
+    """
+
+    classes: np.ndarray
+    rates: np.ndarray
+
+    @property
+    def total(self) -> float:
+        """Realised aggregate system capacity (units per second)."""
+        return float(self.rates.sum())
+
+    def class_name(self, provider: int) -> str:
+        """Human-readable band of one provider."""
+        return ("low", "medium", "high")[int(self.classes[provider])]
+
+
+def assign_capacities(
+    n_providers: int, mix: CapacityClassMix, rng: np.random.Generator
+) -> CapacityAssignment:
+    """Draw the capacity class and rate of every provider."""
+    classes = draw_class_indices(n_providers, mix.fractions, rng)
+    band_rates = np.asarray(mix.rates, dtype=float)
+    return CapacityAssignment(classes=classes, rates=band_rates[classes])

@@ -1,0 +1,178 @@
+"""Participant departures (Section 6.3.2 of the paper).
+
+Autonomy is the paper's central premise: dissatisfied participants leave.
+The evaluation operationalises this with thresholds:
+
+* A **consumer** leaves, by dissatisfaction, when its satisfaction drops
+  below its adequation — i.e. when the allocation method punishes it.
+* A **provider** leaves by *dissatisfaction* when
+  ``δs(p) < δa(p) - 0.15``; by *starvation* when its utilisation falls
+  below 20 % of the optimal utilisation; by *overutilisation* when it
+  exceeds 220 % of the optimal.  The optimal utilisation equals the
+  current workload fraction.
+
+Departures are checked periodically after a warmup, and each departure
+is recorded with the provider's three heterogeneity classes so the
+Table 3 breakdown (reason × class dimension) can be regenerated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.simulation.config import DepartureRules
+from repro.simulation.participants import ConsumerPool, ProviderPool
+
+__all__ = ["DepartureRecord", "DeparturePolicy"]
+
+#: Reason priority when several thresholds trip at once: the paper's
+#: narrative treats dissatisfaction as the primary signal, starvation and
+#: overutilisation as load pathologies.
+_REASON_ORDER = ("dissatisfaction", "starvation", "overutilization")
+
+
+@dataclass(frozen=True)
+class DepartureRecord:
+    """One participant leaving the system.
+
+    ``interest_class`` / ``adaptation_class`` / ``capacity_class`` are
+    band indices (0=low, 1=medium, 2=high) for providers and ``-1`` for
+    consumers (only the interest dimension is meaningful there, and the
+    paper does not break consumers down by class).
+    """
+
+    kind: str  # "consumer" | "provider"
+    index: int
+    time: float
+    reason: str
+    interest_class: int = -1
+    adaptation_class: int = -1
+    capacity_class: int = -1
+
+
+class DeparturePolicy:
+    """Applies the Section 6.3.2 thresholds to the live populations."""
+
+    def __init__(
+        self,
+        rules: DepartureRules,
+        interest_classes: np.ndarray,
+        adaptation_classes: np.ndarray,
+        capacity_classes: np.ndarray,
+        warm_start_entries: int,
+    ) -> None:
+        self._rules = rules
+        self._interest = interest_classes
+        self._adaptation = adaptation_classes
+        self._capacity = capacity_classes
+        self._warm_start = int(warm_start_entries)
+        # Consecutive-trip counters implementing the persistence rule.
+        self._consumer_streak: np.ndarray | None = None
+        self._provider_streaks: dict[str, np.ndarray] = {}
+
+    @property
+    def rules(self) -> DepartureRules:
+        return self._rules
+
+    def check_consumers(
+        self, now: float, consumers: ConsumerPool
+    ) -> list[DepartureRecord]:
+        """Consumers whose satisfaction fell below their adequation."""
+        if not self._rules.consumers_may_leave:
+            return []
+        active = consumers.active
+        # Require a full-enough memory before judging: a handful of
+        # queries is not "the long run" the model reasons about.
+        informed = consumers.queries_remembered() >= 10
+        punished = consumers.satisfactions() < consumers.adequations()
+        tripping = active & informed & punished
+        if self._consumer_streak is None:
+            self._consumer_streak = np.zeros(consumers.size, dtype=np.int64)
+        self._consumer_streak[~tripping] = 0
+        self._consumer_streak[tripping] += 1
+        leavers = np.flatnonzero(
+            self._consumer_streak >= self._rules.consumer_persistence
+        )
+        records = []
+        for consumer in leavers:
+            consumers.deactivate(int(consumer))
+            records.append(
+                DepartureRecord(
+                    kind="consumer",
+                    index=int(consumer),
+                    time=now,
+                    reason="dissatisfaction",
+                )
+            )
+        return records
+
+    def check_providers(
+        self,
+        now: float,
+        providers: ProviderPool,
+        utilization: np.ndarray,
+        optimal_utilization: float,
+    ) -> list[DepartureRecord]:
+        """Providers tripping any enabled threshold, with reasons."""
+        reasons = self._rules.provider_reasons
+        if not reasons:
+            return []
+        active = providers.active
+        informed = providers.proposed_counts() >= self._warm_start + 10
+
+        trip = {}
+        if "dissatisfaction" in reasons:
+            basis = self._rules.provider_basis
+            trip["dissatisfaction"] = providers.satisfactions(basis) < (
+                providers.adequations(basis) - self._rules.dissatisfaction_margin
+            )
+        if "starvation" in reasons:
+            trip["starvation"] = utilization < (
+                self._rules.starvation_fraction * optimal_utilization
+            )
+        if "overutilization" in reasons:
+            threshold = max(
+                self._rules.overutilization_fraction * optimal_utilization,
+                self._rules.overutilization_floor,
+            )
+            trip["overutilization"] = utilization > threshold
+
+        # Persistence: a reason only counts once it has tripped at this
+        # many consecutive checks; a clean check resets its streak.
+        persistent = {}
+        for name, mask in trip.items():
+            streak = self._provider_streaks.setdefault(
+                name, np.zeros(providers.size, dtype=np.int64)
+            )
+            tripping = active & informed & mask
+            streak[~tripping] = 0
+            streak[tripping] += 1
+            persistent[name] = streak >= self._rules.persistence
+
+        any_trip = np.zeros(providers.size, dtype=bool)
+        for mask in persistent.values():
+            any_trip |= mask
+        leavers = np.flatnonzero(any_trip)
+
+        records = []
+        for provider in leavers:
+            reason = next(
+                name
+                for name in _REASON_ORDER
+                if name in persistent and persistent[name][provider]
+            )
+            providers.deactivate(int(provider))
+            records.append(
+                DepartureRecord(
+                    kind="provider",
+                    index=int(provider),
+                    time=now,
+                    reason=reason,
+                    interest_class=int(self._interest[provider]),
+                    adaptation_class=int(self._adaptation[provider]),
+                    capacity_class=int(self._capacity[provider]),
+                )
+            )
+        return records

@@ -1,0 +1,538 @@
+"""The mediator simulation engine.
+
+A mono-mediator discrete-event simulation of the paper's evaluation
+environment (Section 6.1): consumers issue queries in a Poisson process;
+for each query the mediator gathers the candidate set, collects the
+consumer's and providers' intentions (lines 2-5 of Algorithm 1), hands
+the decision to the configured allocation method, and updates queues,
+utilisation, and the satisfaction model.  Metrics are sampled on a fixed
+grid; with autonomy enabled, departure thresholds are checked
+periodically after a warmup.
+
+Because provider service is deterministic (FIFO queues with known
+capacity), query completions are computed at assignment time and the
+event loop reduces to a single ordered pass over arrivals — no event
+heap is needed, which keeps the pure-Python hot path tight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.allocation.base import AllocationMethod, AllocationRequest
+from repro.allocation.registry import build_method
+from repro.core.intentions import (
+    clip_intention,
+    consumer_intention_vector,
+    provider_intention_vector,
+)
+from repro.model import metrics
+from repro.model.consumer_profile import query_adequation, query_satisfaction
+from repro.simulation.capacity import assign_capacities
+from repro.simulation.config import SimulationConfig
+from repro.simulation.departures import DeparturePolicy, DepartureRecord
+from repro.simulation.matchmaking import Matchmaker, UniversalMatchmaker
+from repro.simulation.participants import ConsumerPool, ProviderPool
+from repro.simulation.preferences import (
+    build_consumer_preferences,
+    build_provider_preferences,
+)
+from repro.simulation.queries import QueryFactory
+from repro.simulation.queueing import ProviderQueues
+from repro.simulation.reputation import ReputationRegistry
+from repro.simulation.rng import RngFactory
+from repro.simulation.stats import TimeSeriesCollector
+from repro.simulation.utilization import UtilizationTracker
+from repro.simulation.workload import PoissonArrivals
+
+__all__ = ["MediatorSimulation", "SimulationResult", "run_simulation"]
+
+
+def _finite_mean(values: np.ndarray) -> float:
+    """Mean over finite entries; NaN when none remain."""
+    finite = values[np.isfinite(values)]
+    if finite.size == 0:
+        return float("nan")
+    return float(finite.mean())
+
+
+def _finite_fairness(values: np.ndarray) -> float:
+    finite = values[np.isfinite(values)]
+    if finite.size == 0:
+        return float("nan")
+    return metrics.fairness(finite)
+
+
+@dataclass
+class SimulationResult:
+    """Everything one simulation run produced.
+
+    Attributes
+    ----------
+    method_name, seed, config:
+        Provenance of the run.
+    collector:
+        The sampled time series (see the engine's ``_sample`` for the
+        series catalogue).
+    departures:
+        Every departure, in order, with reasons and provider classes.
+    queries_issued / queries_served / queries_unserved:
+        Issue counters.  Unserved means no active capable provider
+        existed at arrival time (only possible with autonomy).
+    response_time_mean / response_time_post_warmup:
+        Consumer-observed response time averages over the whole run and
+        over the post-warmup portion.
+    final:
+        Named end-of-run arrays (per-provider/consumer characteristics,
+        classes, activity) for distributional analysis.
+    """
+
+    method_name: str
+    seed: int
+    config: SimulationConfig
+    collector: TimeSeriesCollector
+    departures: list[DepartureRecord] = field(default_factory=list)
+    queries_issued: int = 0
+    queries_served: int = 0
+    queries_unserved: int = 0
+    response_time_mean: float = float("nan")
+    response_time_post_warmup: float = float("nan")
+    final: dict[str, np.ndarray] = field(default_factory=dict)
+
+    def times(self) -> np.ndarray:
+        return self.collector.times()
+
+    def series(self, name: str) -> np.ndarray:
+        return self.collector.series(name)
+
+    def provider_departure_fraction(self) -> float:
+        """Fraction of the original provider population that departed."""
+        count = sum(1 for d in self.departures if d.kind == "provider")
+        return count / self.config.n_providers
+
+    def consumer_departure_fraction(self) -> float:
+        """Fraction of the original consumer population that departed."""
+        count = sum(1 for d in self.departures if d.kind == "consumer")
+        return count / self.config.n_consumers
+
+
+class MediatorSimulation:
+    """One configured run: an environment, a method, and a seed.
+
+    Parameters
+    ----------
+    config:
+        The environment (populations, workload, autonomy, ...).
+    method:
+        An :class:`~repro.allocation.base.AllocationMethod` instance or a
+        registry name (``"sqlb"``, ``"capacity"``, ``"mariposa"``, ...).
+    seed:
+        Root seed; the run is fully deterministic given (config, method,
+        seed).
+    matchmaker:
+        Candidate-set source; defaults to the paper's universal
+        matchmaker (every provider can treat every query).
+    """
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        method: AllocationMethod | str,
+        seed: int = 0,
+        matchmaker: Matchmaker | None = None,
+    ) -> None:
+        self.config = config
+        if isinstance(method, str):
+            method = build_method(method, config)
+        self.method = method
+        self.seed = int(seed)
+        self._matchmaker = matchmaker or UniversalMatchmaker()
+
+        rngs = RngFactory(seed)
+        self._rng_environment = rngs.get("environment")
+        self._rng_workload = rngs.get("workload")
+        self._rng_provider_prefs = rngs.get("provider_preferences")
+        self._rng_method = rngs.get("method")
+        self._rng_queries = rngs.get("queries")
+
+        # --- environment ---------------------------------------------
+        self.capacity = assign_capacities(
+            config.n_providers, config.capacity, self._rng_environment
+        )
+        self.consumer_prefs = build_consumer_preferences(
+            config.n_consumers,
+            config.n_providers,
+            config.consumer_interest,
+            self._rng_environment,
+        )
+        self.provider_prefs = build_provider_preferences(
+            config.n_providers,
+            len(config.query_classes.costs),
+            config.provider_adaptation,
+            config.provider_pref_mode,
+            self._rng_provider_prefs,
+        )
+        self.reputation = ReputationRegistry(
+            config.n_providers,
+            initial=self._rng_environment.uniform(
+                0.05, 1.0, config.n_providers
+            ),
+            feedback_weight=0.0,
+        )
+
+        # --- live state ------------------------------------------------
+        self.consumers = ConsumerPool(
+            config.n_consumers,
+            config.consumer_memory,
+            config.initial_satisfaction,
+        )
+        self.providers = ProviderPool(
+            config.n_providers,
+            config.provider_memory,
+            config.initial_satisfaction,
+            warm_start_entries=config.warm_start_entries,
+        )
+        self.queues = ProviderQueues(self.capacity.rates)
+        self.utilization = UtilizationTracker(
+            self.capacity.rates,
+            config.utilization_window,
+            config.utilization_bins,
+        )
+        self._departure_policy = DeparturePolicy(
+            config.departures,
+            interest_classes=self.consumer_prefs.interest_classes,
+            adaptation_classes=self.provider_prefs.adaptation_classes,
+            capacity_classes=self.capacity.classes,
+            warm_start_entries=config.warm_start_entries,
+        )
+        self._factory = QueryFactory(
+            config.query_classes, config.queries_per_request, self._rng_queries
+        )
+
+        # --- accounting -------------------------------------------------
+        self._collector = TimeSeriesCollector()
+        self._departures: list[DepartureRecord] = []
+        self._queries_issued = 0
+        self._queries_served = 0
+        self._queries_unserved = 0
+        self._response_sum = 0.0
+        self._response_count = 0
+        self._response_sum_post_warmup = 0.0
+        self._response_count_post_warmup = 0
+        self._interval_response_sum = 0.0
+        self._interval_response_count = 0
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        """Execute the full horizon and return the run's results."""
+        config = self.config
+        self.method.reset()
+        arrivals = PoissonArrivals(
+            rate_at=config.arrival_rate_at,
+            peak_rate=config.peak_arrival_rate(),
+            duration=config.duration,
+            rng=self._rng_workload,
+        )
+        next_sample = config.sample_interval
+        next_check = config.warmup_time + config.departure_check_interval
+
+        for time in arrivals:
+            while next_sample <= time:
+                self._sample(next_sample)
+                next_sample += config.sample_interval
+            while self._autonomy_enabled() and next_check <= time:
+                self._check_departures(next_check)
+                next_check += config.departure_check_interval
+            self._process_arrival(time)
+
+        while next_sample <= config.duration:
+            self._sample(next_sample)
+            next_sample += config.sample_interval
+
+        return self._build_result()
+
+    # ------------------------------------------------------------------
+    # per-query processing
+    # ------------------------------------------------------------------
+
+    def _process_arrival(self, time: float) -> None:
+        config = self.config
+        consumer = int(self._rng_queries.integers(config.n_consumers))
+        if not self.consumers.active[consumer]:
+            # A departed consumer issues nothing; its share of the
+            # arrival process vanishes with it (Section 6.3.2: fewer
+            # incoming queries after consumer departures).
+            return
+        query = self._factory.create(consumer, time)
+        self._queries_issued += 1
+
+        candidates = self._matchmaker.candidates(query, self.providers.active)
+        if candidates.size == 0:
+            self._queries_unserved += 1
+            return
+
+        self.utilization.advance(time)
+        utilizations = self.utilization.utilization_of(candidates)
+        provider_preferences = self.provider_prefs.draw(
+            candidates, query.klass
+        )
+        if config.fixed_provider_satisfaction is not None:
+            provider_pref_satisfaction = np.full(
+                candidates.size, config.fixed_provider_satisfaction
+            )
+        else:
+            provider_pref_satisfaction = self.providers.satisfactions(
+                "preference"
+            )[candidates]
+        provider_intentions = provider_intention_vector(
+            provider_preferences,
+            utilizations,
+            provider_pref_satisfaction,
+            epsilon=config.epsilon,
+        )
+        consumer_intentions = self._consumer_intentions(consumer, candidates)
+
+        consumer_satisfaction = float(
+            self.consumers.satisfactions()[consumer]
+        )
+        provider_satisfactions = self.providers.satisfactions("intention")[
+            candidates
+        ]
+
+        request = AllocationRequest(
+            time=time,
+            query=query,
+            candidates=candidates,
+            consumer_intentions=consumer_intentions,
+            provider_intentions=provider_intentions,
+            provider_preferences=provider_preferences,
+            utilizations=utilizations,
+            capacities=self.capacity.rates[candidates],
+            backlog_seconds=self.queues.backlog_seconds(time)[candidates],
+            consumer_satisfaction=consumer_satisfaction,
+            provider_satisfactions=provider_satisfactions,
+            rng=self._rng_method,
+        )
+
+        positions = np.asarray(self.method.select(request), dtype=np.int64)
+        self._validate_selection(positions, request)
+        selected = candidates[positions]
+
+        completions = self.queues.assign(selected, query.cost_units, time)
+        response = self.queues.response_time(completions, time)
+        self._record_response(response, time)
+        self.utilization.assign(selected, query.cost_units)
+
+        # --- satisfaction model updates -------------------------------
+        ci_clipped = clip_intention(consumer_intentions)
+        adequation = query_adequation(ci_clipped)
+        satisfaction = query_satisfaction(
+            ci_clipped[positions], query.n_desired
+        )
+        self.consumers.record_query(consumer, adequation, satisfaction)
+
+        performed = np.zeros(candidates.size, dtype=bool)
+        performed[positions] = True
+        self.providers.record_proposals(
+            candidates,
+            intentions=clip_intention(provider_intentions),
+            preferences=provider_preferences,
+            performed=performed,
+        )
+        self._queries_served += 1
+
+    def _consumer_intentions(
+        self, consumer: int, candidates: np.ndarray
+    ) -> np.ndarray:
+        config = self.config
+        preferences = self.consumer_prefs.for_consumer(consumer, candidates)
+        if config.consumer_intention_mode == "preference":
+            # The paper's experimental setting: υ = 1, intentions are
+            # exactly the consumer's preferences.
+            return preferences.copy()
+        return consumer_intention_vector(
+            preferences,
+            self.reputation.of(candidates),
+            upsilon=config.upsilon,
+            epsilon=config.epsilon,
+        )
+
+    @staticmethod
+    def _validate_selection(
+        positions: np.ndarray, request: AllocationRequest
+    ) -> None:
+        expected = request.n_to_select
+        if positions.size != expected:
+            raise ValueError(
+                f"method {request.query.qid}: selected {positions.size} "
+                f"providers, expected {expected}"
+            )
+        if positions.size and (
+            positions.min() < 0 or positions.max() >= request.n_candidates
+        ):
+            raise ValueError("selection out of candidate range")
+        if np.unique(positions).size != positions.size:
+            raise ValueError("selection contains duplicates")
+
+    def _record_response(self, response: float, time: float) -> None:
+        self._response_sum += response
+        self._response_count += 1
+        self._interval_response_sum += response
+        self._interval_response_count += 1
+        if time >= self.config.warmup_time:
+            self._response_sum_post_warmup += response
+            self._response_count_post_warmup += 1
+
+    # ------------------------------------------------------------------
+    # sampling and departures
+    # ------------------------------------------------------------------
+
+    def _autonomy_enabled(self) -> bool:
+        rules = self.config.departures
+        return rules.consumers_may_leave or bool(rules.provider_reasons)
+
+    def _check_departures(self, time: float) -> None:
+        self.utilization.advance(time)
+        optimal = self.config.optimal_utilization_at(time)
+        records = self._departure_policy.check_providers(
+            time,
+            self.providers,
+            self.utilization.utilization(),
+            optimal,
+        )
+        records.extend(
+            self._departure_policy.check_consumers(time, self.consumers)
+        )
+        self._departures.extend(records)
+
+    def _sample(self, time: float) -> None:
+        self.utilization.advance(time)
+        active_p = self.providers.active
+        active_c = self.consumers.active
+
+        sample: dict[str, float] = {
+            "workload_fraction": self.config.workload.fraction_at(
+                time, self.config.duration
+            ),
+            "active_providers": float(active_p.sum()),
+            "active_consumers": float(active_c.sum()),
+            "provider_departures_cumulative": float(
+                sum(1 for d in self._departures if d.kind == "provider")
+            ),
+            "consumer_departures_cumulative": float(
+                sum(1 for d in self._departures if d.kind == "consumer")
+            ),
+        }
+
+        utilization = self.utilization.utilization()
+        if active_p.any():
+            ut_active = utilization[active_p]
+            sample["utilization_mean"] = _finite_mean(ut_active)
+            sample["utilization_fairness"] = _finite_fairness(ut_active)
+        else:
+            sample["utilization_mean"] = float("nan")
+            sample["utilization_fairness"] = float("nan")
+
+        for basis in ("intention", "preference"):
+            sat = self.providers.satisfactions(basis)[active_p]
+            adq = self.providers.adequations(basis)[active_p]
+            alloc = self.providers.allocation_satisfactions(basis)[active_p]
+            prefix = f"provider_{basis}"
+            sample[f"{prefix}_satisfaction_mean"] = _finite_mean(sat)
+            sample[f"{prefix}_adequation_mean"] = _finite_mean(adq)
+            sample[f"{prefix}_allocation_satisfaction_mean"] = _finite_mean(
+                alloc
+            )
+            sample[f"{prefix}_satisfaction_fairness"] = _finite_fairness(sat)
+
+        consumer_sat = self.consumers.satisfactions()[active_c]
+        consumer_adq = self.consumers.adequations()[active_c]
+        consumer_alloc = self.consumers.allocation_satisfactions()[active_c]
+        sample["consumer_satisfaction_mean"] = _finite_mean(consumer_sat)
+        sample["consumer_adequation_mean"] = _finite_mean(consumer_adq)
+        sample["consumer_allocation_satisfaction_mean"] = _finite_mean(
+            consumer_alloc
+        )
+        sample["consumer_satisfaction_fairness"] = _finite_fairness(
+            consumer_sat
+        )
+
+        if self._interval_response_count:
+            sample["response_time_mean"] = (
+                self._interval_response_sum / self._interval_response_count
+            )
+        else:
+            sample["response_time_mean"] = float("nan")
+        self._interval_response_sum = 0.0
+        self._interval_response_count = 0
+
+        self._collector.add_sample(time, sample)
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+
+    def _build_result(self) -> SimulationResult:
+        overall = (
+            self._response_sum / self._response_count
+            if self._response_count
+            else float("nan")
+        )
+        post = (
+            self._response_sum_post_warmup / self._response_count_post_warmup
+            if self._response_count_post_warmup
+            else float("nan")
+        )
+        final = {
+            "provider_active": self.providers.active.copy(),
+            "consumer_active": self.consumers.active.copy(),
+            "provider_satisfaction_intention": self.providers.satisfactions(
+                "intention"
+            ),
+            "provider_satisfaction_preference": self.providers.satisfactions(
+                "preference"
+            ),
+            "provider_adequation_intention": self.providers.adequations(
+                "intention"
+            ),
+            "provider_adequation_preference": self.providers.adequations(
+                "preference"
+            ),
+            "consumer_satisfaction": self.consumers.satisfactions(),
+            "consumer_adequation": self.consumers.adequations(),
+            "utilization": self.utilization.utilization(),
+            "capacity_classes": self.capacity.classes.copy(),
+            "interest_classes": self.consumer_prefs.interest_classes.copy(),
+            "adaptation_classes": self.provider_prefs.adaptation_classes.copy(),
+            "completed_counts": self.queues.completed_counts(),
+        }
+        return SimulationResult(
+            method_name=self.method.name,
+            seed=self.seed,
+            config=self.config,
+            collector=self._collector,
+            departures=self._departures,
+            queries_issued=self._queries_issued,
+            queries_served=self._queries_served,
+            queries_unserved=self._queries_unserved,
+            response_time_mean=overall,
+            response_time_post_warmup=post,
+            final=final,
+        )
+
+
+def run_simulation(
+    config: SimulationConfig,
+    method: AllocationMethod | str,
+    seed: int = 0,
+    matchmaker: Matchmaker | None = None,
+) -> SimulationResult:
+    """Convenience wrapper: build and run one simulation."""
+    return MediatorSimulation(
+        config, method, seed=seed, matchmaker=matchmaker
+    ).run()

@@ -1,0 +1,234 @@
+"""Vectorised participant state (consumers, providers, and their views).
+
+The object-level profiles in :mod:`repro.model` are the readable
+reference; a simulation touching hundreds of providers per query needs
+the same bookkeeping as flat arrays.  :class:`ConsumerPool` and
+:class:`ProviderPool` wrap :class:`repro.model.memory.RowRingLog` with
+the Section 3 semantics (including the strict Definition 4/5 zero for
+empty windows and the ``SQ ⊆ PQ`` coupling) and add activity masks for
+the autonomy experiments.
+
+The test suite cross-checks the pools against the scalar profiles on
+random interaction traces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.memory import RowRingLog
+
+__all__ = ["ConsumerPool", "ProviderPool", "ratio_with_zero_convention"]
+
+
+def ratio_with_zero_convention(
+    numerators: np.ndarray, denominators: np.ndarray
+) -> np.ndarray:
+    """``δas = δs / δa`` with the Definition 3/6 zero-adequation convention.
+
+    Where adequation is zero, the ratio is ``inf`` if satisfaction is
+    positive and the neutral ``1.0`` otherwise (see the profile classes
+    for the rationale).
+    """
+    numerators = np.asarray(numerators, dtype=float)
+    denominators = np.asarray(denominators, dtype=float)
+    out = np.empty_like(numerators)
+    zero = denominators == 0.0
+    np.divide(numerators, denominators, out=out, where=~zero)
+    out[zero & (numerators > 0.0)] = np.inf
+    out[zero & (numerators <= 0.0)] = 1.0
+    return out
+
+
+class ConsumerPool:
+    """State of the whole consumer population.
+
+    Each consumer remembers its ``k`` last issued queries as per-query
+    (adequation, satisfaction) pairs in ``[0, 1]`` (Equations 1-2), and
+    reports the Definition 1-3 aggregates; the configured initial
+    satisfaction is reported while a window is still empty (Table 2's
+    ``iniSatisfaction``).
+    """
+
+    def __init__(
+        self, n_consumers: int, memory: int, initial_satisfaction: float
+    ) -> None:
+        if n_consumers <= 0:
+            raise ValueError(f"n_consumers must be positive, got {n_consumers}")
+        self._log = RowRingLog(
+            rows=n_consumers,
+            capacity=memory,
+            channels=("adequation", "satisfaction"),
+        )
+        self._initial = float(initial_satisfaction)
+        self._active = np.ones(n_consumers, dtype=bool)
+
+    @property
+    def size(self) -> int:
+        return self._log.rows
+
+    @property
+    def active(self) -> np.ndarray:
+        """Boolean activity mask (live view; mutate via :meth:`deactivate`)."""
+        return self._active
+
+    def active_indices(self) -> np.ndarray:
+        return np.flatnonzero(self._active)
+
+    def deactivate(self, consumer: int) -> None:
+        """Mark one consumer as departed."""
+        self._active[consumer] = False
+
+    def record_query(
+        self, consumer: int, adequation: float, satisfaction: float
+    ) -> None:
+        """Push one issued query's per-query characteristics."""
+        rows = np.array([consumer], dtype=np.int64)
+        self._log.push(
+            rows,
+            {
+                "adequation": np.array([adequation]),
+                "satisfaction": np.array([satisfaction]),
+            },
+            performed=np.array([True]),
+        )
+
+    def adequations(self) -> np.ndarray:
+        """``δa(c)`` per consumer (Definition 1)."""
+        means = self._log.mean_all("adequation", default=self._initial)
+        # Running-sum drift can nudge a mean a few ulps outside the
+        # contractual [0, 1] range; clip.
+        return np.clip(means, 0.0, 1.0)
+
+    def satisfactions(self) -> np.ndarray:
+        """``δs(c)`` per consumer (Definition 2)."""
+        means = self._log.mean_all("satisfaction", default=self._initial)
+        return np.clip(means, 0.0, 1.0)
+
+    def allocation_satisfactions(self) -> np.ndarray:
+        """``δas(c)`` per consumer (Definition 3)."""
+        return ratio_with_zero_convention(
+            self.satisfactions(), self.adequations()
+        )
+
+    def queries_remembered(self) -> np.ndarray:
+        return self._log.counts()
+
+
+class ProviderPool:
+    """State of the whole provider population.
+
+    Each provider remembers its ``k`` last *proposed* queries with two
+    channels — the (clipped) intention it showed and its private
+    preference — plus the performed flag.  Definition 4 aggregates over
+    the whole window, Definition 5 over the performed subset only, in
+    either basis.
+
+    ``warm_start_entries`` synthetic neutral interactions (value 0,
+    performed) are pre-loaded so satisfaction starts at the configured
+    initial value and *evolves*, ageing out like real interactions —
+    the Table 2 initialisation.
+    """
+
+    def __init__(
+        self,
+        n_providers: int,
+        memory: int,
+        initial_satisfaction: float,
+        warm_start_entries: int = 1,
+    ) -> None:
+        if n_providers <= 0:
+            raise ValueError(f"n_providers must be positive, got {n_providers}")
+        self._log = RowRingLog(
+            rows=n_providers,
+            capacity=memory,
+            channels=("intention", "preference"),
+        )
+        self._initial = float(initial_satisfaction)
+        self._active = np.ones(n_providers, dtype=bool)
+        # Neutral warm-start: intention/preference 0 maps to the 0.5
+        # initial satisfaction after the (x+1)/2 rescale.  A non-0.5
+        # initial value seeds the equivalent constant instead.
+        seed_value = 2.0 * self._initial - 1.0
+        for _ in range(warm_start_entries):
+            self._log.push_all_rows(
+                {
+                    "intention": np.full(n_providers, seed_value),
+                    "preference": np.full(n_providers, seed_value),
+                },
+                performed=np.ones(n_providers, dtype=bool),
+            )
+
+    @property
+    def size(self) -> int:
+        return self._log.rows
+
+    @property
+    def active(self) -> np.ndarray:
+        """Boolean activity mask (live view; mutate via :meth:`deactivate`)."""
+        return self._active
+
+    def active_indices(self) -> np.ndarray:
+        return np.flatnonzero(self._active)
+
+    def deactivate(self, provider: int) -> None:
+        """Mark one provider as departed."""
+        self._active[provider] = False
+
+    def record_proposals(
+        self,
+        providers: np.ndarray,
+        intentions: np.ndarray,
+        preferences: np.ndarray,
+        performed: np.ndarray,
+    ) -> None:
+        """Push one proposed query into the given providers' windows.
+
+        ``intentions`` must already be clipped to ``[-1, 1]`` (the
+        Section 2 range the satisfaction model is defined over).
+        """
+        self._log.push(
+            providers,
+            {"intention": intentions, "preference": preferences},
+            performed=performed,
+        )
+
+    def adequations(self, basis: str = "intention") -> np.ndarray:
+        """``δa(p)`` per provider (Definition 4); 0 for empty windows."""
+        means = self._log.mean_all(self._channel(basis), default=-1.0)
+        # Running-sum drift can nudge a mean a few ulps outside [-1, 1];
+        # the model's range is contractual, so clip.
+        return np.clip((means + 1.0) / 2.0, 0.0, 1.0)
+
+    def satisfactions(self, basis: str = "intention") -> np.ndarray:
+        """``δs(p)`` per provider (Definition 5); 0 when nothing performed.
+
+        The strict zero matters: a provider that performed none of its
+        last ``k`` proposed queries is maximally dissatisfied, which is
+        the paper's punishment mechanism under preference-blind
+        allocation.
+        """
+        means = self._log.mean_performed(self._channel(basis), default=-1.0)
+        return np.clip((means + 1.0) / 2.0, 0.0, 1.0)
+
+    def allocation_satisfactions(self, basis: str = "intention") -> np.ndarray:
+        """``δas(p)`` per provider (Definition 6)."""
+        return ratio_with_zero_convention(
+            self.satisfactions(basis), self.adequations(basis)
+        )
+
+    def proposed_counts(self) -> np.ndarray:
+        """Window fill per provider (includes warm-start entries)."""
+        return self._log.counts()
+
+    def performed_counts(self) -> np.ndarray:
+        """Performed entries in the window (includes warm-start entries)."""
+        return self._log.performed_counts()
+
+    @staticmethod
+    def _channel(basis: str) -> str:
+        if basis not in ("intention", "preference"):
+            raise ValueError(
+                f"basis must be 'intention' or 'preference', got {basis!r}"
+            )
+        return basis

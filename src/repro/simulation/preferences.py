@@ -1,0 +1,134 @@
+"""Preference generation (Section 6.1 of the paper).
+
+Two independent heterogeneity structures:
+
+* **Consumer interest.**  Providers are partitioned into high- (60 %),
+  medium- (30 %), and low-interest (10 %) classes; each consumer draws a
+  private preference for each provider uniformly from the provider's
+  class band ([.34, 1], [-.54, .34], [-1, -.54] respectively).  The
+  result is a fixed ``(consumers × providers)`` preference matrix — a
+  consumer's taste for a given provider is a long-term datum (Section 1:
+  preferences are "quite static").
+* **Provider adaptation.**  Providers are partitioned into high- (35 %),
+  medium- (60 %), and low-adaptation (5 %) classes; a provider's
+  preference for an incoming query is drawn uniformly from its class
+  band, either fresh per query (default; the paper's "providers randomly
+  obtain their preferences") or once per query class (config switch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.simulation.capacity import draw_class_indices
+from repro.simulation.config import PreferenceClassMix
+
+__all__ = [
+    "ConsumerPreferences",
+    "ProviderPreferences",
+    "build_consumer_preferences",
+    "build_provider_preferences",
+]
+
+
+@dataclass(frozen=True)
+class ConsumerPreferences:
+    """The fixed consumer→provider preference structure.
+
+    Attributes
+    ----------
+    interest_classes:
+        Per-provider interest band (0=low, 1=medium, 2=high) — how
+        interesting this provider is to consumers in general.
+    matrix:
+        ``matrix[c, p] = prf_c(q, p)`` — consumer ``c``'s preference for
+        provider ``p``, constant across queries (consumer preferences
+        target providers, not query content, in the paper's setup).
+    """
+
+    interest_classes: np.ndarray
+    matrix: np.ndarray
+
+    def for_consumer(self, consumer: int, providers: np.ndarray) -> np.ndarray:
+        """Preferences of one consumer towards a provider subset."""
+        return self.matrix[consumer, providers]
+
+
+def build_consumer_preferences(
+    n_consumers: int,
+    n_providers: int,
+    mix: PreferenceClassMix,
+    rng: np.random.Generator,
+) -> ConsumerPreferences:
+    """Draw the interest classes and the preference matrix."""
+    classes = draw_class_indices(n_providers, mix.fractions, rng)
+    lows = np.array([band.low for band in mix.bands])
+    highs = np.array([band.high for band in mix.bands])
+    span_low = lows[classes]  # per-provider band bounds
+    span_high = highs[classes]
+    uniform = rng.random((n_consumers, n_providers))
+    matrix = span_low[None, :] + uniform * (span_high - span_low)[None, :]
+    return ConsumerPreferences(interest_classes=classes, matrix=matrix)
+
+
+@dataclass
+class ProviderPreferences:
+    """Per-query provider preferences drawn from adaptation bands.
+
+    Attributes
+    ----------
+    adaptation_classes:
+        Per-provider adaptation band (0=low, 1=medium, 2=high).
+    """
+
+    adaptation_classes: np.ndarray
+    _band_low: np.ndarray
+    _band_high: np.ndarray
+    _mode: str
+    _rng: np.random.Generator
+    _per_class_table: np.ndarray | None
+
+    def draw(self, providers: np.ndarray, query_class: int) -> np.ndarray:
+        """Preferences of a provider subset for one incoming query.
+
+        In ``per_query`` mode every call redraws; in ``per_query_class``
+        mode the value is the provider's fixed preference for that query
+        class.
+        """
+        if self._mode == "per_query_class":
+            assert self._per_class_table is not None
+            return self._per_class_table[providers, query_class]
+        low = self._band_low[self.adaptation_classes[providers]]
+        high = self._band_high[self.adaptation_classes[providers]]
+        return low + self._rng.random(providers.size) * (high - low)
+
+
+def build_provider_preferences(
+    n_providers: int,
+    n_query_classes: int,
+    mix: PreferenceClassMix,
+    mode: str,
+    rng: np.random.Generator,
+) -> ProviderPreferences:
+    """Draw adaptation classes and set up the preference source."""
+    if mode not in ("per_query", "per_query_class"):
+        raise ValueError(f"unknown provider preference mode {mode!r}")
+    classes = draw_class_indices(n_providers, mix.fractions, rng)
+    lows = np.array([band.low for band in mix.bands])
+    highs = np.array([band.high for band in mix.bands])
+    table = None
+    if mode == "per_query_class":
+        uniform = rng.random((n_providers, n_query_classes))
+        low = lows[classes][:, None]
+        high = highs[classes][:, None]
+        table = low + uniform * (high - low)
+    return ProviderPreferences(
+        adaptation_classes=classes,
+        _band_low=lows,
+        _band_high=highs,
+        _mode=mode,
+        _rng=rng,
+        _per_class_table=table,
+    )

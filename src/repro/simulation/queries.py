@@ -1,0 +1,93 @@
+"""Queries and query generation (Section 2 and Section 6.1).
+
+A query is the paper's triple ``q = <c, d, n>``: the issuing consumer,
+a task description, and the number of providers the consumer wants.  In
+the simulation the description reduces to a *query class* (which fixes
+the treatment cost in units) because the matchmaking step is assumed
+sound and complete.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.simulation.config import QueryClassSpec
+
+__all__ = ["Query", "QueryFactory"]
+
+
+@dataclass(frozen=True)
+class Query:
+    """One feasible query.
+
+    Attributes
+    ----------
+    qid:
+        Monotonically increasing identifier (issue order).
+    consumer:
+        Index of the issuing consumer (``q.c``).
+    klass:
+        Query-class index into the configuration's
+        :class:`~repro.simulation.config.QueryClassSpec`.
+    cost_units:
+        Treatment units this query consumes at a high-capacity provider
+        (``q.d`` reduced to its cost).
+    n_desired:
+        ``q.n`` — how many providers the consumer wants.
+    issued_at:
+        Simulation time of arrival at the mediator.
+    """
+
+    qid: int
+    consumer: int
+    klass: int
+    cost_units: float
+    n_desired: int
+    issued_at: float
+
+    def __post_init__(self) -> None:
+        if self.n_desired < 1:
+            raise ValueError(f"q.n must be at least 1, got {self.n_desired}")
+        if self.cost_units <= 0:
+            raise ValueError(f"cost must be positive, got {self.cost_units}")
+
+
+class QueryFactory:
+    """Draws query classes and assembles :class:`Query` objects."""
+
+    def __init__(
+        self,
+        spec: QueryClassSpec,
+        n_desired: int,
+        rng: np.random.Generator,
+    ) -> None:
+        self._spec = spec
+        self._costs = np.asarray(spec.costs, dtype=float)
+        weights = np.asarray(spec.weights, dtype=float)
+        self._probabilities = weights / weights.sum()
+        self._n_desired = int(n_desired)
+        self._rng = rng
+        self._next_id = 0
+
+    @property
+    def issued(self) -> int:
+        """How many queries this factory has created."""
+        return self._next_id
+
+    def create(self, consumer: int, issued_at: float) -> Query:
+        """Draw a query class and issue a query for ``consumer``."""
+        klass = int(
+            self._rng.choice(self._costs.size, p=self._probabilities)
+        )
+        query = Query(
+            qid=self._next_id,
+            consumer=consumer,
+            klass=klass,
+            cost_units=float(self._costs[klass]),
+            n_desired=self._n_desired,
+            issued_at=issued_at,
+        )
+        self._next_id += 1
+        return query

@@ -1,0 +1,62 @@
+"""Deterministic random-number plumbing for the simulator.
+
+Every stochastic component of the simulation receives its own
+:class:`numpy.random.Generator`, all derived from a single root seed via
+NumPy's `SeedSequence` spawning.  Two runs with the same configuration
+and seed are bit-identical; two components never share a stream, so
+adding randomness to one subsystem cannot perturb another (a property the
+repetition-based experiments rely on).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["RngFactory", "spawn_generators"]
+
+
+def spawn_generators(seed: int, count: int) -> list[np.random.Generator]:
+    """Create ``count`` independent generators from one root seed."""
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    root = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in root.spawn(count)]
+
+
+class RngFactory:
+    """Hands out named, independent random generators from one seed.
+
+    The name-based interface keeps stream assignment stable across code
+    changes: a component asking for ``factory.get("workload")`` always
+    receives the stream derived from ``hash-independent`` spawn order of
+    first request, recorded explicitly so tests can assert determinism.
+
+    Examples
+    --------
+    >>> factory = RngFactory(seed=7)
+    >>> a = factory.get("workload")
+    >>> b = factory.get("preferences")
+    >>> a is factory.get("workload")
+    True
+    """
+
+    def __init__(self, seed: int) -> None:
+        self._seed = int(seed)
+        self._root = np.random.SeedSequence(self._seed)
+        self._generators: dict[str, np.random.Generator] = {}
+
+    @property
+    def seed(self) -> int:
+        """The root seed this factory was built from."""
+        return self._seed
+
+    def get(self, name: str) -> np.random.Generator:
+        """The generator for ``name``, created on first request."""
+        if name not in self._generators:
+            child = self._root.spawn(1)[0]
+            self._generators[name] = np.random.default_rng(child)
+        return self._generators[name]
+
+    def names(self) -> tuple[str, ...]:
+        """Names requested so far, in creation order."""
+        return tuple(self._generators)

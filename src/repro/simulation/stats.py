@@ -1,0 +1,72 @@
+"""Time-series collection for simulation runs.
+
+The engine samples the Section 4 metrics at a fixed interval and stores
+them here.  The collector is deliberately dumb — named scalar series
+plus a shared time axis — so that experiments can postprocess without
+knowing engine internals, and new series can be added without schema
+changes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["TimeSeriesCollector"]
+
+
+class TimeSeriesCollector:
+    """Accumulates named scalar series sampled over simulation time."""
+
+    def __init__(self) -> None:
+        self._times: list[float] = []
+        self._series: dict[str, list[float]] = {}
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Names of all series collected so far."""
+        return tuple(self._series)
+
+    def add_sample(self, time: float, values: dict[str, float]) -> None:
+        """Record one synchronous snapshot of every series.
+
+        All samples must carry the same keys; a new key appearing after
+        the first sample would silently misalign, so it is rejected.
+        """
+        if self._times and set(values) != set(self._series):
+            unexpected = set(values) ^ set(self._series)
+            raise ValueError(
+                f"sample keys changed mid-run (difference: {sorted(unexpected)})"
+            )
+        if self._times and time < self._times[-1]:
+            raise ValueError(
+                f"samples must be chronological: {time} < {self._times[-1]}"
+            )
+        self._times.append(float(time))
+        for name, value in values.items():
+            self._series.setdefault(name, []).append(float(value))
+
+    def times(self) -> np.ndarray:
+        """The shared time axis."""
+        return np.asarray(self._times, dtype=float)
+
+    def series(self, name: str) -> np.ndarray:
+        """One named series aligned with :meth:`times`."""
+        if name not in self._series:
+            raise KeyError(
+                f"unknown series {name!r}; available: {sorted(self._series)}"
+            )
+        return np.asarray(self._series[name], dtype=float)
+
+    def as_dict(self) -> dict[str, np.ndarray]:
+        """All series as arrays (copies), keyed by name."""
+        return {name: self.series(name) for name in self._series}
+
+    def last(self, name: str) -> float:
+        """Most recent value of one series."""
+        values = self._series.get(name)
+        if not values:
+            raise KeyError(f"series {name!r} has no samples")
+        return values[-1]

@@ -1,0 +1,144 @@
+"""Tests for the extension methods (KnBest and economic SQLB)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.allocation.economic import EconomicSQLBMethod
+from repro.allocation.knbest import KnBestMethod
+from repro.allocation.registry import build_method
+from repro.simulation.config import WorkloadSpec, tiny_config
+from repro.simulation.engine import run_simulation
+
+from tests.allocation.test_methods import make_request
+
+
+class TestKnBest:
+    def test_validates_parameters(self):
+        with pytest.raises(ValueError):
+            KnBestMethod(base="vibes")
+        with pytest.raises(ValueError):
+            KnBestMethod(k_factor=0)
+        with pytest.raises(ValueError):
+            KnBestMethod(epsilon=0.0)
+
+    def test_k_factor_one_is_deterministic_base(self):
+        method = KnBestMethod(base="capacity", k_factor=1)
+        request = make_request(
+            capacities=[10.0, 100.0, 50.0, 20.0],
+            utilizations=[0.0, 0.0, 0.0, 0.0],
+        )
+        assert method.select(request).tolist() == [1]
+
+    def test_selection_stays_within_shortlist(self):
+        method = KnBestMethod(base="capacity", k_factor=2)
+        request = make_request(
+            n_providers=6,
+            capacities=[100.0, 90.0, 80.0, 1.0, 1.0, 1.0],
+            utilizations=[0.0] * 6,
+        )
+        # Shortlist = the 2 best (K = 2·1); the tiny providers never win.
+        picks = {int(method.select(request)[0]) for _ in range(50)}
+        assert picks <= {0, 1}
+        assert len(picks) == 2  # and the randomisation spreads
+
+    def test_score_base_uses_intentions(self):
+        method = KnBestMethod(base="score", k_factor=1)
+        request = make_request(
+            provider_intentions=[0.9, -0.9],
+            consumer_intentions=[0.9, -0.9],
+            n_providers=2,
+        )
+        assert method.select(request).tolist() == [0]
+
+    def test_respects_n_desired(self):
+        method = KnBestMethod(k_factor=2)
+        request = make_request(n_providers=8, n_desired=3)
+        selected = method.select(request)
+        assert selected.size == 3
+        assert np.unique(selected).size == 3
+
+    def test_spreads_load_more_than_deterministic_base(self):
+        """KnBest's purpose: fewer starved providers than the pure
+        capacity ranking at equal conditions."""
+        config = tiny_config(
+            duration=150.0, workload=WorkloadSpec.fixed(0.5)
+        )
+        deterministic = run_simulation(config, "capacity", seed=9)
+        knbest = run_simulation(config, "knbest", seed=9)
+        starved_det = (deterministic.final["completed_counts"] == 0).sum()
+        starved_kn = (knbest.final["completed_counts"] == 0).sum()
+        assert starved_kn <= starved_det
+
+
+class TestEconomicSQLB:
+    def test_validates_spread(self):
+        with pytest.raises(ValueError):
+            EconomicSQLBMethod(bid_spread=1.0)
+
+    def test_eager_provider_bids_lower(self):
+        method = EconomicSQLBMethod(bid_spread=3.0)
+        request = make_request(
+            provider_intentions=[1.0, -1.0], n_providers=2
+        )
+        bids = method.bids(request)
+        assert bids[0] == pytest.approx(1.0)
+        assert bids[1] == pytest.approx(3.0)
+
+    def test_bids_handle_sub_minus_one_intentions(self):
+        method = EconomicSQLBMethod()
+        request = make_request(
+            provider_intentions=[-2.5, 0.5], n_providers=2
+        )
+        bids = method.bids(request)
+        assert np.isfinite(bids).all()
+        assert bids[0] == bids.max()
+
+    def test_mutual_interest_wins(self):
+        method = EconomicSQLBMethod()
+        request = make_request(
+            provider_intentions=[0.9, 0.9, -0.9],
+            consumer_intentions=[0.9, -0.9, 0.9],
+            n_providers=3,
+        )
+        assert method.select(request).tolist() == [0]
+
+    def test_omega_shifts_weight_to_dissatisfied_provider(self):
+        """Equation 6 inside the economic variant: with equal quality,
+        the broker favours the cheap bid more when the provider side is
+        less satisfied."""
+        method = EconomicSQLBMethod()
+        # Provider 0 bids cheap (eager), provider 1 offers better
+        # quality; when providers are dissatisfied (ω high) price wins.
+        request_price = make_request(
+            provider_intentions=[0.9, -0.5],
+            consumer_intentions=[0.1, 0.9],
+            provider_satisfactions=[0.0, 0.0],
+            consumer_satisfaction=1.0,
+            n_providers=2,
+        )
+        assert method.select(request_price).tolist() == [0]
+        # When the consumer is the dissatisfied side (ω low), quality wins.
+        request_quality = make_request(
+            provider_intentions=[0.9, -0.5],
+            consumer_intentions=[0.1, 0.9],
+            provider_satisfactions=[1.0, 1.0],
+            consumer_satisfaction=0.0,
+            n_providers=2,
+        )
+        assert method.select(request_quality).tolist() == [1]
+
+    def test_full_simulation_runs(self):
+        config = tiny_config(duration=100.0)
+        result = run_simulation(config, "sqlb_econ", seed=4)
+        assert result.queries_served == result.queries_issued
+
+
+class TestRegistryExtensions:
+    def test_extensions_are_registered(self, config):
+        assert isinstance(build_method("knbest", config), KnBestMethod)
+        assert isinstance(
+            build_method("sqlb_econ", config), EconomicSQLBMethod
+        )
+        assert build_method("knbest_score", config)._base == "score"

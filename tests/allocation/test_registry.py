@@ -1,0 +1,44 @@
+"""Tests for the allocation-method registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.allocation.registry import (
+    PAPER_METHODS,
+    available_methods,
+    build_method,
+)
+from repro.allocation.capacity_based import CapacityBasedMethod
+from repro.allocation.mariposa import MariposaMethod
+from repro.allocation.sqlb_method import SQLBMethod
+from repro.simulation.config import MariposaParams, tiny_config
+from dataclasses import replace
+
+
+def test_paper_methods_are_registered():
+    assert set(PAPER_METHODS) <= set(available_methods())
+
+
+def test_builds_the_right_types(config):
+    assert isinstance(build_method("sqlb", config), SQLBMethod)
+    assert isinstance(build_method("capacity", config), CapacityBasedMethod)
+    assert isinstance(build_method("mariposa", config), MariposaMethod)
+
+
+def test_unknown_method_rejected(config):
+    with pytest.raises(ValueError, match="unknown allocation method"):
+        build_method("oracle", config)
+
+
+def test_mariposa_takes_parameters_from_config():
+    config = replace(
+        tiny_config(), mariposa=MariposaParams(max_delay=99.0)
+    )
+    method = build_method("mariposa", config)
+    assert method._max_delay == 99.0
+
+
+def test_method_names_match_registry_keys(config):
+    for name in ("sqlb", "capacity", "mariposa", "random", "round_robin"):
+        assert build_method(name, config).name == name

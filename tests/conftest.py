@@ -1,0 +1,20 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simulation.config import tiny_config
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator, fresh per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def config():
+    """The seconds-fast simulation environment."""
+    return tiny_config()

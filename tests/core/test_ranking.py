@@ -1,0 +1,77 @@
+"""Tests for provider ranking and selection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ranking import rank_providers, select_top
+
+
+class TestRankProviders:
+    def test_orders_best_first(self, rng):
+        scores = np.array([0.1, 0.9, 0.5])
+        ranking = rank_providers(scores, rng=rng)
+        assert ranking.tolist() == [1, 2, 0]
+
+    def test_index_tie_break_is_stable(self):
+        scores = np.array([0.5, 0.9, 0.5])
+        ranking = rank_providers(scores, tie_break="index")
+        assert ranking.tolist() == [1, 0, 2]
+
+    def test_random_tie_break_spreads_ties(self, rng):
+        scores = np.zeros(4)
+        firsts = {
+            int(rank_providers(scores, rng=rng)[0]) for _ in range(200)
+        }
+        assert firsts == {0, 1, 2, 3}
+
+    def test_random_tie_break_requires_rng(self):
+        with pytest.raises(ValueError):
+            rank_providers(np.array([0.5, 0.5]), rng=None, tie_break="random")
+
+    def test_rejects_nan_scores(self, rng):
+        with pytest.raises(ValueError):
+            rank_providers(np.array([0.5, float("nan")]), rng=rng)
+
+    def test_rejects_unknown_tie_break(self, rng):
+        with pytest.raises(ValueError):
+            rank_providers(np.array([0.5]), rng=rng, tie_break="alphabetical")
+
+    def test_rejects_2d_scores(self, rng):
+        with pytest.raises(ValueError):
+            rank_providers(np.zeros((2, 2)), rng=rng)
+
+    @given(
+        st.lists(
+            st.floats(min_value=-10, max_value=10, allow_nan=False),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=60)
+    def test_is_a_score_sorted_permutation(self, scores):
+        values = np.asarray(scores)
+        ranking = rank_providers(
+            values, rng=np.random.default_rng(0), tie_break="random"
+        )
+        assert sorted(ranking.tolist()) == list(range(len(scores)))
+        ranked_scores = values[ranking]
+        assert np.all(np.diff(ranked_scores) <= 1e-12)
+
+
+class TestSelectTop:
+    def test_truncates_to_n_desired(self):
+        ranking = np.array([3, 1, 2, 0])
+        assert select_top(ranking, 2).tolist() == [3, 1]
+
+    def test_returns_all_when_n_exceeds_candidates(self):
+        """Algorithm 1: when q.n > N, all N providers are selected."""
+        ranking = np.array([1, 0])
+        assert select_top(ranking, 5).tolist() == [1, 0]
+
+    def test_rejects_non_positive_n(self):
+        with pytest.raises(ValueError):
+            select_top(np.array([0]), 0)

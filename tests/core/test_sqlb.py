@@ -1,0 +1,114 @@
+"""Tests for Algorithm 1 (the SQLB allocation principle)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sqlb import allocate_query
+
+intentions = st.lists(
+    st.floats(min_value=-1.0, max_value=1.0, allow_nan=False),
+    min_size=1,
+    max_size=20,
+)
+
+
+def _allocate(pi, ci, n=1, cs=0.5, ps=None, **kwargs):
+    pi = np.asarray(pi, dtype=float)
+    ci = np.asarray(ci, dtype=float)
+    if ps is None:
+        ps = np.full(pi.shape, 0.5)
+    return allocate_query(
+        provider_intentions=pi,
+        consumer_intentions=ci,
+        consumer_satisfaction=cs,
+        provider_satisfactions=np.asarray(ps, dtype=float),
+        n_desired=n,
+        rng=np.random.default_rng(7),
+        **kwargs,
+    )
+
+
+class TestAllocateQuery:
+    def test_selects_highest_scored_provider(self):
+        allocation = _allocate([0.9, 0.2, -0.5], [0.9, 0.9, 0.9])
+        assert allocation.selected.tolist() == [0]
+
+    def test_mutual_positive_beats_one_sided(self):
+        """The motivating example's crux: a provider wanted by both
+        sides must outrank providers wanted by only one side."""
+        # p0: provider wants it, consumer does not; p1: vice versa;
+        # p2: both mildly positive.
+        allocation = _allocate([0.9, -0.8, 0.4], [-0.8, 0.9, 0.4])
+        assert allocation.selected.tolist() == [2]
+
+    def test_respects_n_desired(self):
+        allocation = _allocate([0.9, 0.8, 0.7], [0.9, 0.8, 0.7], n=2)
+        assert allocation.selected.tolist() == [0, 1]
+
+    def test_n_larger_than_candidates_selects_all(self):
+        allocation = _allocate([0.5, 0.6], [0.5, 0.6], n=9)
+        assert sorted(allocation.selected.tolist()) == [0, 1]
+
+    def test_allocation_vector_matches_selection(self):
+        allocation = _allocate([0.9, 0.1, 0.5], [0.9, 0.1, 0.5], n=2)
+        vector = allocation.allocation_vector
+        assert vector.sum() == 2
+        assert all(vector[i] == 1 for i in allocation.selected)
+
+    def test_empty_candidate_set_rejected(self):
+        with pytest.raises(ValueError):
+            _allocate([], [])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            _allocate([0.5, 0.5], [0.5])
+
+    def test_fixed_omega_overrides_equation_6(self):
+        # With ω = 0 only consumer intentions matter.
+        allocation = _allocate(
+            [0.1, 0.9], [0.9, 0.1], fixed_omega=0.0
+        )
+        assert allocation.selected.tolist() == [0]
+        assert allocation.omegas.tolist() == [0.0, 0.0]
+
+    def test_fixed_omega_validated(self):
+        with pytest.raises(ValueError):
+            _allocate([0.5], [0.5], fixed_omega=1.5)
+
+    def test_equation_6_feeds_per_provider_omegas(self):
+        allocation = _allocate(
+            [0.5, 0.5], [0.5, 0.5], cs=0.8, ps=[0.2, 0.6]
+        )
+        assert allocation.omegas.tolist() == pytest.approx([0.8, 0.6])
+
+    def test_dissatisfied_provider_gets_priority(self):
+        """Equation 6's equity: both providers show a strong intention
+        (stronger than the consumer's), and the less satisfied one wins
+        because its higher ω weighs its intention more."""
+        allocation = _allocate(
+            [0.9, 0.9], [0.3, 0.3], cs=0.5, ps=[0.9, 0.1]
+        )
+        assert allocation.selected.tolist() == [1]
+
+    @given(intentions, st.integers(min_value=1, max_value=5))
+    @settings(max_examples=80)
+    def test_selection_is_valid_subset(self, pi, n):
+        ci = list(reversed(pi))
+        allocation = _allocate(pi, ci, n=n)
+        selected = allocation.selected
+        assert selected.size == min(n, len(pi))
+        assert np.unique(selected).size == selected.size
+        assert selected.min() >= 0 and selected.max() < len(pi)
+
+    @given(intentions)
+    @settings(max_examples=80)
+    def test_ranking_is_score_ordered_permutation(self, pi):
+        allocation = _allocate(pi, pi)
+        ranking = allocation.ranking
+        assert sorted(ranking.tolist()) == list(range(len(pi)))
+        ranked = allocation.scores[ranking]
+        assert np.all(np.diff(ranked) <= 1e-12)

@@ -1,0 +1,72 @@
+"""Tests for the autonomy experiment family."""
+
+from __future__ import annotations
+
+from repro.experiments.autonomy import (
+    BANDS,
+    DIMENSIONS,
+    REASONS,
+    consumer_departure_curve,
+    departure_reason_table,
+    departure_response_times,
+    provider_departure_curve,
+)
+from repro.simulation.config import tiny_config
+
+
+BASE = tiny_config(duration=150.0)
+METHODS = ("sqlb", "capacity")
+SEEDS = (1,)
+WORKLOADS = (0.8,)
+
+
+class TestDepartureCurves:
+    def test_provider_curve_fractions_in_range(self):
+        curve = provider_departure_curve(
+            config=BASE, methods=METHODS, seeds=SEEDS, workloads=WORKLOADS
+        )
+        for method in METHODS:
+            assert curve[method].shape == (1,)
+            assert 0.0 <= curve[method][0] <= 1.0
+
+    def test_consumer_curve_fractions_in_range(self):
+        curve = consumer_departure_curve(
+            config=BASE, methods=METHODS, seeds=SEEDS, workloads=WORKLOADS
+        )
+        for method in METHODS:
+            assert 0.0 <= curve[method][0] <= 1.0
+
+    def test_response_time_variants_accept_both_rule_sets(self):
+        for include in (False, True):
+            curve = departure_response_times(
+                include_overutilization=include,
+                config=BASE,
+                methods=METHODS,
+                seeds=SEEDS,
+                workloads=WORKLOADS,
+            )
+            assert set(curve.response_times) == set(METHODS)
+
+
+class TestDepartureReasonTable:
+    def test_structure_and_consistency(self):
+        tables = departure_reason_table(
+            workload=0.8, config=BASE, methods=METHODS, seeds=SEEDS
+        )
+        assert set(tables) == set(METHODS)
+        for method, table in tables.items():
+            assert set(table.cells) == set(REASONS)
+            for reason in REASONS:
+                assert set(table.cells[reason]) == set(DIMENSIONS)
+                for dimension in DIMENSIONS:
+                    assert set(table.cells[reason][dimension]) == set(BANDS)
+            # Each breakdown row sums to the reason total (the paper's
+            # Table 3 invariant).
+            table.check_consistency(tolerance=1e-9)
+
+    def test_totals_bounded_by_population(self):
+        tables = departure_reason_table(
+            workload=0.8, config=BASE, methods=METHODS, seeds=SEEDS
+        )
+        for table in tables.values():
+            assert sum(table.totals.values()) <= 100.0 + 1e-9

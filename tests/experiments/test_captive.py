@@ -1,0 +1,63 @@
+"""Tests for the captive-participant experiment family."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.captive import (
+    FIGURE4_SERIES,
+    captive_ramp,
+    captive_ramp_config,
+    response_time_curve,
+)
+from repro.simulation.config import DepartureRules, tiny_config
+
+
+@pytest.fixture(scope="module")
+def ramp():
+    return captive_ramp(
+        config=tiny_config(duration=80.0),
+        methods=("sqlb", "capacity"),
+        seeds=(1,),
+    )
+
+
+class TestCaptiveRampConfig:
+    def test_forces_captivity_and_ramp(self):
+        config = captive_ramp_config(tiny_config())
+        assert config.departures == DepartureRules.captive()
+        assert config.workload.kind == "ramp"
+        assert config.workload.start_fraction == pytest.approx(0.30)
+
+    def test_default_base_is_scaled_config(self):
+        config = captive_ramp_config()
+        assert config.n_providers == 80
+
+
+class TestCaptiveRamp:
+    def test_all_figure4_series_are_available(self, ramp):
+        for figure, series_name in FIGURE4_SERIES.items():
+            for method in ("sqlb", "capacity"):
+                series = ramp[method].series(series_name)
+                assert series.size > 0, f"figure {figure} empty"
+
+    def test_methods_share_time_axis(self, ramp):
+        assert (
+            ramp["sqlb"].times().tolist()
+            == ramp["capacity"].times().tolist()
+        )
+
+
+class TestResponseTimeCurve:
+    def test_curve_shape_and_factors(self):
+        curve = response_time_curve(
+            config=tiny_config(duration=80.0),
+            methods=("sqlb", "capacity"),
+            seeds=(1,),
+            workloads=(0.4, 0.8),
+        )
+        assert curve.workloads == (0.4, 0.8)
+        assert curve.response_times["sqlb"].shape == (2,)
+        factors = curve.factor_vs("capacity")
+        assert factors["capacity"].tolist() == pytest.approx([1.0, 1.0])
+        assert (factors["sqlb"] > 0).all()

@@ -1,0 +1,67 @@
+"""Tests for the experiment harness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.harness import (
+    MethodAverages,
+    average_series,
+    run_method_family,
+    run_repeated,
+)
+from repro.simulation.config import tiny_config
+
+
+@pytest.fixture(scope="module")
+def family():
+    return run_method_family(
+        tiny_config(duration=60.0), ("sqlb", "capacity"), (1, 2)
+    )
+
+
+class TestRunRepeated:
+    def test_one_result_per_seed(self):
+        results = run_repeated(tiny_config(duration=40.0), "sqlb", (1, 2))
+        assert len(results) == 2
+        assert results[0].seed == 1
+        assert results[1].seed == 2
+
+    def test_requires_seeds(self):
+        with pytest.raises(ValueError):
+            run_repeated(tiny_config(), "sqlb", ())
+
+
+class TestAverageSeries:
+    def test_averages_across_repetitions(self):
+        results = run_repeated(tiny_config(duration=60.0), "sqlb", (1, 2))
+        averaged = average_series(results, "utilization_mean")
+        manual = np.nanmean(
+            np.vstack([r.series("utilization_mean") for r in results]),
+            axis=0,
+        )
+        assert np.allclose(averaged, manual, equal_nan=True)
+
+
+class TestRunMethodFamily:
+    def test_returns_averages_per_method(self, family):
+        assert set(family) == {"sqlb", "capacity"}
+        assert isinstance(family["sqlb"], MethodAverages)
+        assert len(family["sqlb"].results) == 2
+
+    def test_memoises_identical_requests(self, family):
+        again = run_method_family(
+            tiny_config(duration=60.0), ("sqlb", "capacity"), (1, 2)
+        )
+        assert again is family
+
+    def test_method_averages_helpers(self, family):
+        averages = family["sqlb"]
+        assert averages.times().size > 0
+        assert averages.series("utilization_mean").size == (
+            averages.times().size
+        )
+        assert averages.response_time() > 0
+        assert averages.provider_departure_fraction() == 0.0
+        assert averages.consumer_departure_fraction() == 0.0

@@ -1,0 +1,95 @@
+"""Tests for departure-risk prediction (Section 3.3's diagnostic use).
+
+The headline test reproduces the paper's reasoning end to end: read
+the risks off *captive* runs, then verify them against the realised
+departures of *autonomous* runs of the same environment.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.prediction import predict_departure_risks
+from repro.simulation.config import (
+    DepartureRules,
+    WorkloadSpec,
+    tiny_config,
+)
+from repro.simulation.engine import run_simulation
+
+CAPTIVE = tiny_config(duration=250.0, workload=WorkloadSpec.fixed(0.8))
+
+
+@pytest.fixture(scope="module")
+def captive_runs():
+    return {
+        method: run_simulation(CAPTIVE, method, seed=31)
+        for method in ("sqlb", "capacity", "mariposa")
+    }
+
+
+class TestReportShape:
+    def test_evidence_and_flags_present(self, captive_runs):
+        report = predict_departure_risks(captive_runs["sqlb"])
+        assert set(report.flags()) == {
+            "provider_dissatisfaction",
+            "provider_load_pathology",
+            "consumer_dissatisfaction",
+        }
+        assert set(report.evidence) == {
+            "provider_allocation_satisfaction_mean",
+            "provider_punished_fraction",
+            "utilization_min_max_ratio",
+            "consumer_allocation_satisfaction_mean",
+            "consumer_punished_fraction",
+        }
+        assert report.method == "sqlb"
+
+    def test_rejects_empty_population(self, captive_runs):
+        result = captive_runs["sqlb"]
+        result.final["provider_active"][:] = False
+        try:
+            with pytest.raises(ValueError):
+                predict_departure_risks(result)
+        finally:
+            result.final["provider_active"][:] = True
+
+
+class TestPaperPredictions:
+    def test_capacity_based_flags_provider_dissatisfaction(
+        self, captive_runs
+    ):
+        """The paper's Section 6.3.1 prediction: 'we can predict that
+        when providers will be free to leave, Capacity based will
+        suffer from providers' departures by dissatisfaction'."""
+        report = predict_departure_risks(captive_runs["capacity"])
+        assert report.provider_dissatisfaction
+
+    def test_sqlb_does_not_flag_provider_dissatisfaction(self, captive_runs):
+        report = predict_departure_risks(captive_runs["sqlb"])
+        assert not report.provider_dissatisfaction
+
+    def test_baselines_flag_consumer_risk_sqlb_does_not(self, captive_runs):
+        sqlb = predict_departure_risks(captive_runs["sqlb"])
+        capacity = predict_departure_risks(captive_runs["capacity"])
+        assert not sqlb.consumer_dissatisfaction
+        assert capacity.consumer_dissatisfaction
+
+    def test_predictions_verified_by_autonomous_runs(self, captive_runs):
+        """Captive-run risk flags must anticipate the realised
+        departures once the same environment turns autonomous."""
+        autonomous_config = CAPTIVE.with_departures(
+            DepartureRules.autonomous(True)
+        )
+        for method in ("sqlb", "capacity"):
+            report = predict_departure_risks(captive_runs[method])
+            realised = run_simulation(autonomous_config, method, seed=31)
+            provider_loss = realised.provider_departure_fraction()
+            consumer_loss = realised.consumer_departure_fraction()
+            if report.provider_dissatisfaction:
+                assert provider_loss > 0.2
+            if report.consumer_dissatisfaction:
+                assert consumer_loss > 0.1
+            if not report.any_risk():
+                assert provider_loss < 0.5
+                assert consumer_loss == 0.0

@@ -1,0 +1,222 @@
+"""Tests for the bounded interaction memories."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.memory import InteractionMemory, RowRingLog
+
+
+class TestInteractionMemory:
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ValueError):
+            InteractionMemory(0)
+        with pytest.raises(ValueError):
+            InteractionMemory(-3)
+
+    def test_empty_memory_reports_default(self):
+        memory = InteractionMemory(4)
+        assert len(memory) == 0
+        assert not memory
+        assert memory.mean() == 0.0
+        assert memory.mean(default=0.5) == 0.5
+
+    def test_mean_of_partial_window(self):
+        memory = InteractionMemory(10)
+        memory.extend([1.0, 0.0, 0.5])
+        assert memory.mean() == pytest.approx(0.5)
+        assert len(memory) == 3
+
+    def test_eviction_is_fifo(self):
+        memory = InteractionMemory(2)
+        memory.extend([1.0, 0.0, -1.0])  # evicts the 1.0
+        assert memory.mean() == pytest.approx(-0.5)
+        assert list(memory.values()) == [0.0, -1.0]
+
+    def test_values_preserve_chronological_order_after_wrap(self):
+        memory = InteractionMemory(3)
+        memory.extend([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert list(memory.values()) == [3.0, 4.0, 5.0]
+
+    def test_clear_forgets_everything(self):
+        memory = InteractionMemory(3)
+        memory.extend([1.0, 2.0])
+        memory.clear()
+        assert len(memory) == 0
+        assert memory.mean(default=0.25) == 0.25
+
+    def test_iteration_matches_values(self):
+        memory = InteractionMemory(4)
+        memory.extend([0.1, 0.2, 0.3])
+        assert list(memory) == pytest.approx([0.1, 0.2, 0.3])
+
+    @given(
+        capacity=st.integers(min_value=1, max_value=20),
+        values=st.lists(
+            st.floats(min_value=-1, max_value=1, allow_nan=False),
+            min_size=0,
+            max_size=200,
+        ),
+    )
+    def test_running_mean_matches_recomputed_mean(self, capacity, values):
+        """Property: the O(1) mean equals the brute-force window mean."""
+        memory = InteractionMemory(capacity)
+        for value in values:
+            memory.push(value)
+        window = values[-capacity:]
+        if window:
+            assert memory.mean() == pytest.approx(
+                sum(window) / len(window), abs=1e-9
+            )
+        else:
+            assert memory.mean(default=0.5) == 0.5
+
+    def test_resync_cancels_drift_over_many_pushes(self):
+        memory = InteractionMemory(7)
+        rng = np.random.default_rng(0)
+        values = rng.uniform(-1, 1, 10_000)
+        for value in values:
+            memory.push(value)
+        assert memory.mean() == pytest.approx(values[-7:].mean(), abs=1e-9)
+
+
+class TestRowRingLog:
+    def _log(self, rows=3, capacity=4):
+        return RowRingLog(rows=rows, capacity=capacity, channels=("a", "b"))
+
+    def test_validates_constructor_arguments(self):
+        with pytest.raises(ValueError):
+            RowRingLog(rows=0, capacity=4, channels=("a",))
+        with pytest.raises(ValueError):
+            RowRingLog(rows=2, capacity=0, channels=("a",))
+        with pytest.raises(ValueError):
+            RowRingLog(rows=2, capacity=4, channels=())
+        with pytest.raises(ValueError):
+            RowRingLog(rows=2, capacity=4, channels=("a", "a"))
+
+    def test_push_validates_alignment_and_channels(self):
+        log = self._log()
+        rows = np.array([0, 1])
+        with pytest.raises(ValueError):
+            log.push(rows, {"a": np.zeros(2)}, performed=np.zeros(2, bool))
+        with pytest.raises(ValueError):
+            log.push(
+                rows,
+                {"a": np.zeros(3), "b": np.zeros(2)},
+                performed=np.zeros(2, bool),
+            )
+        with pytest.raises(ValueError):
+            log.push(
+                rows,
+                {"a": np.zeros(2), "b": np.zeros(2)},
+                performed=np.zeros(3, bool),
+            )
+
+    def test_empty_rows_report_default(self):
+        log = self._log()
+        assert log.mean_all("a", default=-1.0).tolist() == [-1.0] * 3
+        assert log.mean_performed("a", default=0.5).tolist() == [0.5] * 3
+
+    def test_push_all_rows_and_means(self):
+        log = self._log()
+        log.push_all_rows(
+            {"a": np.array([1.0, 2.0, 3.0]), "b": np.zeros(3)},
+            performed=np.array([True, False, True]),
+        )
+        assert log.mean_all("a").tolist() == [1.0, 2.0, 3.0]
+        assert log.mean_performed("a", default=0.0).tolist() == [1.0, 0.0, 3.0]
+        assert log.counts().tolist() == [1, 1, 1]
+        assert log.performed_counts().tolist() == [1, 0, 1]
+
+    def test_eviction_updates_performed_subset(self):
+        """A performed entry ageing out must shrink the performed mean."""
+        log = RowRingLog(rows=1, capacity=2, channels=("a",))
+        row = np.array([0])
+        log.push(row, {"a": np.array([1.0])}, performed=np.array([True]))
+        log.push(row, {"a": np.array([0.0])}, performed=np.array([False]))
+        assert log.mean_performed("a")[0] == pytest.approx(1.0)
+        # This push evicts the performed 1.0: nothing performed remains.
+        log.push(row, {"a": np.array([0.5])}, performed=np.array([False]))
+        assert log.performed_counts()[0] == 0
+        assert log.mean_performed("a", default=-1.0)[0] == -1.0
+
+    def test_subset_rows_advance_independently(self):
+        log = self._log(rows=3, capacity=2)
+        log.push(
+            np.array([0]),
+            {"a": np.array([1.0]), "b": np.array([0.0])},
+            performed=np.array([True]),
+        )
+        log.push(
+            np.array([0, 2]),
+            {"a": np.array([3.0, 5.0]), "b": np.zeros(2)},
+            performed=np.array([True, True]),
+        )
+        assert log.counts().tolist() == [2, 0, 1]
+        assert log.mean_all("a", default=0.0).tolist() == [2.0, 0.0, 5.0]
+
+    def test_row_values_returns_chronological_window(self):
+        log = RowRingLog(rows=1, capacity=3, channels=("a",))
+        for value in [1.0, 2.0, 3.0, 4.0]:
+            log.push(
+                np.array([0]),
+                {"a": np.array([value])},
+                performed=np.array([True]),
+            )
+        assert log.row_values(0, "a").tolist() == [2.0, 3.0, 4.0]
+
+    @given(
+        capacity=st.integers(min_value=1, max_value=6),
+        steps=st.lists(
+            st.tuples(
+                st.floats(min_value=-1, max_value=1, allow_nan=False),
+                st.booleans(),
+            ),
+            min_size=0,
+            max_size=60,
+        ),
+    )
+    @settings(max_examples=60)
+    def test_single_row_matches_bruteforce(self, capacity, steps):
+        """Property: running sums equal brute-force window recomputation."""
+        log = RowRingLog(rows=1, capacity=capacity, channels=("v",))
+        row = np.array([0])
+        for value, performed in steps:
+            log.push(
+                row,
+                {"v": np.array([value])},
+                performed=np.array([performed]),
+            )
+        window = steps[-capacity:]
+        all_values = [v for v, _ in window]
+        performed_values = [v for v, flag in window if flag]
+        if all_values:
+            assert log.mean_all("v")[0] == pytest.approx(
+                np.mean(all_values), abs=1e-9
+            )
+        if performed_values:
+            assert log.mean_performed("v")[0] == pytest.approx(
+                np.mean(performed_values), abs=1e-9
+            )
+        else:
+            assert log.performed_counts()[0] == 0
+
+    def test_resync_keeps_sums_consistent_after_many_pushes(self):
+        log = RowRingLog(rows=2, capacity=5, channels=("v",))
+        rng = np.random.default_rng(1)
+        history = {0: [], 1: []}
+        for _ in range(5000):
+            rows = np.array([0, 1])
+            values = rng.uniform(-1, 1, 2)
+            performed = rng.random(2) < 0.5
+            log.push(rows, {"v": values}, performed=performed)
+            for i in (0, 1):
+                history[i].append((values[i], performed[i]))
+        for i in (0, 1):
+            window = history[i][-5:]
+            assert log.mean_all("v")[i] == pytest.approx(
+                np.mean([v for v, _ in window]), abs=1e-9
+            )

@@ -1,0 +1,149 @@
+"""Tests for the provider characterisation (Section 3.2)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.provider_profile import ProviderProfile
+
+
+class TestProviderProfileBasics:
+    def test_validates_constructor(self):
+        with pytest.raises(ValueError):
+            ProviderProfile(k=0)
+        with pytest.raises(ValueError):
+            ProviderProfile(k=5, initial_satisfaction=-0.1)
+
+    def test_definition_4_and_5_zero_when_empty(self):
+        profile = ProviderProfile(k=5)
+        assert profile.adequation() == 0.0
+        assert profile.satisfaction() == 0.0
+
+    def test_or_initial_variants_report_table2_value(self):
+        profile = ProviderProfile(k=5, initial_satisfaction=0.5)
+        assert profile.satisfaction_or_initial() == 0.5
+        assert profile.adequation_or_initial() == 0.5
+        profile.record_proposal(1.0, 1.0, performed=True)
+        assert profile.satisfaction_or_initial() == pytest.approx(1.0)
+
+    def test_adequation_over_all_proposed(self):
+        profile = ProviderProfile(k=10)
+        profile.record_proposal(1.0, 1.0, performed=False)
+        profile.record_proposal(-1.0, -1.0, performed=False)
+        assert profile.adequation() == pytest.approx(0.5)
+        # Nothing performed yet.
+        assert profile.satisfaction() == 0.0
+
+    def test_satisfaction_over_performed_subset_only(self):
+        profile = ProviderProfile(k=10)
+        profile.record_proposal(-1.0, -1.0, performed=False)
+        profile.record_proposal(1.0, 1.0, performed=True)
+        assert profile.satisfaction() == pytest.approx(1.0)
+        assert profile.adequation() == pytest.approx(0.5)
+        assert profile.allocation_satisfaction() == pytest.approx(2.0)
+
+    def test_intention_and_preference_bases_are_independent(self):
+        profile = ProviderProfile(k=10)
+        profile.record_proposal(intention=-1.0, preference=1.0, performed=True)
+        assert profile.satisfaction("intention") == pytest.approx(0.0)
+        assert profile.satisfaction("preference") == pytest.approx(1.0)
+
+    def test_rejects_unknown_basis(self):
+        profile = ProviderProfile(k=5)
+        with pytest.raises(ValueError):
+            profile.satisfaction("feelings")
+        with pytest.raises(ValueError):
+            profile.adequation("feelings")
+
+
+class TestWindowCoupling:
+    """Definition 5's SQ ⊆ PQ coupling: performed entries age out with
+    the *proposed* window, not independently."""
+
+    def test_performed_entry_ages_out_of_proposed_window(self):
+        profile = ProviderProfile(k=2)
+        profile.record_proposal(1.0, 1.0, performed=True)
+        profile.record_proposal(0.0, 0.0, performed=False)
+        assert profile.satisfaction() == pytest.approx(1.0)
+        profile.record_proposal(0.0, 0.0, performed=False)
+        # The performed 1.0 left the window: Definition 5 gives 0.
+        assert profile.queries_performed == 0
+        assert profile.satisfaction() == 0.0
+
+    def test_starved_provider_becomes_maximally_dissatisfied(self):
+        """A provider proposed many queries but allocated none has
+        δs = 0 < δa: the punishment signal driving departures."""
+        profile = ProviderProfile(k=20)
+        for _ in range(20):
+            profile.record_proposal(0.8, 0.8, performed=False)
+        assert profile.adequation() == pytest.approx(0.9)
+        assert profile.satisfaction() == 0.0
+        assert profile.allocation_satisfaction() == 0.0
+
+
+class TestAllocationSatisfaction:
+    def test_neutral_when_performed_matches_proposed(self):
+        profile = ProviderProfile(k=10)
+        for value in (0.5, 0.5, 0.5):
+            profile.record_proposal(value, value, performed=True)
+        assert profile.allocation_satisfaction() == pytest.approx(1.0)
+
+    def test_zero_adequation_with_zero_satisfaction_is_neutral(self):
+        profile = ProviderProfile(k=4)
+        profile.record_proposal(-1.0, -1.0, performed=True)
+        assert profile.allocation_satisfaction() == 1.0
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=-1, max_value=1, allow_nan=False),
+                st.booleans(),
+            ),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    @settings(max_examples=60)
+    def test_characteristics_stay_in_range(self, trace):
+        profile = ProviderProfile(k=8)
+        for value, performed in trace:
+            profile.record_proposal(value, value, performed=performed)
+        assert 0.0 <= profile.adequation() <= 1.0
+        assert 0.0 <= profile.satisfaction() <= 1.0
+        assert profile.allocation_satisfaction() >= 0.0
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=-1, max_value=1, allow_nan=False),
+                st.booleans(),
+            ),
+            min_size=1,
+            max_size=60,
+        ),
+        st.integers(min_value=1, max_value=10),
+    )
+    @settings(max_examples=60)
+    def test_matches_bruteforce_definitions(self, trace, k):
+        """Property: the profile equals Definitions 4/5 recomputed."""
+        profile = ProviderProfile(k=k)
+        for value, performed in trace:
+            profile.record_proposal(value, value, performed=performed)
+        window = trace[-k:]
+        proposed = [v for v, _ in window]
+        performed_vals = [v for v, flag in window if flag]
+        expected_adequation = (sum(proposed) / len(proposed) + 1) / 2
+        assert profile.adequation() == pytest.approx(
+            expected_adequation, abs=1e-9
+        )
+        if performed_vals:
+            expected_satisfaction = (
+                sum(performed_vals) / len(performed_vals) + 1
+            ) / 2
+            assert profile.satisfaction() == pytest.approx(
+                expected_satisfaction, abs=1e-9
+            )
+        else:
+            assert profile.satisfaction() == 0.0

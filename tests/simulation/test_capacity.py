@@ -1,0 +1,63 @@
+"""Tests for provider capacity generation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simulation.capacity import assign_capacities, draw_class_indices
+from repro.simulation.config import CapacityClassMix
+
+
+class TestDrawClassIndices:
+    def test_exact_proportions_at_paper_scale(self, rng):
+        classes = draw_class_indices(400, (0.10, 0.60, 0.30), rng)
+        counts = np.bincount(classes, minlength=3)
+        assert counts.tolist() == [40, 240, 120]
+
+    def test_largest_remainder_rounding(self, rng):
+        # 7 entities at (0.10, 0.60, 0.30): quotas 0.7 / 4.2 / 2.1.
+        classes = draw_class_indices(7, (0.10, 0.60, 0.30), rng)
+        counts = np.bincount(classes, minlength=3)
+        assert counts.sum() == 7
+        assert counts[1] >= 4  # medium keeps its floor
+
+    def test_shuffled_assignment_is_not_index_correlated(self, rng):
+        classes = draw_class_indices(300, (0.10, 0.60, 0.30), rng)
+        # The first hundred must not be a single block of one class.
+        assert len(set(classes[:100].tolist())) > 1
+
+    def test_rejects_non_positive_n(self, rng):
+        with pytest.raises(ValueError):
+            draw_class_indices(0, (0.1, 0.6, 0.3), rng)
+
+
+class TestAssignCapacities:
+    def test_rates_follow_classes(self, rng):
+        mix = CapacityClassMix()
+        assignment = assign_capacities(100, mix, rng)
+        low, medium, high = mix.rates
+        expected = np.array([low, medium, high])[assignment.classes]
+        assert np.allclose(assignment.rates, expected)
+
+    def test_total_close_to_expected(self, rng):
+        mix = CapacityClassMix()
+        assignment = assign_capacities(400, mix, rng)
+        expected = 400 * sum(
+            r * f for r, f in zip(mix.rates, mix.fractions)
+        )
+        assert assignment.total == pytest.approx(expected, rel=0.01)
+
+    def test_class_name_helper(self, rng):
+        assignment = assign_capacities(10, CapacityClassMix(), rng)
+        names = {assignment.class_name(i) for i in range(10)}
+        assert names <= {"low", "medium", "high"}
+
+    def test_deterministic_given_seed(self):
+        a = assign_capacities(
+            50, CapacityClassMix(), np.random.default_rng(5)
+        )
+        b = assign_capacities(
+            50, CapacityClassMix(), np.random.default_rng(5)
+        )
+        assert np.array_equal(a.classes, b.classes)

@@ -1,0 +1,174 @@
+"""Tests for the simulation configuration (Table 2 fidelity)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation.config import (
+    CapacityClassMix,
+    ClassBand,
+    DepartureRules,
+    PreferenceClassMix,
+    QueryClassSpec,
+    SimulationConfig,
+    WorkloadSpec,
+    paper_config,
+    scaled_config,
+    tiny_config,
+)
+
+
+class TestTable2Fidelity:
+    def test_paper_populations(self):
+        config = paper_config()
+        assert config.n_consumers == 200
+        assert config.n_providers == 400
+        assert config.consumer_memory == 200
+        assert config.provider_memory == 500
+        assert config.initial_satisfaction == 0.5
+
+    def test_paper_workload_is_poisson_ramp(self):
+        config = paper_config()
+        assert config.workload.kind == "ramp"
+        assert config.workload.start_fraction == pytest.approx(0.30)
+        assert config.workload.end_fraction == pytest.approx(1.00)
+
+    def test_section_6_1_consumer_interest_mix(self):
+        mix = paper_config().consumer_interest
+        assert mix.fractions == (0.10, 0.30, 0.60)
+        assert (mix.high.low, mix.high.high) == (0.34, 1.0)
+        assert (mix.medium.low, mix.medium.high) == (-0.54, 0.34)
+        assert (mix.low.low, mix.low.high) == (-1.0, -0.54)
+
+    def test_section_6_1_provider_adaptation_mix(self):
+        mix = paper_config().provider_adaptation
+        assert mix.fractions == (0.05, 0.60, 0.35)
+        assert (mix.high.low, mix.high.high) == (-0.2, 1.0)
+
+    def test_section_6_1_capacity_ratios(self):
+        capacity = paper_config().capacity
+        low, medium, high = capacity.rates
+        assert high == pytest.approx(3 * medium)
+        assert high == pytest.approx(7 * low)
+        assert capacity.fractions == (0.10, 0.60, 0.30)
+
+    def test_query_classes_cost_130_and_150(self):
+        spec = paper_config().query_classes
+        assert spec.costs == (130.0, 150.0)
+        # A high-capacity provider (100 units/s) performs them in
+        # 1.3 s and 1.5 s — the paper's anchor.
+        assert 130.0 / 100.0 == pytest.approx(1.3)
+        assert spec.mean_cost == pytest.approx(140.0)
+
+
+class TestDerivedQuantities:
+    def test_total_capacity_formula(self):
+        config = paper_config()
+        rates = config.capacity.rates
+        expected = 400 * (0.1 * rates[0] + 0.6 * rates[1] + 0.3 * rates[2])
+        assert config.total_capacity() == pytest.approx(expected)
+
+    def test_arrival_rate_matches_workload_fraction(self):
+        config = tiny_config(workload=WorkloadSpec.fixed(0.8))
+        expected = 0.8 * config.total_capacity() / 140.0
+        assert config.arrival_rate_at(0.0) == pytest.approx(expected)
+        assert config.arrival_rate_at(50.0) == pytest.approx(expected)
+
+    def test_ramp_rate_interpolates_linearly(self):
+        config = tiny_config(
+            workload=WorkloadSpec(kind="ramp", start_fraction=0.3,
+                                  end_fraction=1.0),
+            duration=100.0,
+        )
+        halfway = config.workload.fraction_at(50.0, 100.0)
+        assert halfway == pytest.approx(0.65)
+        assert config.optimal_utilization_at(100.0) == pytest.approx(1.0)
+
+    def test_peak_rate_is_ramp_end(self):
+        config = tiny_config(duration=100.0)
+        assert config.peak_arrival_rate() == pytest.approx(
+            config.arrival_rate_at(100.0)
+        )
+
+
+class TestValidation:
+    def test_class_band_rejects_empty_range(self):
+        with pytest.raises(ValueError):
+            ClassBand(fraction=0.5, low=1.0, high=0.0)
+
+    def test_mix_fractions_must_sum_to_one(self):
+        band = ClassBand(fraction=0.5, low=0.0, high=1.0)
+        with pytest.raises(ValueError):
+            PreferenceClassMix(low=band, medium=band, high=band)
+
+    def test_capacity_mix_validates_ratios(self):
+        with pytest.raises(ValueError):
+            CapacityClassMix(medium_ratio=5.0, low_ratio=3.0)
+
+    def test_query_spec_validation(self):
+        with pytest.raises(ValueError):
+            QueryClassSpec(costs=(130.0,), weights=(0.5, 0.5))
+        with pytest.raises(ValueError):
+            QueryClassSpec(costs=(-1.0,), weights=(1.0,))
+
+    def test_workload_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(kind="sinusoidal")
+        with pytest.raises(ValueError):
+            WorkloadSpec(kind="ramp", start_fraction=0.8, end_fraction=0.3)
+        with pytest.raises(ValueError):
+            WorkloadSpec.fixed(0.0)
+
+    def test_departure_rules_validation(self):
+        with pytest.raises(ValueError):
+            DepartureRules(provider_reasons=("boredom",))
+        with pytest.raises(ValueError):
+            DepartureRules(starvation_fraction=1.5)
+        with pytest.raises(ValueError):
+            DepartureRules(overutilization_fraction=0.9)
+        with pytest.raises(ValueError):
+            DepartureRules(persistence=0)
+        with pytest.raises(ValueError):
+            DepartureRules(provider_basis="vibes")
+
+    def test_autonomous_factory(self):
+        rules = DepartureRules.autonomous(include_overutilization=False)
+        assert rules.consumers_may_leave
+        assert "overutilization" not in rules.provider_reasons
+        assert "dissatisfaction" in rules.provider_reasons
+
+    def test_captive_factory_disables_everything(self):
+        rules = DepartureRules.captive()
+        assert not rules.consumers_may_leave
+        assert rules.provider_reasons == ()
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(n_consumers=0)
+        with pytest.raises(ValueError):
+            SimulationConfig(epsilon=0.0)
+        with pytest.raises(ValueError):
+            SimulationConfig(upsilon=2.0)
+        with pytest.raises(ValueError):
+            SimulationConfig(queries_per_request=0)
+        with pytest.raises(ValueError):
+            SimulationConfig(provider_pref_mode="per_mood")
+        with pytest.raises(ValueError):
+            SimulationConfig(consumer_intention_mode="telepathy")
+        with pytest.raises(ValueError):
+            SimulationConfig(warm_start_entries=10_000)
+        with pytest.raises(ValueError):
+            SimulationConfig(fixed_omega=1.5)
+
+    def test_with_helpers_return_modified_copies(self):
+        config = scaled_config()
+        fixed = config.with_workload(WorkloadSpec.fixed(0.5))
+        assert fixed.workload.kind == "fixed"
+        assert config.workload.kind == "ramp"
+        autonomous = config.with_departures(DepartureRules.autonomous())
+        assert autonomous.departures.consumers_may_leave
+        assert not config.departures.consumers_may_leave
+
+    def test_config_is_hashable_for_memoisation(self):
+        assert hash(scaled_config()) == hash(scaled_config())
+        assert scaled_config() == scaled_config()

@@ -1,0 +1,161 @@
+"""Engine edge cases: multi-provider queries, capability constraints,
+population collapse, and the configuration ablation hooks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simulation.config import (
+    DepartureRules,
+    QueryClassSpec,
+    WorkloadSpec,
+    tiny_config,
+)
+from repro.simulation.engine import MediatorSimulation, run_simulation
+from repro.simulation.matchmaking import CapabilityMatchmaker
+
+
+class TestMultiProviderQueries:
+    def test_qn_2_allocates_each_query_twice(self):
+        config = tiny_config(duration=80.0, queries_per_request=2)
+        result = run_simulation(config, "sqlb", seed=5)
+        total_allocations = result.final["completed_counts"].sum()
+        assert total_allocations == 2 * result.queries_served
+
+    def test_qn_larger_than_population_selects_everyone(self):
+        config = tiny_config(
+            n_providers=3, duration=40.0, queries_per_request=10
+        )
+        result = run_simulation(config, "capacity", seed=5)
+        counts = result.final["completed_counts"]
+        # Every provider performs every query.
+        assert (counts == result.queries_served).all()
+
+    def test_consumer_satisfaction_accounts_for_missing_results(self):
+        """With q.n = 10 but only 3 providers, δs(c, q) is diluted by
+        the unmet demand (Equation 2 divides by q.n)."""
+        config = tiny_config(
+            n_providers=3, duration=60.0, queries_per_request=10
+        )
+        result = run_simulation(config, "sqlb", seed=5)
+        satisfaction = result.series("consumer_satisfaction_mean")[-1]
+        assert satisfaction < 0.75
+
+
+class TestCapabilityMatchmaking:
+    def test_specialised_providers_only_get_their_class(self):
+        config = tiny_config(
+            duration=80.0,
+            query_classes=QueryClassSpec(
+                costs=(100.0, 140.0), weights=(0.5, 0.5)
+            ),
+        )
+        capability = np.zeros((config.n_providers, 2), dtype=bool)
+        capability[: config.n_providers // 2, 0] = True
+        capability[config.n_providers // 2 :, 1] = True
+        simulation = MediatorSimulation(
+            config,
+            "capacity",
+            seed=8,
+            matchmaker=CapabilityMatchmaker(capability),
+        )
+        result = simulation.run()
+        assert result.queries_unserved == 0
+        assert result.queries_served > 0
+
+
+class TestPopulationCollapse:
+    def test_unserved_queries_counted_when_all_providers_leave(self):
+        # Brutal rules: no persistence, generous thresholds → everyone
+        # leaves quickly; later queries must be counted as unserved.
+        rules = DepartureRules(
+            consumers_may_leave=False,
+            provider_reasons=("dissatisfaction",),
+            dissatisfaction_margin=0.0,
+            persistence=1,
+        )
+        config = tiny_config(
+            duration=200.0,
+            warmup_time=10.0,
+            departure_check_interval=5.0,
+            workload=WorkloadSpec.fixed(0.8),
+        ).with_departures(rules)
+        result = run_simulation(config, "capacity", seed=3)
+        if not result.final["provider_active"].any():
+            assert result.queries_unserved > 0
+        assert (
+            result.queries_served + result.queries_unserved
+            == result.queries_issued
+        )
+
+    def test_departed_consumers_stop_issuing(self):
+        rules = DepartureRules(
+            consumers_may_leave=True, consumer_persistence=1
+        )
+        config = tiny_config(
+            duration=200.0,
+            warmup_time=10.0,
+            departure_check_interval=5.0,
+            workload=WorkloadSpec.fixed(0.8),
+        ).with_departures(rules)
+        captive = run_simulation(
+            config.with_departures(DepartureRules.captive()),
+            "capacity",
+            seed=3,
+        )
+        autonomous = run_simulation(config, "capacity", seed=3)
+        if any(d.kind == "consumer" for d in autonomous.departures):
+            assert autonomous.queries_issued < captive.queries_issued
+
+
+class TestConfigurationHooks:
+    def test_formula_mode_uses_reputation(self):
+        """υ = 0 makes consumer intentions pure reputation: two runs
+        differing only in υ must allocate differently."""
+        base = dict(duration=60.0, consumer_intention_mode="formula")
+        pure_reputation = run_simulation(
+            tiny_config(upsilon=0.0, **base), "sqlb", seed=6
+        )
+        pure_preference = run_simulation(
+            tiny_config(upsilon=1.0, **base), "sqlb", seed=6
+        )
+        assert not np.array_equal(
+            pure_reputation.final["completed_counts"],
+            pure_preference.final["completed_counts"],
+        )
+
+    def test_fixed_omega_zero_serves_consumers(self):
+        config = tiny_config(duration=150.0, fixed_omega=0.0)
+        result = run_simulation(config, "sqlb", seed=6)
+        assert (
+            result.series("consumer_allocation_satisfaction_mean")[-1]
+            >= 1.0
+        )
+
+    def test_fixed_provider_satisfaction_changes_intentions(self):
+        eager = run_simulation(
+            tiny_config(duration=60.0, fixed_provider_satisfaction=0.0),
+            "sqlb",
+            seed=6,
+        )
+        shedding = run_simulation(
+            tiny_config(duration=60.0, fixed_provider_satisfaction=1.0),
+            "sqlb",
+            seed=6,
+        )
+        assert not np.array_equal(
+            eager.final["completed_counts"],
+            shedding.final["completed_counts"],
+        )
+
+    def test_per_query_class_mode_runs(self):
+        config = tiny_config(
+            duration=60.0, provider_pref_mode="per_query_class"
+        )
+        result = run_simulation(config, "sqlb", seed=6)
+        assert result.queries_served == result.queries_issued
+
+    def test_warm_start_zero_runs(self):
+        config = tiny_config(duration=60.0, warm_start_entries=0)
+        result = run_simulation(config, "sqlb", seed=6)
+        assert result.queries_served == result.queries_issued

@@ -1,0 +1,97 @@
+"""Property-based invariants of the queueing and utilisation substrates."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulation.queueing import ProviderQueues
+from repro.simulation.utilization import UtilizationTracker
+
+arrival_traces = st.lists(
+    st.tuples(
+        st.floats(min_value=0.01, max_value=5.0, allow_nan=False),  # gap
+        st.integers(min_value=0, max_value=2),  # provider
+        st.floats(min_value=1.0, max_value=300.0, allow_nan=False),  # cost
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+class TestQueueInvariants:
+    @given(arrival_traces)
+    @settings(max_examples=60)
+    def test_completions_never_precede_service_time(self, trace):
+        capacities = np.array([100.0, 100.0 / 3, 100.0 / 7])
+        queues = ProviderQueues(capacities)
+        now = 0.0
+        for gap, provider, cost in trace:
+            now += gap
+            completions = queues.assign(np.array([provider]), cost, now)
+            # Completion is at least arrival + pure service time.
+            assert completions[0] >= now + cost / capacities[provider] - 1e-9
+
+    @given(arrival_traces)
+    @settings(max_examples=60)
+    def test_busy_until_is_monotone_per_provider(self, trace):
+        queues = ProviderQueues(np.array([100.0, 50.0, 25.0]))
+        now = 0.0
+        last = np.zeros(3)
+        for gap, provider, cost in trace:
+            now += gap
+            queues.assign(np.array([provider]), cost, now)
+            current = queues.busy_until.copy()
+            assert (current >= last - 1e-9).all()
+            last = current
+
+    @given(arrival_traces)
+    @settings(max_examples=60)
+    def test_total_busy_time_equals_work_over_capacity(self, trace):
+        capacities = np.array([100.0, 50.0, 25.0])
+        queues = ProviderQueues(capacities)
+        expected = np.zeros(3)
+        now = 0.0
+        for gap, provider, cost in trace:
+            now += gap
+            queues.assign(np.array([provider]), cost, now)
+            expected[provider] += cost / capacities[provider]
+        assert np.allclose(queues.busy_seconds(), expected)
+
+
+class TestUtilizationInvariants:
+    @given(arrival_traces)
+    @settings(max_examples=60)
+    def test_utilization_is_non_negative_and_bounded_by_total_work(
+        self, trace
+    ):
+        capacities = np.array([100.0, 50.0, 25.0])
+        tracker = UtilizationTracker(capacities, window=10.0, bins=5)
+        totals = np.zeros(3)
+        now = 0.0
+        for gap, provider, cost in trace:
+            now += gap
+            tracker.advance(now)
+            tracker.assign(np.array([provider]), cost)
+            totals[provider] += cost
+            utilization = tracker.utilization()
+            assert (utilization >= 0.0).all()
+            # The window can never hold more than everything assigned.
+            assert (
+                utilization <= totals / (capacities * 10.0) + 1e-9
+            ).all()
+
+    @given(arrival_traces)
+    @settings(max_examples=60)
+    def test_advancing_beyond_window_always_clears(self, trace):
+        tracker = UtilizationTracker(
+            np.array([100.0, 50.0, 25.0]), window=10.0, bins=5
+        )
+        now = 0.0
+        for gap, provider, cost in trace:
+            now += gap
+            tracker.advance(now)
+            tracker.assign(np.array([provider]), cost)
+        tracker.advance(now + 11.0)
+        assert (tracker.utilization() == 0.0).all()

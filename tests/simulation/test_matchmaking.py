@@ -1,0 +1,55 @@
+"""Tests for the matchmaking abstraction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simulation.matchmaking import (
+    CapabilityMatchmaker,
+    UniversalMatchmaker,
+)
+from repro.simulation.queries import Query
+
+
+def make_query(klass=0):
+    return Query(
+        qid=0, consumer=0, klass=klass, cost_units=130.0, n_desired=1,
+        issued_at=0.0,
+    )
+
+
+class TestUniversalMatchmaker:
+    def test_returns_all_active_providers(self):
+        active = np.array([True, False, True, True])
+        candidates = UniversalMatchmaker().candidates(make_query(), active)
+        assert candidates.tolist() == [0, 2, 3]
+
+    def test_empty_when_no_active_provider(self):
+        active = np.zeros(3, dtype=bool)
+        assert UniversalMatchmaker().candidates(make_query(), active).size == 0
+
+
+class TestCapabilityMatchmaker:
+    def test_filters_by_query_class_and_activity(self):
+        capability = np.array(
+            [[True, False], [True, True], [False, True]]
+        )
+        matchmaker = CapabilityMatchmaker(capability)
+        active = np.array([True, True, False])
+        assert matchmaker.candidates(make_query(0), active).tolist() == [0, 1]
+        assert matchmaker.candidates(make_query(1), active).tolist() == [1]
+
+    def test_rejects_infeasible_query_class(self):
+        capability = np.array([[True, False], [True, False]])
+        with pytest.raises(ValueError, match="feasible"):
+            CapabilityMatchmaker(capability)
+
+    def test_rejects_unknown_class_at_lookup(self):
+        matchmaker = CapabilityMatchmaker(np.array([[True]]))
+        with pytest.raises(ValueError):
+            matchmaker.candidates(make_query(3), np.array([True]))
+
+    def test_rejects_non_2d_matrix(self):
+        with pytest.raises(ValueError):
+            CapabilityMatchmaker(np.array([True, False]))

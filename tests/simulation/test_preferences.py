@@ -1,0 +1,96 @@
+"""Tests for preference generation (Section 6.1 heterogeneity)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simulation.config import (
+    CONSUMER_INTEREST_MIX,
+    PROVIDER_ADAPTATION_MIX,
+)
+from repro.simulation.preferences import (
+    build_consumer_preferences,
+    build_provider_preferences,
+)
+
+
+class TestConsumerPreferences:
+    def test_matrix_shape(self, rng):
+        prefs = build_consumer_preferences(
+            20, 30, CONSUMER_INTEREST_MIX, rng
+        )
+        assert prefs.matrix.shape == (20, 30)
+
+    def test_values_respect_interest_bands(self, rng):
+        prefs = build_consumer_preferences(
+            50, 100, CONSUMER_INTEREST_MIX, rng
+        )
+        bands = [(-1.0, -0.54), (-0.54, 0.34), (0.34, 1.0)]
+        for provider in range(100):
+            low, high = bands[prefs.interest_classes[provider]]
+            column = prefs.matrix[:, provider]
+            assert column.min() >= low - 1e-12
+            assert column.max() <= high + 1e-12
+
+    def test_interest_class_proportions(self, rng):
+        prefs = build_consumer_preferences(
+            5, 400, CONSUMER_INTEREST_MIX, rng
+        )
+        counts = np.bincount(prefs.interest_classes, minlength=3)
+        assert counts.tolist() == [40, 120, 240]
+
+    def test_for_consumer_slices_matrix(self, rng):
+        prefs = build_consumer_preferences(
+            4, 6, CONSUMER_INTEREST_MIX, rng
+        )
+        subset = np.array([1, 3, 5])
+        assert np.array_equal(
+            prefs.for_consumer(2, subset), prefs.matrix[2, subset]
+        )
+
+
+class TestProviderPreferences:
+    def test_per_query_draws_vary(self, rng):
+        prefs = build_provider_preferences(
+            10, 2, PROVIDER_ADAPTATION_MIX, "per_query", rng
+        )
+        providers = np.arange(10)
+        first = prefs.draw(providers, 0)
+        second = prefs.draw(providers, 0)
+        assert not np.array_equal(first, second)
+
+    def test_per_query_class_draws_are_fixed(self, rng):
+        prefs = build_provider_preferences(
+            10, 2, PROVIDER_ADAPTATION_MIX, "per_query_class", rng
+        )
+        providers = np.arange(10)
+        first = prefs.draw(providers, 1)
+        second = prefs.draw(providers, 1)
+        assert np.array_equal(first, second)
+        # Different class, different (independent) draw.
+        other = prefs.draw(providers, 0)
+        assert not np.array_equal(first, other)
+
+    def test_draws_respect_adaptation_bands(self, rng):
+        prefs = build_provider_preferences(
+            200, 2, PROVIDER_ADAPTATION_MIX, "per_query", rng
+        )
+        bands = [(-1.0, 0.2), (-0.6, 0.6), (-0.2, 1.0)]
+        values = prefs.draw(np.arange(200), 0)
+        for provider in range(200):
+            low, high = bands[prefs.adaptation_classes[provider]]
+            assert low - 1e-12 <= values[provider] <= high + 1e-12
+
+    def test_adaptation_class_proportions(self, rng):
+        prefs = build_provider_preferences(
+            400, 2, PROVIDER_ADAPTATION_MIX, "per_query", rng
+        )
+        counts = np.bincount(prefs.adaptation_classes, minlength=3)
+        assert counts.tolist() == [20, 240, 140]
+
+    def test_rejects_unknown_mode(self, rng):
+        with pytest.raises(ValueError):
+            build_provider_preferences(
+                5, 2, PROVIDER_ADAPTATION_MIX, "per_fortnight", rng
+            )

@@ -1,0 +1,48 @@
+"""Tests for queries and the query factory."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simulation.config import QueryClassSpec
+from repro.simulation.queries import Query, QueryFactory
+
+
+class TestQuery:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Query(qid=0, consumer=0, klass=0, cost_units=130.0,
+                  n_desired=0, issued_at=0.0)
+        with pytest.raises(ValueError):
+            Query(qid=0, consumer=0, klass=0, cost_units=0.0,
+                  n_desired=1, issued_at=0.0)
+
+
+class TestQueryFactory:
+    def test_ids_are_sequential(self, rng):
+        factory = QueryFactory(QueryClassSpec(), n_desired=1, rng=rng)
+        queries = [factory.create(0, float(i)) for i in range(5)]
+        assert [q.qid for q in queries] == [0, 1, 2, 3, 4]
+        assert factory.issued == 5
+
+    def test_costs_match_drawn_class(self, rng):
+        spec = QueryClassSpec(costs=(130.0, 150.0), weights=(0.5, 0.5))
+        factory = QueryFactory(spec, n_desired=1, rng=rng)
+        for _ in range(50):
+            query = factory.create(3, 1.0)
+            assert query.cost_units == spec.costs[query.klass]
+            assert query.consumer == 3
+            assert query.n_desired == 1
+
+    def test_class_weights_respected(self, rng):
+        spec = QueryClassSpec(costs=(130.0, 150.0), weights=(1.0, 0.0))
+        factory = QueryFactory(spec, n_desired=1, rng=rng)
+        classes = {factory.create(0, 0.0).klass for _ in range(20)}
+        assert classes == {0}
+
+    def test_roughly_balanced_default_mix(self, rng):
+        factory = QueryFactory(QueryClassSpec(), n_desired=1, rng=rng)
+        classes = np.array([factory.create(0, 0.0).klass for _ in range(400)])
+        share = classes.mean()
+        assert 0.4 < share < 0.6

@@ -1,0 +1,48 @@
+"""Tests for the time-series collector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation.stats import TimeSeriesCollector
+
+
+class TestTimeSeriesCollector:
+    def test_round_trip(self):
+        collector = TimeSeriesCollector()
+        collector.add_sample(1.0, {"a": 0.5, "b": 2.0})
+        collector.add_sample(2.0, {"a": 0.6, "b": 1.0})
+        assert collector.times().tolist() == [1.0, 2.0]
+        assert collector.series("a").tolist() == [0.5, 0.6]
+        assert collector.last("b") == 1.0
+        assert len(collector) == 2
+        assert set(collector.names) == {"a", "b"}
+
+    def test_rejects_key_drift(self):
+        collector = TimeSeriesCollector()
+        collector.add_sample(1.0, {"a": 0.5})
+        with pytest.raises(ValueError, match="sample keys changed"):
+            collector.add_sample(2.0, {"a": 0.5, "b": 1.0})
+        with pytest.raises(ValueError):
+            collector.add_sample(3.0, {"b": 1.0})
+
+    def test_rejects_time_travel(self):
+        collector = TimeSeriesCollector()
+        collector.add_sample(5.0, {"a": 1.0})
+        with pytest.raises(ValueError, match="chronological"):
+            collector.add_sample(4.0, {"a": 1.0})
+
+    def test_unknown_series_raises_keyerror(self):
+        collector = TimeSeriesCollector()
+        collector.add_sample(1.0, {"a": 1.0})
+        with pytest.raises(KeyError):
+            collector.series("zzz")
+        with pytest.raises(KeyError):
+            collector.last("zzz")
+
+    def test_as_dict_returns_copies(self):
+        collector = TimeSeriesCollector()
+        collector.add_sample(1.0, {"a": 1.0})
+        exported = collector.as_dict()
+        exported["a"][0] = 99.0
+        assert collector.series("a")[0] == 1.0

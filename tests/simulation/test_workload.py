@@ -1,0 +1,76 @@
+"""Tests for the Poisson arrival process."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simulation.workload import PoissonArrivals
+
+
+class TestPoissonArrivals:
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            PoissonArrivals(lambda t: 1.0, peak_rate=0.0, duration=10.0, rng=rng)
+        with pytest.raises(ValueError):
+            PoissonArrivals(lambda t: 1.0, peak_rate=1.0, duration=0.0, rng=rng)
+
+    def test_arrivals_are_increasing_and_within_horizon(self, rng):
+        arrivals = list(
+            PoissonArrivals(lambda t: 5.0, peak_rate=5.0, duration=50.0, rng=rng)
+        )
+        times = np.asarray(arrivals)
+        assert np.all(np.diff(times) > 0)
+        assert times.max() < 50.0
+
+    def test_homogeneous_rate_statistics(self, rng):
+        count = len(
+            list(
+                PoissonArrivals(
+                    lambda t: 10.0, peak_rate=10.0, duration=400.0, rng=rng
+                )
+            )
+        )
+        # Expect 4000 ± ~3.2σ.
+        assert abs(count - 4000) < 4 * np.sqrt(4000)
+
+    def test_ramp_rate_produces_more_arrivals_late(self, rng):
+        def rate(t):
+            return 1.0 + 9.0 * (t / 200.0)
+
+        times = np.asarray(
+            list(
+                PoissonArrivals(rate, peak_rate=10.0, duration=200.0, rng=rng)
+            )
+        )
+        first_half = (times < 100.0).sum()
+        second_half = (times >= 100.0).sum()
+        # Expected 325 vs 775 arrivals: the later half dominates.
+        assert second_half > 1.8 * first_half
+
+    def test_rejects_rate_above_envelope(self, rng):
+        arrivals = PoissonArrivals(
+            lambda t: 20.0, peak_rate=10.0, duration=10.0, rng=rng
+        )
+        with pytest.raises(ValueError, match="exceeds the thinning envelope"):
+            list(arrivals)
+
+    def test_rejects_negative_rate(self, rng):
+        arrivals = PoissonArrivals(
+            lambda t: -1.0, peak_rate=10.0, duration=10.0, rng=rng
+        )
+        with pytest.raises(ValueError):
+            list(arrivals)
+
+    def test_deterministic_given_seed(self):
+        def build():
+            return list(
+                PoissonArrivals(
+                    lambda t: 3.0,
+                    peak_rate=3.0,
+                    duration=30.0,
+                    rng=np.random.default_rng(11),
+                )
+            )
+
+        assert build() == build()

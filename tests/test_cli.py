@@ -1,0 +1,68 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.method == "sqlb"
+        assert args.workload == 0.8
+        assert not args.autonomous
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--method", "oracle"])
+
+    def test_rejects_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "9z"])
+
+
+class TestCommands:
+    def test_methods_lists_paper_methods(self, capsys):
+        assert main(["methods"]) == 0
+        output = capsys.readouterr().out
+        for name in ("sqlb (paper)", "capacity (paper)", "mariposa (paper)"):
+            assert name in output
+        assert "knbest" in output
+
+    def test_run_prints_summary(self, capsys):
+        code = main(
+            [
+                "run",
+                "--method",
+                "capacity",
+                "--duration",
+                "60",
+                "--workload",
+                "0.5",
+                "--seed",
+                "3",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "method: capacity" in output
+        assert "response time" in output
+
+    def test_run_autonomous_reports_departures(self, capsys):
+        main(
+            [
+                "run",
+                "--duration",
+                "60",
+                "--autonomous",
+                "--method",
+                "sqlb",
+            ]
+        )
+        assert "departures:" in capsys.readouterr().out

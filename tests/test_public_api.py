@@ -1,0 +1,30 @@
+"""Tests for the package's public surface."""
+
+from __future__ import annotations
+
+import repro
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_all_names_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_quickstart_snippet_runs():
+    """The __init__ docstring example must actually work."""
+    result = repro.run_simulation(
+        repro.tiny_config(duration=40.0), "sqlb", seed=42
+    )
+    value = result.series("provider_intention_satisfaction_mean")[-1]
+    assert 0.0 <= value <= 1.0
+
+
+def test_paper_methods_buildable():
+    config = repro.tiny_config()
+    for name in repro.PAPER_METHODS:
+        method = repro.build_method(name, config)
+        assert isinstance(method, repro.AllocationMethod)
