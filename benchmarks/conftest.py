@@ -18,6 +18,10 @@ from pathlib import Path
 
 import pytest
 
+from repro.experiments.executor import (
+    configure_default_executor,
+    set_default_executor,
+)
 from repro.simulation.config import scaled_config
 
 #: One repetition keeps the suite fast; the harness supports any number.
@@ -27,6 +31,41 @@ BENCH_SEEDS = (11,)
 BENCH_WORKLOADS = (0.2, 0.4, 0.6, 0.8, 1.0)
 
 OUTPUT_DIR = Path(__file__).parent / "output"
+
+#: Where the benches persist completed simulations between sessions.
+RESULT_STORE_DIR = OUTPUT_DIR / ".result_store"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def experiment_executor(request):
+    """One disk-cached, pool-capable executor shared by every bench.
+
+    All 20+ figure/table benches route their simulations through the
+    default executor configured here: ``--workers N`` fans each
+    experiment family's jobs out over a process pool (one pool per
+    simulation batch; worker start-up is cheap next to the runs), and
+    the persistent store under ``benchmarks/output/.result_store``
+    means a re-run of the suite re-simulates nothing (pass
+    ``--no-cache`` to force fresh runs, or ``--cache-dir`` to relocate
+    the store).
+    """
+    raw_workers = request.config.getoption("--workers", default=1)
+    try:
+        workers = max(1, int(raw_workers or 1))
+    except (TypeError, ValueError):
+        # A colliding third-party --workers may carry non-integer
+        # values (e.g. "auto"); fall back to serial rather than crash.
+        workers = 1
+    if request.config.getoption("--no-cache", default=False):
+        cache_dir = None
+    else:
+        cache_dir = (
+            request.config.getoption("--cache-dir", default=None)
+            or RESULT_STORE_DIR
+        )
+    executor = configure_default_executor(workers=workers, cache_dir=cache_dir)
+    yield executor
+    set_default_executor(None)
 
 
 def bench_config():

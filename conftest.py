@@ -1,0 +1,49 @@
+"""Root pytest configuration shared by the test and benchmark suites.
+
+Registers the experiment-executor command-line surface (the benchmark
+suite's session fixture reads these), and puts ``src/`` on ``sys.path``
+so ``pytest`` works without an editable install or ``PYTHONPATH``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+
+def pytest_addoption(parser):
+    group = parser.getgroup(
+        "repro", "SQLB reproduction experiment execution"
+    )
+
+    def addoption(*args, **kwargs):
+        # Tolerate third-party plugins that claim the same generic
+        # option name (e.g. a plugin registering --workers); their
+        # value is then read instead, which carries the same meaning.
+        try:
+            group.addoption(*args, **kwargs)
+        except ValueError:
+            pass
+
+    addoption(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool size for simulation jobs (1 = serial)",
+    )
+    addoption(
+        "--no-cache",
+        action="store_true",
+        default=False,
+        help="disable the persistent simulation result store",
+    )
+    addoption(
+        "--cache-dir",
+        default=None,
+        help="result-store directory (benchmarks default to "
+        "benchmarks/output/.result_store)",
+    )

@@ -24,6 +24,19 @@ from repro.allocation import (
     SQLBMethod,
     build_method,
 )
+from repro.experiments.executor import (
+    ExperimentExecutor,
+    SimulationJob,
+    configure_default_executor,
+    get_default_executor,
+    set_default_executor,
+)
+from repro.experiments.harness import (
+    MethodAverages,
+    run_method_family,
+    run_repeated,
+)
+from repro.experiments.store import ResultStore, cache_key
 from repro.core import (
     SQLBAllocation,
     allocate_query,
@@ -60,26 +73,36 @@ __all__ = [
     "CapacityBasedMethod",
     "ConsumerProfile",
     "DepartureRules",
+    "ExperimentExecutor",
     "MariposaMethod",
     "MediatorSimulation",
+    "MethodAverages",
     "ProviderProfile",
+    "ResultStore",
     "SQLBAllocation",
     "SQLBMethod",
     "SimulationConfig",
+    "SimulationJob",
     "SimulationResult",
     "WorkloadSpec",
     "allocate_query",
     "build_method",
+    "cache_key",
+    "configure_default_executor",
     "consumer_intention",
     "fairness",
+    "get_default_executor",
     "mean",
     "min_max_ratio",
     "omega",
     "paper_config",
     "provider_intention",
     "provider_score",
+    "run_method_family",
+    "run_repeated",
     "run_simulation",
     "scaled_config",
+    "set_default_executor",
     "tiny_config",
     "__version__",
 ]

@@ -12,14 +12,28 @@ Three subcommands::
     python -m repro figure 4a
         Regenerate one of the paper's figures/tables (4a-4i, 5a-5c, 6,
         table3) and print the same series/rows the paper reports.
+
+Both simulation-running subcommands accept ``--cache-dir PATH``
+(persist completed runs to a disk store so re-invocations skip
+simulation) and ``--no-cache`` (ignore any configured store, including
+``$REPRO_CACHE_DIR``); ``figure`` additionally accepts ``--workers N``
+to fan its many simulation jobs out over a process pool (``run``
+executes a single job, so a pool would not help it).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 from collections import Counter
 
 from repro.allocation.registry import PAPER_METHODS, available_methods
+from repro.experiments.executor import (
+    CACHE_DIR_ENV,
+    configure_default_executor,
+    get_default_executor,
+    workers_from_environment,
+)
 from repro.experiments.autonomy import (
     consumer_departure_curve,
     departure_reason_table,
@@ -43,7 +57,6 @@ from repro.simulation.config import (
     paper_config,
     scaled_config,
 )
-from repro.simulation.engine import run_simulation
 
 __all__ = ["build_parser", "main"]
 
@@ -59,7 +72,31 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("methods", help="list registered allocation methods")
 
+    def positive_int(text: str) -> int:
+        value = int(text)
+        if value < 1:
+            raise argparse.ArgumentTypeError(
+                f"must be a positive integer, got {value}"
+            )
+        return value
+
+    def add_cache_options(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--cache-dir",
+            default=None,
+            help="persist completed runs to this result-store directory "
+            "(defaults to $REPRO_CACHE_DIR when set)",
+        )
+        command.add_argument(
+            "--no-cache",
+            action="store_true",
+            help="disable the persistent result store entirely",
+        )
+
     run = sub.add_parser("run", help="run one simulation")
+    # `run` executes exactly one job, so a worker pool would be a no-op;
+    # only the cache flags apply here.
+    add_cache_options(run)
     run.add_argument("--method", default="sqlb", choices=available_methods())
     run.add_argument(
         "--workload",
@@ -83,6 +120,14 @@ def build_parser() -> argparse.ArgumentParser:
     figure = sub.add_parser(
         "figure", help="regenerate one of the paper's figures/tables"
     )
+    figure.add_argument(
+        "--workers",
+        type=positive_int,
+        default=None,
+        help="process-pool size for the figure's simulation jobs "
+        "(default: $REPRO_WORKERS, else 1 = serial)",
+    )
+    add_cache_options(figure)
     figure.add_argument("which", choices=FIGURES)
     figure.add_argument(
         "--seeds",
@@ -114,7 +159,9 @@ def _cmd_run(args: argparse.Namespace) -> str:
         )
     if args.autonomous:
         config = config.with_departures(DepartureRules.autonomous(True))
-    result = run_simulation(config, args.method, seed=args.seed)
+    result = get_default_executor().run_one(
+        config, args.method, seed=args.seed
+    )
 
     lines = [
         f"method: {result.method_name}   seed: {result.seed}   "
@@ -193,12 +240,36 @@ def _cmd_figure(args: argparse.Namespace) -> str:
     raise AssertionError(f"unhandled figure {which!r}")  # pragma: no cover
 
 
+def _configure_executor(args: argparse.Namespace) -> None:
+    """Install the default executor the simulation commands run through.
+
+    Flags win; unset flags fall back to the ``REPRO_WORKERS`` /
+    ``REPRO_CACHE_DIR`` environment knobs, symmetrically.
+    """
+    if getattr(args, "workers", None) is not None:
+        workers = args.workers
+    else:
+        try:
+            workers = workers_from_environment()
+        except ValueError as error:
+            raise SystemExit(f"repro: error: {error}") from None
+    if args.no_cache:
+        cache_dir = None
+    elif args.cache_dir is not None:
+        cache_dir = args.cache_dir
+    else:
+        cache_dir = os.environ.get(CACHE_DIR_ENV) or None
+    configure_default_executor(workers=workers, cache_dir=cache_dir)
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "methods":
         print(_cmd_methods())
     elif args.command == "run":
+        _configure_executor(args)
         print(_cmd_run(args))
     elif args.command == "figure":
+        _configure_executor(args)
         print(_cmd_figure(args))
     return 0

@@ -18,6 +18,13 @@ from repro.experiments.captive import (
     captive_ramp_config,
     response_time_curve,
 )
+from repro.experiments.executor import (
+    ExperimentExecutor,
+    SimulationJob,
+    configure_default_executor,
+    get_default_executor,
+    set_default_executor,
+)
 from repro.experiments.harness import (
     DEFAULT_SEEDS,
     MethodAverages,
@@ -25,6 +32,7 @@ from repro.experiments.harness import (
     run_method_family,
     run_repeated,
 )
+from repro.experiments.store import ResultStore, cache_key
 from repro.experiments.prediction import (
     DepartureRiskReport,
     predict_departure_risks,
@@ -41,11 +49,16 @@ __all__ = [
     "DEFAULT_WORKLOADS",
     "DepartureReasonTable",
     "DepartureRiskReport",
+    "ExperimentExecutor",
     "FIGURE4_SERIES",
     "MethodAverages",
+    "ResultStore",
+    "SimulationJob",
     "average_series",
+    "cache_key",
     "captive_ramp",
     "captive_ramp_config",
+    "configure_default_executor",
     "consumer_departure_curve",
     "departure_reason_table",
     "departure_response_times",
@@ -53,7 +66,11 @@ __all__ = [
     "format_reason_table",
     "format_series_table",
     "format_surface",
+    "get_default_executor",
     "predict_departure_risks",
     "provider_departure_curve",
     "response_time_curve",
+    "run_method_family",
+    "run_repeated",
+    "set_default_executor",
 ]

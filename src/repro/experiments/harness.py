@@ -6,17 +6,32 @@ seed set, averages the sampled series across repetitions (the sampling
 grid is deterministic, so series align exactly), and memoises whole
 experiment families so that the eight Figure 4 benches share one set of
 simulations instead of re-running it eight times.
+
+Every simulation is routed through the default
+:class:`~repro.experiments.executor.ExperimentExecutor`: with
+``workers > 1`` the repetitions of a family fan out over a process pool,
+and with a configured :class:`~repro.experiments.store.ResultStore` the
+results persist across interpreter sessions — a warm re-run of an
+experiment family performs zero new simulations.  The serial, store-less
+default reproduces the historical behaviour exactly.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from functools import lru_cache
 
 import numpy as np
 
+from repro.experiments.executor import (
+    ExperimentExecutor,
+    SimulationJob,
+    get_default_executor,
+    register_invalidation_hook,
+)
 from repro.simulation.config import SimulationConfig
-from repro.simulation.engine import SimulationResult, run_simulation
+from repro.simulation.engine import SimulationResult
 
 __all__ = [
     "DEFAULT_SEEDS",
@@ -34,22 +49,38 @@ DEFAULT_SEEDS = (11, 23, 47)
 
 
 def run_repeated(
-    config: SimulationConfig, method: str, seeds: tuple[int, ...]
+    config: SimulationConfig,
+    method: str,
+    seeds: tuple[int, ...],
+    executor: ExperimentExecutor | None = None,
 ) -> list[SimulationResult]:
-    """Run the same (config, method) once per seed."""
+    """Run the same (config, method) once per seed.
+
+    Uses the default executor unless one is passed explicitly, so the
+    repetitions share the configured worker pool and result store.
+    """
     if not seeds:
         raise ValueError("at least one seed is required")
-    return [run_simulation(config, method, seed=seed) for seed in seeds]
+    runner = executor if executor is not None else get_default_executor()
+    return runner.run(
+        [SimulationJob(config, method, seed) for seed in seeds]
+    )
 
 
 def average_series(results: list[SimulationResult], name: str) -> np.ndarray:
     """Across-repetition average of one named series.
 
     NaN samples (e.g. a response-time interval with no queries) are
-    averaged over the repetitions that do have a value.
+    averaged over the repetitions that do have a value; a sample that is
+    NaN in *every* repetition stays NaN.
     """
     stacked = np.vstack([result.series(name) for result in results])
-    with np.errstate(invalid="ignore"):
+    with np.errstate(invalid="ignore"), warnings.catch_warnings():
+        # An all-NaN sample (no repetition has a value there) is an
+        # expected outcome, not a numerical accident.
+        warnings.filterwarnings(
+            "ignore", "Mean of empty slice", RuntimeWarning
+        )
         return np.nanmean(stacked, axis=0)
 
 
@@ -90,12 +121,27 @@ def run_method_family(
 
     ``SimulationConfig`` is a frozen dataclass of scalars and frozen
     sub-configs, hence hashable — identical experiment requests from
-    different benches hit the cache instead of re-simulating.
+    different benches hit the in-process memo instead of re-simulating.
+    The full ``methods × seeds`` cross product is submitted to the
+    default executor as one batch so parallelism spans the whole family,
+    and store hits (from earlier sessions) skip simulation entirely.
     """
-    return {
-        method: MethodAverages(
-            method=method,
-            results=tuple(run_repeated(config, method, seeds)),
-        )
+    if not seeds:
+        raise ValueError("at least one seed is required")
+    executor = get_default_executor()
+    jobs = [
+        SimulationJob(config, method, seed)
         for method in methods
-    }
+        for seed in seeds
+    ]
+    results = executor.run(jobs)
+    family: dict[str, MethodAverages] = {}
+    for index, method in enumerate(methods):
+        chunk = results[index * len(seeds) : (index + 1) * len(seeds)]
+        family[method] = MethodAverages(method=method, results=tuple(chunk))
+    return family
+
+
+# A replaced default executor (new store, new worker count) must not
+# serve memoised families computed through the old one.
+register_invalidation_hook(run_method_family.cache_clear)

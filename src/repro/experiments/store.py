@@ -1,0 +1,270 @@
+"""Persistent, content-addressed store for simulation results.
+
+Simulations are fully deterministic given ``(config, method, seed)``, so
+a completed :class:`~repro.simulation.engine.SimulationResult` can be
+cached on disk and reused across interpreter sessions — the paper's
+evaluation re-runs the same (environment, method) families for many
+figures, and the in-process ``lru_cache`` the harness used before this
+store threw all of that work away at interpreter exit.
+
+Cache keys are SHA-256 hashes of a canonical JSON payload covering the
+full :class:`~repro.simulation.config.SimulationConfig`, the method
+name, the seed, and the engine's
+:data:`~repro.simulation.engine.ENGINE_VERSION` tag; any change to any
+of those yields a different key, and bumping the engine version
+invalidates every cached run at once.
+
+Each cached run is two files under the store root:
+
+* ``<key>.npz`` — the numeric payload: the sampled time axis, every
+  collector series (``series__<name>``), every end-of-run array
+  (``final__<name>``), and the two response-time scalars.  ``float64``
+  all the way down, so a round-trip is bit-exact.
+* ``<key>.json`` — the metadata: provenance, counters, the departure
+  records, and the engine version.
+
+Writes are atomic (tempfile + rename) so a crashed or parallel writer
+never leaves a partially-written entry behind; unreadable entries are
+treated as misses and overwritten on the next ``put``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import io
+import json
+import os
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.simulation.config import SimulationConfig
+from repro.simulation.departures import DepartureRecord
+from repro.simulation.engine import ENGINE_VERSION, SimulationResult
+from repro.simulation.stats import TimeSeriesCollector
+
+__all__ = ["ResultStore", "cache_key"]
+
+#: Bump when the *serialization format* (not the simulation semantics)
+#: changes incompatibly; part of every cache key.
+_FORMAT_VERSION = "1"
+
+_DEPARTURE_FIELDS = tuple(
+    f.name for f in dataclasses.fields(DepartureRecord)
+)
+
+
+def cache_key(config: SimulationConfig, method: str, seed: int) -> str:
+    """Stable content hash identifying one deterministic run.
+
+    Hashes the canonical JSON of the full config (nested dataclasses
+    included), the method name, the seed, and the engine/format version
+    tags.  Two runs share a key if and only if they are guaranteed to
+    produce identical results.
+    """
+    payload = {
+        "engine_version": ENGINE_VERSION,
+        "format_version": _FORMAT_VERSION,
+        "method": str(method),
+        "seed": int(seed),
+        "config": dataclasses.asdict(config),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _atomic_write_bytes(path: Path, data: bytes) -> None:
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=f".{path.name}.")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+class ResultStore:
+    """Disk-backed cache of completed simulation results.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the cached entries (created on first write).
+
+    The store keeps hit/miss/write counters so callers (and tests) can
+    assert cache behaviour — e.g. that a warm re-run of an experiment
+    family performs zero new simulations.
+    """
+
+    def __init__(self, root: Path | str) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    # -- introspection ----------------------------------------------
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*.json"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"ResultStore(root={str(self.root)!r}, entries={len(self)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )
+
+    def key(self, config: SimulationConfig, method: str, seed: int) -> str:
+        return cache_key(config, method, seed)
+
+    def contains(
+        self, config: SimulationConfig, method: str, seed: int
+    ) -> bool:
+        key = cache_key(config, method, seed)
+        return self._json_path(key).is_file() and self._npz_path(key).is_file()
+
+    def clear(self) -> int:
+        """Delete every cached entry; returns how many were removed."""
+        removed = 0
+        if not self.root.is_dir():
+            return 0
+        for path in self.root.glob("*.json"):
+            path.unlink(missing_ok=True)
+            removed += 1
+        for path in self.root.glob("*.npz"):
+            path.unlink(missing_ok=True)
+        return removed
+
+    # -- paths -------------------------------------------------------
+
+    def _json_path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def _npz_path(self, key: str) -> Path:
+        return self.root / f"{key}.npz"
+
+    # -- load / save -------------------------------------------------
+
+    def get(
+        self, config: SimulationConfig, method: str, seed: int
+    ) -> SimulationResult | None:
+        """The cached result for this run, or None on a miss.
+
+        The caller's ``config`` is attached to the returned result (the
+        key proves it is the config the run was simulated with), so the
+        store never needs to reconstruct a config from JSON.
+        """
+        key = cache_key(config, method, seed)
+        try:
+            meta = json.loads(self._json_path(key).read_text())
+            with np.load(self._npz_path(key)) as archive:
+                arrays = {name: archive[name].copy() for name in archive.files}
+            result = self._rebuild(meta, arrays, config)
+        except (OSError, ValueError, KeyError, TypeError, json.JSONDecodeError):
+            # Unreadable or schema-mismatched entries degrade to misses;
+            # the next put() overwrites them.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, result: SimulationResult, method: str | None = None) -> str:
+        """Persist one completed result; returns its cache key.
+
+        ``method`` is the *registry name* the run was requested under.
+        It defaults to ``result.method_name``, but the two can differ:
+        registry aliases (``knbest`` / ``knbest_score``) build method
+        objects sharing one class-level name, and keying by that would
+        let one alias's results answer for the other.  Callers that
+        know the registry name (the executor does) must pass it.
+        """
+        key = cache_key(
+            result.config, method or result.method_name, result.seed
+        )
+        self.root.mkdir(parents=True, exist_ok=True)
+
+        arrays: dict[str, np.ndarray] = {
+            "times": result.times(),
+            "response_times": np.asarray(
+                [result.response_time_mean, result.response_time_post_warmup],
+                dtype=float,
+            ),
+        }
+        for name, values in result.collector.as_dict().items():
+            arrays[f"series__{name}"] = values
+        for name, values in result.final.items():
+            arrays[f"final__{name}"] = np.asarray(values)
+
+        meta = {
+            "engine_version": ENGINE_VERSION,
+            "format_version": _FORMAT_VERSION,
+            "method_name": result.method_name,
+            "seed": int(result.seed),
+            "queries_issued": int(result.queries_issued),
+            "queries_served": int(result.queries_served),
+            "queries_unserved": int(result.queries_unserved),
+            "initial_providers": int(result.initial_providers),
+            "initial_consumers": int(result.initial_consumers),
+            "departures": [
+                dataclasses.asdict(record) for record in result.departures
+            ],
+        }
+
+        # savez to memory first so the on-disk write can be atomic.
+        buffer = io.BytesIO()
+        np.savez_compressed(buffer, **arrays)
+        _atomic_write_bytes(self._npz_path(key), buffer.getvalue())
+        _atomic_write_bytes(
+            self._json_path(key),
+            json.dumps(meta, sort_keys=True).encode("utf-8"),
+        )
+        self.writes += 1
+        return key
+
+    @staticmethod
+    def _rebuild(
+        meta: dict,
+        arrays: dict[str, np.ndarray],
+        config: SimulationConfig,
+    ) -> SimulationResult:
+        series = {
+            name.removeprefix("series__"): values
+            for name, values in arrays.items()
+            if name.startswith("series__")
+        }
+        final = {
+            name.removeprefix("final__"): values
+            for name, values in arrays.items()
+            if name.startswith("final__")
+        }
+        departures = [
+            DepartureRecord(
+                **{name: record[name] for name in _DEPARTURE_FIELDS}
+            )
+            for record in meta["departures"]
+        ]
+        response_times = arrays["response_times"]
+        return SimulationResult(
+            method_name=meta["method_name"],
+            seed=int(meta["seed"]),
+            config=config,
+            collector=TimeSeriesCollector.from_arrays(
+                arrays["times"], series
+            ),
+            departures=departures,
+            queries_issued=int(meta["queries_issued"]),
+            queries_served=int(meta["queries_served"]),
+            queries_unserved=int(meta["queries_unserved"]),
+            response_time_mean=float(response_times[0]),
+            response_time_post_warmup=float(response_times[1]),
+            final=final,
+            initial_providers=int(meta["initial_providers"]),
+            initial_consumers=int(meta["initial_consumers"]),
+        )

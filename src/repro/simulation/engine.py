@@ -47,7 +47,19 @@ from repro.simulation.stats import TimeSeriesCollector
 from repro.simulation.utilization import UtilizationTracker
 from repro.simulation.workload import PoissonArrivals
 
-__all__ = ["MediatorSimulation", "SimulationResult", "run_simulation"]
+__all__ = [
+    "ENGINE_VERSION",
+    "MediatorSimulation",
+    "SimulationResult",
+    "run_simulation",
+]
+
+#: Version tag of the simulation semantics.  The persistent result
+#: store (``repro.experiments.store``) mixes this into its cache keys,
+#: so bumping it invalidates every cached run.  Bump whenever a change
+#: alters the numbers a simulation produces for the same
+#: (config, method, seed) — not for pure refactors.
+ENGINE_VERSION = "1"
 
 
 def _finite_mean(values: np.ndarray) -> float:
@@ -87,6 +99,11 @@ class SimulationResult:
     final:
         Named end-of-run arrays (per-provider/consumer characteristics,
         classes, activity) for distributional analysis.
+    initial_providers / initial_consumers:
+        The run's initial population sizes, recorded explicitly so the
+        departure fractions are always taken over the population the
+        run actually started with (0 falls back to the config sizes for
+        results built by hand).
     """
 
     method_name: str
@@ -100,6 +117,8 @@ class SimulationResult:
     response_time_mean: float = float("nan")
     response_time_post_warmup: float = float("nan")
     final: dict[str, np.ndarray] = field(default_factory=dict)
+    initial_providers: int = 0
+    initial_consumers: int = 0
 
     def times(self) -> np.ndarray:
         return self.collector.times()
@@ -107,15 +126,26 @@ class SimulationResult:
     def series(self, name: str) -> np.ndarray:
         return self.collector.series(name)
 
+    def _departure_fraction(self, kind: str, initial: int) -> float:
+        departed = {d.index for d in self.departures if d.kind == kind}
+        if not departed:
+            return 0.0
+        return len(departed) / initial
+
     def provider_departure_fraction(self) -> float:
-        """Fraction of the original provider population that departed."""
-        count = sum(1 for d in self.departures if d.kind == "provider")
-        return count / self.config.n_providers
+        """Fraction of the run's *initial* provider population that left.
+
+        Counts distinct providers (a participant can only leave once)
+        over the population the run started with, so the fraction always
+        agrees with ``1 - final["provider_active"].mean()``.
+        """
+        initial = self.initial_providers or self.config.n_providers
+        return self._departure_fraction("provider", initial)
 
     def consumer_departure_fraction(self) -> float:
-        """Fraction of the original consumer population that departed."""
-        count = sum(1 for d in self.departures if d.kind == "consumer")
-        return count / self.config.n_consumers
+        """Fraction of the run's *initial* consumer population that left."""
+        initial = self.initial_consumers or self.config.n_consumers
+        return self._departure_fraction("consumer", initial)
 
 
 class MediatorSimulation:
@@ -523,6 +553,8 @@ class MediatorSimulation:
             response_time_mean=overall,
             response_time_post_warmup=post,
             final=final,
+            initial_providers=self.providers.size,
+            initial_consumers=self.consumers.size,
         )
 
 

@@ -21,6 +21,32 @@ class TimeSeriesCollector:
         self._times: list[float] = []
         self._series: dict[str, list[float]] = {}
 
+    @classmethod
+    def from_arrays(
+        cls, times: np.ndarray, series: dict[str, np.ndarray]
+    ) -> "TimeSeriesCollector":
+        """Rebuild a collector from a time axis plus named series arrays.
+
+        The inverse of :meth:`times`/:meth:`as_dict`; used by the
+        persistent result store to deserialize sampled runs.  Every
+        series must align with the time axis.
+        """
+        collector = cls()
+        times = np.asarray(times, dtype=float)
+        for name, values in series.items():
+            values = np.asarray(values, dtype=float)
+            if values.shape != times.shape:
+                raise ValueError(
+                    f"series {name!r} has shape {values.shape}, "
+                    f"expected {times.shape}"
+                )
+        collector._times = [float(t) for t in times]
+        collector._series = {
+            name: [float(v) for v in np.asarray(values, dtype=float)]
+            for name, values in series.items()
+        }
+        return collector
+
     def __len__(self) -> int:
         return len(self._times)
 

@@ -1,0 +1,136 @@
+"""Contract tests every registered allocation method must satisfy.
+
+One parameterized module runs **every** registry method through
+:class:`MediatorSimulation` and asserts the shared contract:
+
+* every selection has exactly ``min(q.n, |P_q|)`` distinct positions
+  inside the candidate range (checked per query by a spy wrapper, not
+  just by the engine's own validation);
+* two runs with the same (config, method, seed) are bit-identical;
+* satisfaction/adequation series stay in [0, 1] and utilisation stays
+  non-negative.
+
+Adding a method to the registry automatically subjects it to this suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.allocation.base import AllocationMethod, AllocationRequest
+from repro.allocation.registry import available_methods, build_method
+from repro.simulation.config import tiny_config
+from repro.simulation.engine import MediatorSimulation, run_simulation
+
+ALL_METHODS = available_methods()
+
+#: Series whose values live in the unit interval (NaN allowed: an
+#: interval with no active participants or no queries has no value).
+UNIT_INTERVAL_SERIES = (
+    "provider_intention_satisfaction_mean",
+    "provider_preference_satisfaction_mean",
+    "provider_intention_adequation_mean",
+    "provider_preference_adequation_mean",
+    "consumer_satisfaction_mean",
+    "consumer_adequation_mean",
+)
+
+#: Series that are non-negative but unbounded above (allocation
+#: satisfaction is a satisfaction-to-adequation ratio; utilisation can
+#: exceed 1 under overload).
+NON_NEGATIVE_SERIES = (
+    "consumer_allocation_satisfaction_mean",
+    "provider_intention_allocation_satisfaction_mean",
+    "provider_preference_allocation_satisfaction_mean",
+    "utilization_mean",
+)
+
+
+def contract_config():
+    return tiny_config(duration=60.0)
+
+
+class SelectionContractSpy(AllocationMethod):
+    """Delegates to a real method, auditing every selection it makes."""
+
+    def __init__(self, inner: AllocationMethod) -> None:
+        self.inner = inner
+        self.name = inner.name
+        self.selections_audited = 0
+
+    def select(self, request: AllocationRequest) -> np.ndarray:
+        positions = np.asarray(self.inner.select(request), dtype=np.int64)
+        assert positions.size == request.n_to_select, (
+            f"{self.name}: selected {positions.size}, "
+            f"expected {request.n_to_select}"
+        )
+        assert positions.size > 0
+        assert positions.min() >= 0
+        assert positions.max() < request.n_candidates
+        assert np.unique(positions).size == positions.size, (
+            f"{self.name}: duplicate selection"
+        )
+        self.selections_audited += 1
+        return positions
+
+    def reset(self) -> None:
+        self.inner.reset()
+
+
+@pytest.mark.parametrize("method_name", ALL_METHODS)
+class TestAllocationContract:
+    def test_every_selection_well_formed(self, method_name):
+        config = contract_config()
+        spy = SelectionContractSpy(build_method(method_name, config))
+        result = MediatorSimulation(config, spy, seed=9).run()
+        assert spy.selections_audited == result.queries_served
+        assert result.queries_served > 0
+
+    def test_same_seed_is_bit_identical(self, method_name):
+        config = contract_config()
+        first = run_simulation(config, method_name, seed=7)
+        second = run_simulation(config, method_name, seed=7)
+        assert first.queries_issued == second.queries_issued
+        assert first.queries_served == second.queries_served
+        assert (
+            first.response_time_post_warmup == second.response_time_post_warmup
+        )
+        for name in first.collector.names:
+            assert np.array_equal(
+                first.series(name), second.series(name), equal_nan=True
+            ), name
+        for name in first.final:
+            assert np.array_equal(
+                first.final[name],
+                second.final[name],
+                equal_nan=first.final[name].dtype.kind == "f",
+            ), name
+
+    def test_different_seeds_differ(self, method_name):
+        config = contract_config()
+        first = run_simulation(config, method_name, seed=1)
+        second = run_simulation(config, method_name, seed=2)
+        # The arrival process alone guarantees different trajectories.
+        assert first.queries_issued != second.queries_issued or not np.array_equal(
+            first.series("utilization_mean"),
+            second.series("utilization_mean"),
+            equal_nan=True,
+        )
+
+    def test_satisfaction_and_utilization_bounds(self, method_name):
+        result = run_simulation(contract_config(), method_name, seed=9)
+        for name in UNIT_INTERVAL_SERIES:
+            values = result.series(name)
+            finite = values[np.isfinite(values)]
+            assert finite.size > 0, name
+            assert (finite >= 0.0).all(), name
+            assert (finite <= 1.0).all(), name
+        for name in NON_NEGATIVE_SERIES:
+            values = result.series(name)
+            finite = values[np.isfinite(values)]
+            assert finite.size > 0, name
+            assert (finite >= 0.0).all(), name
+        # Sanity: the whole population stayed (captive config).
+        assert result.provider_departure_fraction() == 0.0
+        assert result.consumer_departure_fraction() == 0.0

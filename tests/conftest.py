@@ -5,7 +5,40 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.experiments.executor import (
+    CACHE_DIR_ENV,
+    WORKERS_ENV,
+    set_default_executor,
+)
 from repro.simulation.config import tiny_config
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_default_executor():
+    """Start the unit-test portion of a session from a fresh executor.
+
+    In a mixed invocation (``pytest benchmarks/bench_x.py tests/``) the
+    benchmark conftest installs a session-scoped executor backed by the
+    persistent bench store; without this reset, harness-routed unit
+    tests would silently read (and write) that store.
+    """
+    set_default_executor(None)
+    yield
+    set_default_executor(None)
+
+
+@pytest.fixture(autouse=True)
+def _hermetic_executor_env(monkeypatch):
+    """Shield every test from the operator's executor environment.
+
+    The default executor is built lazily from ``REPRO_WORKERS`` /
+    ``REPRO_CACHE_DIR``; an exported cache dir would otherwise let
+    harness-routed tests read stale persisted results (masking exactly
+    the numeric drift the golden tests exist to catch), and a garbage
+    worker count would crash unrelated tests.
+    """
+    monkeypatch.delenv(WORKERS_ENV, raising=False)
+    monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
 
 
 @pytest.fixture

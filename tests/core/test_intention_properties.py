@@ -1,0 +1,141 @@
+"""Property-style tests for the intention formulas.
+
+Random-input sweeps (fixed-seed, many draws) over Definitions 7 and 8:
+clipping is idempotent and range-preserving, the vectorised forms agree
+with the scalar references on random inputs, and intention vectors stay
+inside the ranges the satisfaction model assumes after clipping.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.intentions import (
+    clip_intention,
+    consumer_intention,
+    consumer_intention_vector,
+    provider_intention,
+    provider_intention_vector,
+)
+
+N_TRIALS = 500
+
+
+@pytest.fixture(scope="module")
+def draws():
+    rng = np.random.default_rng(987)
+    return {
+        "preferences": rng.uniform(-1.0, 1.0, N_TRIALS),
+        "reputations": rng.uniform(-1.0, 1.0, N_TRIALS),
+        "utilizations": rng.uniform(0.0, 3.0, N_TRIALS),
+        "satisfactions": rng.uniform(0.0, 1.0, N_TRIALS),
+        "upsilons": rng.uniform(0.0, 1.0, N_TRIALS),
+        "epsilons": rng.uniform(0.1, 2.0, N_TRIALS),
+    }
+
+
+class TestClipIntention:
+    def test_clipped_values_stay_in_range(self, draws):
+        raw = provider_intention_vector(
+            draws["preferences"], draws["utilizations"], draws["satisfactions"]
+        )
+        clipped = clip_intention(raw)
+        assert (clipped >= -1.0).all()
+        assert (clipped <= 1.0).all()
+
+    def test_idempotent(self, draws):
+        raw = consumer_intention_vector(
+            draws["preferences"], draws["reputations"]
+        )
+        once = clip_intention(raw)
+        np.testing.assert_array_equal(clip_intention(once), once)
+
+    def test_identity_inside_range(self):
+        values = np.linspace(-1.0, 1.0, 41)
+        np.testing.assert_array_equal(clip_intention(values), values)
+        assert clip_intention(0.25) == 0.25
+
+    def test_scalar_form_matches_array_form(self, draws):
+        raw = provider_intention_vector(
+            draws["preferences"], draws["utilizations"], draws["satisfactions"]
+        )
+        scalars = np.asarray([clip_intention(float(v)) for v in raw])
+        np.testing.assert_array_equal(clip_intention(raw), scalars)
+
+
+class TestConsumerIntentionProperties:
+    def test_vector_matches_scalar_reference(self, draws):
+        for i in range(N_TRIALS):
+            expected = consumer_intention(
+                draws["preferences"][i],
+                draws["reputations"][i],
+                upsilon=draws["upsilons"][i],
+                epsilon=draws["epsilons"][i],
+            )
+            actual = consumer_intention_vector(
+                np.asarray([draws["preferences"][i]]),
+                np.asarray([draws["reputations"][i]]),
+                upsilon=draws["upsilons"][i],
+                epsilon=draws["epsilons"][i],
+            )[0]
+            assert actual == pytest.approx(expected, rel=1e-12), i
+
+    def test_positive_branch_bounded_by_one(self, draws):
+        values = consumer_intention_vector(
+            draws["preferences"], draws["reputations"]
+        )
+        positive = values[values > 0]
+        assert (positive <= 1.0).all()
+
+    def test_sign_structure(self, draws):
+        prf, rep = draws["preferences"], draws["reputations"]
+        values = consumer_intention_vector(prf, rep)
+        both_positive = (prf > 0) & (rep > 0)
+        assert (values[both_positive] >= 0.0).all()
+        assert (values[~both_positive] < 0.0).all()
+
+
+class TestProviderIntentionProperties:
+    def test_vector_matches_scalar_reference(self, draws):
+        for i in range(N_TRIALS):
+            expected = provider_intention(
+                draws["preferences"][i],
+                draws["utilizations"][i],
+                draws["satisfactions"][i],
+                epsilon=draws["epsilons"][i],
+            )
+            actual = provider_intention_vector(
+                np.asarray([draws["preferences"][i]]),
+                np.asarray([draws["utilizations"][i]]),
+                np.asarray([draws["satisfactions"][i]]),
+                epsilon=draws["epsilons"][i],
+            )[0]
+            assert actual == pytest.approx(expected, rel=1e-12), i
+
+    def test_positive_branch_bounded_by_one(self, draws):
+        values = provider_intention_vector(
+            draws["preferences"], draws["utilizations"], draws["satisfactions"]
+        )
+        positive = values[values > 0]
+        assert positive.size > 0
+        assert (positive <= 1.0).all()
+
+    def test_wanting_idle_provider_is_positive(self, draws):
+        prf, ut = draws["preferences"], draws["utilizations"]
+        values = provider_intention_vector(prf, ut, draws["satisfactions"])
+        wanting_and_idle = (prf > 0) & (ut < 1.0)
+        assert (values[wanting_and_idle] >= 0.0).all()
+        assert (values[~wanting_and_idle] < 0.0).all()
+
+    def test_clipped_vectors_feed_satisfaction_model(self, draws):
+        """End to end: what the engine records stays inside [-1, 1]."""
+        clipped = clip_intention(
+            provider_intention_vector(
+                draws["preferences"],
+                draws["utilizations"],
+                draws["satisfactions"],
+            )
+        )
+        assert (np.abs(clipped) <= 1.0).all()
+        assert np.isfinite(clipped).all()

@@ -1,0 +1,99 @@
+"""Golden determinism tests.
+
+Small-config end-of-run scalars are frozen here for two methods; any
+drift in the engine's numerics (an RNG stream reordering, a changed
+arithmetic order, a serialization bug) trips these before it can
+silently invalidate cached results or cross-method comparisons.  The
+same scalars are asserted bit-stable across the serial path, the
+process-pool path, and a store round-trip.
+
+If a change *intentionally* alters simulation numerics, update the
+goldens and bump ``repro.simulation.engine.ENGINE_VERSION`` in the same
+commit so stale store entries are invalidated too.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.executor import ExperimentExecutor, SimulationJob
+from repro.experiments.store import ResultStore
+from repro.simulation.config import DepartureRules, WorkloadSpec, tiny_config
+from repro.simulation.engine import run_simulation
+
+#: (queries_issued, queries_served, response_time_post_warmup) of
+#: tiny_config(duration=60.0) at seed 5 — captive, so zero departures.
+CAPTIVE_GOLDEN = {
+    "sqlb": (227, 227, 7.9889393978853285),
+    "capacity": (227, 227, 3.0838577204174573),
+}
+
+#: (queries_issued, provider_departures, consumer_departures) of the
+#: autonomous 100 %-workload run below at seed 5.
+AUTONOMOUS_GOLDEN = {
+    "sqlb": (663, 1, 2),
+    "capacity": (201, 16, 8),
+}
+
+
+def captive_config():
+    return tiny_config(duration=60.0)
+
+
+def autonomous_config():
+    return tiny_config(
+        duration=120.0, workload=WorkloadSpec.fixed(1.0)
+    ).with_departures(DepartureRules.autonomous(True))
+
+
+@pytest.mark.parametrize("method", sorted(CAPTIVE_GOLDEN))
+def test_captive_scalars_match_golden(method):
+    issued, served, response = CAPTIVE_GOLDEN[method]
+    result = run_simulation(captive_config(), method, seed=5)
+    assert result.queries_issued == issued
+    assert result.queries_served == served
+    assert result.response_time_post_warmup == response
+    assert len(result.departures) == 0
+
+
+@pytest.mark.parametrize("method", sorted(AUTONOMOUS_GOLDEN))
+def test_autonomous_departure_counts_match_golden(method):
+    issued, providers, consumers = AUTONOMOUS_GOLDEN[method]
+    result = run_simulation(autonomous_config(), method, seed=5)
+    assert result.queries_issued == issued
+    assert (
+        sum(1 for d in result.departures if d.kind == "provider") == providers
+    )
+    assert (
+        sum(1 for d in result.departures if d.kind == "consumer") == consumers
+    )
+
+
+@pytest.mark.parametrize("method", sorted(CAPTIVE_GOLDEN))
+def test_serial_parallel_and_store_agree_bitwise(method, tmp_path):
+    """The three execution paths must be indistinguishable."""
+    config = captive_config()
+    job = [SimulationJob(config, method, 5)]
+
+    serial = ExperimentExecutor(workers=1).run(job)[0]
+    # Two jobs so the pool path is actually exercised for this method.
+    parallel = ExperimentExecutor(workers=2).run(
+        [SimulationJob(config, method, 5), SimulationJob(config, method, 6)]
+    )[0]
+    store = ResultStore(tmp_path)
+    store.put(serial)
+    loaded = store.get(config, method, 5)
+
+    for result in (serial, parallel, loaded):
+        golden = CAPTIVE_GOLDEN[method]
+        assert result.queries_issued == golden[0]
+        assert result.queries_served == golden[1]
+        assert result.response_time_post_warmup == golden[2]
+
+    for other in (parallel, loaded):
+        np.testing.assert_array_equal(serial.times(), other.times())
+        for name in serial.collector.names:
+            assert np.array_equal(
+                serial.series(name), other.series(name), equal_nan=True
+            ), name

@@ -1,0 +1,162 @@
+"""Tests for the persistent result store."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments.store import ResultStore, cache_key
+from repro.simulation.config import DepartureRules, WorkloadSpec, tiny_config
+from repro.simulation.engine import run_simulation
+
+
+@pytest.fixture(scope="module")
+def captive_result():
+    return run_simulation(tiny_config(duration=40.0), "sqlb", seed=3)
+
+
+@pytest.fixture(scope="module")
+def autonomous_result():
+    config = tiny_config(
+        duration=120.0, workload=WorkloadSpec.fixed(1.0)
+    ).with_departures(DepartureRules.autonomous(True))
+    return run_simulation(config, "capacity", seed=5)
+
+
+class TestCacheKey:
+    def test_stable_across_calls(self):
+        config = tiny_config()
+        assert cache_key(config, "sqlb", 1) == cache_key(config, "sqlb", 1)
+
+    def test_sensitive_to_every_component(self):
+        config = tiny_config()
+        base = cache_key(config, "sqlb", 1)
+        assert cache_key(config, "sqlb", 2) != base
+        assert cache_key(config, "capacity", 1) != base
+        assert cache_key(tiny_config(duration=121.0), "sqlb", 1) != base
+        nested = tiny_config(
+            departures=DepartureRules.autonomous(False)
+        )
+        assert cache_key(nested, "sqlb", 1) != base
+
+    def test_equal_configs_share_a_key(self):
+        # Two separately constructed but equal configs must collide.
+        assert cache_key(tiny_config(), "sqlb", 1) == cache_key(
+            tiny_config(), "sqlb", 1
+        )
+
+
+class TestRoundTrip:
+    def _assert_round_trip(self, store, result):
+        store.put(result)
+        loaded = store.get(result.config, result.method_name, result.seed)
+        assert loaded is not None
+
+        assert loaded.method_name == result.method_name
+        assert loaded.seed == result.seed
+        assert loaded.config == result.config
+        assert loaded.queries_issued == result.queries_issued
+        assert loaded.queries_served == result.queries_served
+        assert loaded.queries_unserved == result.queries_unserved
+        assert loaded.initial_providers == result.initial_providers
+        assert loaded.initial_consumers == result.initial_consumers
+
+        # Scalars and every array must survive bit-exactly (NaN included).
+        for attribute in ("response_time_mean", "response_time_post_warmup"):
+            left = getattr(loaded, attribute)
+            right = getattr(result, attribute)
+            assert left == right or (np.isnan(left) and np.isnan(right))
+        np.testing.assert_array_equal(loaded.times(), result.times())
+        assert set(loaded.collector.names) == set(result.collector.names)
+        for name in result.collector.names:
+            assert np.array_equal(
+                loaded.series(name), result.series(name), equal_nan=True
+            ), name
+        assert set(loaded.final) == set(result.final)
+        for name, values in result.final.items():
+            assert loaded.final[name].dtype == values.dtype, name
+            assert np.array_equal(
+                loaded.final[name],
+                values,
+                equal_nan=values.dtype.kind == "f",
+            ), name
+        assert loaded.departures == result.departures
+
+    def test_captive_round_trip(self, tmp_path, captive_result):
+        self._assert_round_trip(ResultStore(tmp_path), captive_result)
+
+    def test_autonomous_round_trip(self, tmp_path, autonomous_result):
+        """Departure records and fractions survive serialization."""
+        store = ResultStore(tmp_path)
+        self._assert_round_trip(store, autonomous_result)
+        loaded = store.get(
+            autonomous_result.config,
+            autonomous_result.method_name,
+            autonomous_result.seed,
+        )
+        assert (
+            loaded.provider_departure_fraction()
+            == autonomous_result.provider_departure_fraction()
+        )
+        assert (
+            loaded.consumer_departure_fraction()
+            == autonomous_result.consumer_departure_fraction()
+        )
+
+
+class TestStoreBehaviour:
+    def test_miss_on_empty_store(self, tmp_path):
+        store = ResultStore(tmp_path / "never_created")
+        assert store.get(tiny_config(), "sqlb", 1) is None
+        assert store.misses == 1
+        assert len(store) == 0
+
+    def test_contains_and_len(self, tmp_path, captive_result):
+        store = ResultStore(tmp_path)
+        config = captive_result.config
+        assert not store.contains(config, "sqlb", 3)
+        store.put(captive_result)
+        assert store.contains(config, "sqlb", 3)
+        assert len(store) == 1
+
+    def test_clear_removes_everything(self, tmp_path, captive_result):
+        store = ResultStore(tmp_path)
+        store.put(captive_result)
+        assert store.clear() == 1
+        assert len(store) == 0
+        assert store.get(captive_result.config, "sqlb", 3) is None
+
+    def test_corrupted_entry_is_a_miss(self, tmp_path, captive_result):
+        store = ResultStore(tmp_path)
+        key = store.put(captive_result)
+        (tmp_path / f"{key}.json").write_text("{not json")
+        assert store.get(captive_result.config, "sqlb", 3) is None
+        # A fresh put repairs the entry.
+        store.put(captive_result)
+        assert store.get(captive_result.config, "sqlb", 3) is not None
+
+    def test_schema_mismatched_entry_is_a_miss(self, tmp_path, captive_result):
+        """Valid JSON missing expected keys must degrade to a miss."""
+        store = ResultStore(tmp_path)
+        key = store.put(captive_result)
+        (tmp_path / f"{key}.json").write_text('{"method_name": "sqlb"}')
+        assert store.get(captive_result.config, "sqlb", 3) is None
+        assert store.misses == 1
+
+    def test_put_is_idempotent(self, tmp_path, captive_result):
+        store = ResultStore(tmp_path)
+        first = store.put(captive_result)
+        second = store.put(captive_result)
+        assert first == second
+        assert len(store) == 1
+
+    def test_metadata_is_plain_json(self, tmp_path, captive_result):
+        """The sidecar stays greppable: no pickles, plain JSON."""
+        store = ResultStore(tmp_path)
+        key = store.put(captive_result)
+        meta = json.loads((tmp_path / f"{key}.json").read_text())
+        assert meta["method_name"] == "sqlb"
+        assert meta["seed"] == 3
+        assert meta["engine_version"]

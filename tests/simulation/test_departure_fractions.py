@@ -1,0 +1,97 @@
+"""Regression tests for SimulationResult departure fractions.
+
+The fractions must always be taken over the run's *initial* population
+(recorded explicitly on the result), count each participant at most
+once, and agree with the end-of-run activity masks in ``final``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simulation.config import DepartureRules, WorkloadSpec, tiny_config
+from repro.simulation.departures import DepartureRecord
+from repro.simulation.engine import SimulationResult, run_simulation
+from repro.simulation.stats import TimeSeriesCollector
+
+
+def test_zero_departures_give_zero_fractions():
+    result = run_simulation(tiny_config(duration=40.0), "sqlb", seed=3)
+    assert result.departures == []
+    assert result.provider_departure_fraction() == 0.0
+    assert result.consumer_departure_fraction() == 0.0
+    assert result.initial_providers == result.config.n_providers
+    assert result.initial_consumers == result.config.n_consumers
+
+
+def test_autonomous_fractions_use_initial_population():
+    config = tiny_config(
+        duration=120.0, workload=WorkloadSpec.fixed(1.0)
+    ).with_departures(DepartureRules.autonomous(True))
+    result = run_simulation(config, "capacity", seed=5)
+
+    departed_providers = {
+        d.index for d in result.departures if d.kind == "provider"
+    }
+    departed_consumers = {
+        d.index for d in result.departures if d.kind == "consumer"
+    }
+    assert departed_providers  # this run is known to shed providers
+    assert result.provider_departure_fraction() == len(
+        departed_providers
+    ) / float(config.n_providers)
+    assert result.consumer_departure_fraction() == len(
+        departed_consumers
+    ) / float(config.n_consumers)
+
+    # The record-based fraction must agree with the activity masks.
+    inactive_providers = float(
+        1.0 - np.mean(result.final["provider_active"])
+    )
+    inactive_consumers = float(
+        1.0 - np.mean(result.final["consumer_active"])
+    )
+    assert result.provider_departure_fraction() == inactive_providers
+    assert result.consumer_departure_fraction() == inactive_consumers
+    assert 0.0 < result.provider_departure_fraction() <= 1.0
+
+
+def _result_with_departures(records, initial_providers=0, initial_consumers=0):
+    config = tiny_config()
+    collector = TimeSeriesCollector.from_arrays(
+        np.asarray([10.0]), {"utilization_mean": np.asarray([0.5])}
+    )
+    return SimulationResult(
+        method_name="stub",
+        seed=0,
+        config=config,
+        collector=collector,
+        departures=records,
+        initial_providers=initial_providers,
+        initial_consumers=initial_consumers,
+    )
+
+
+def test_duplicate_records_count_each_participant_once():
+    records = [
+        DepartureRecord(kind="provider", index=4, time=1.0, reason="starvation"),
+        DepartureRecord(
+            kind="provider", index=4, time=2.0, reason="dissatisfaction"
+        ),
+        DepartureRecord(kind="provider", index=7, time=2.0, reason="starvation"),
+    ]
+    result = _result_with_departures(records, initial_providers=10)
+    assert result.provider_departure_fraction() == 0.2
+
+
+def test_hand_built_results_fall_back_to_config_population():
+    records = [
+        DepartureRecord(
+            kind="consumer", index=0, time=1.0, reason="dissatisfaction"
+        )
+    ]
+    result = _result_with_departures(records)
+    assert result.initial_consumers == 0  # not recorded
+    assert result.consumer_departure_fraction() == (
+        1.0 / result.config.n_consumers
+    )
