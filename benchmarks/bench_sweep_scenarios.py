@@ -1,0 +1,76 @@
+"""Sweep catalog — the new workload shapes beyond the paper's grid.
+
+Runs the flash-crowd, diurnal, and provider-churn-stress scenarios for
+the paper's three methods through the sweep subsystem and prints the
+per-(scenario, method) summary table (means and p50/p90 quantiles
+across seeds).
+
+Shape claims: the overload burst actually stresses the system (churn
+response times dominate the captive shapes), and SQLB's feedback loop
+retains providers at least as well as the capacity baseline under
+churn — the paper's Figure 5(c) ordering, transplanted to the harder
+workload.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_SEEDS
+
+from repro.experiments.executor import get_default_executor
+from repro.simulation.config import scaled_config
+from repro.sweeps import SweepSpec, format_sweep_table, sweep_summary
+
+NEW_SCENARIOS = ("flash_crowd", "diurnal", "provider_churn_stress")
+
+
+def run_sweep():
+    spec = SweepSpec(
+        name="bench-new-workloads",
+        scenarios=NEW_SCENARIOS,
+        methods=("sqlb", "capacity", "mariposa"),
+        seeds=BENCH_SEEDS,
+        scale="scaled",
+    )
+    summaries = sweep_summary(
+        spec,
+        executor=get_default_executor(),
+        base=scaled_config(duration=600.0),
+    )
+    return spec, summaries
+
+
+def test_sweep_new_workload_scenarios(benchmark, report_writer):
+    spec, summaries = benchmark.pedantic(
+        run_sweep, rounds=1, iterations=1
+    )
+    report_writer(
+        "sweep_new_workloads",
+        f"# sweep: {spec.name}   spec: {spec.spec_hash()}\n"
+        + format_sweep_table(summaries),
+    )
+
+    cells = {(row.scenario, row.method): row for row in summaries}
+    assert len(cells) == 9
+    for row in cells.values():
+        assert row.response_time_mean > 0.0
+        assert (
+            row.response_time_quantiles[0.5] <= row.response_time_quantiles[0.9]
+        )
+
+    # The 120 % overload burst must bite harder than the captive shapes.
+    for method in ("sqlb", "capacity", "mariposa"):
+        churn = cells[("provider_churn_stress", method)]
+        assert (
+            churn.response_time_mean
+            >= cells[("diurnal", method)].response_time_mean
+        ) or churn.provider_departure_fraction > 0.0
+
+    # Figure 5(c) ordering under churn: SQLB keeps at least as many
+    # providers on board as the capacity baseline.
+    assert (
+        cells[("provider_churn_stress", "sqlb")].provider_departure_fraction
+        <= cells[
+            ("provider_churn_stress", "capacity")
+        ].provider_departure_fraction
+        + 1e-9
+    )

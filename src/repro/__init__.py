@@ -32,11 +32,24 @@ from repro.experiments.executor import (
     set_default_executor,
 )
 from repro.experiments.harness import (
+    DEFAULT_SEEDS,
+    PAPER_SEEDS,
     MethodAverages,
     run_method_family,
     run_repeated,
 )
 from repro.experiments.store import ResultStore, cache_key
+from repro.sweeps import (
+    Scenario,
+    SweepJob,
+    SweepRunner,
+    SweepSpec,
+    available_scenarios,
+    format_sweep_table,
+    merge_stores,
+    scenario_catalog,
+    sweep_summary,
+)
 from repro.core import (
     SQLBAllocation,
     allocate_query,
@@ -67,7 +80,9 @@ from repro.simulation import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "DEFAULT_SEEDS",
     "PAPER_METHODS",
+    "PAPER_SEEDS",
     "AllocationMethod",
     "AllocationRequest",
     "CapacityBasedMethod",
@@ -81,18 +96,25 @@ __all__ = [
     "ResultStore",
     "SQLBAllocation",
     "SQLBMethod",
+    "Scenario",
     "SimulationConfig",
     "SimulationJob",
     "SimulationResult",
+    "SweepJob",
+    "SweepRunner",
+    "SweepSpec",
     "WorkloadSpec",
     "allocate_query",
+    "available_scenarios",
     "build_method",
     "cache_key",
     "configure_default_executor",
     "consumer_intention",
     "fairness",
+    "format_sweep_table",
     "get_default_executor",
     "mean",
+    "merge_stores",
     "min_max_ratio",
     "omega",
     "paper_config",
@@ -102,7 +124,9 @@ __all__ = [
     "run_repeated",
     "run_simulation",
     "scaled_config",
+    "scenario_catalog",
     "set_default_executor",
+    "sweep_summary",
     "tiny_config",
     "__version__",
 ]

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Three subcommands::
+Four subcommands::
 
     python -m repro methods
         List the registered allocation methods.
@@ -13,12 +13,22 @@ Three subcommands::
         Regenerate one of the paper's figures/tables (4a-4i, 5a-5c, 6,
         table3) and print the same series/rows the paper reports.
 
-Both simulation-running subcommands accept ``--cache-dir PATH``
-(persist completed runs to a disk store so re-invocations skip
-simulation) and ``--no-cache`` (ignore any configured store, including
-``$REPRO_CACHE_DIR``); ``figure`` additionally accepts ``--workers N``
-to fan its many simulation jobs out over a process pool (``run``
-executes a single job, so a pool would not help it).
+    python -m repro sweep run|status|merge|report
+        Drive whole evaluation sweeps: ``run`` executes one deterministic
+        shard of a scenarios × methods × seeds grid into a result store
+        (writing a resume manifest), ``status`` reads the manifests,
+        ``merge`` unions store directories from several machines, and
+        ``report`` prints the per-(scenario, method) summary table with
+        means and quantiles across seeds.
+
+The simulation-running subcommands accept ``--cache-dir PATH`` (persist
+completed runs to a disk store so re-invocations skip simulation) and
+``--no-cache`` (ignore any configured store, including
+``$REPRO_CACHE_DIR``); ``figure`` and ``sweep`` additionally accept
+``--workers N`` to fan their many simulation jobs out over a process
+pool (``run`` executes a single job, so a pool would not help it).
+Seed lists accept the sugar ``paper`` (the paper's ``nbRepeat = 10``
+seed set) and ``default`` alongside explicit integers.
 """
 
 from __future__ import annotations
@@ -46,6 +56,7 @@ from repro.experiments.captive import (
     captive_ramp,
     response_time_curve,
 )
+from repro.experiments.harness import DEFAULT_SEEDS, PAPER_SEEDS
 from repro.experiments.report import (
     format_curve_table,
     format_reason_table,
@@ -57,10 +68,64 @@ from repro.simulation.config import (
     paper_config,
     scaled_config,
 )
+from repro.simulation.engine import ENGINE_VERSION
+from repro.sweeps import (
+    SCALES,
+    SweepRunner,
+    SweepSpec,
+    available_scenarios,
+    format_sweep_table,
+    load_manifests,
+    merge_stores,
+    sweep_summary,
+)
 
 __all__ = ["build_parser", "main"]
 
 FIGURES = tuple(FIGURE4_SERIES) + ("4i", "5a", "5b", "5c", "6", "table3")
+
+#: Seed-list sugar accepted wherever ``--seeds`` takes values.
+SEED_KEYWORDS = {"paper": PAPER_SEEDS, "default": DEFAULT_SEEDS}
+
+
+def _seed_token(text: str) -> str | int:
+    """One ``--seeds`` token: an integer or a named seed set."""
+    if text in SEED_KEYWORDS:
+        return text
+    try:
+        return int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"seeds must be integers or one of {sorted(SEED_KEYWORDS)}, "
+            f"got {text!r}"
+        ) from None
+
+
+def resolve_seeds(tokens: list[str | int]) -> tuple[int, ...]:
+    """Expand keyword tokens and deduplicate, preserving order."""
+    seeds: list[int] = []
+    for token in tokens:
+        if isinstance(token, str):
+            seeds.extend(SEED_KEYWORDS[token])
+        else:
+            seeds.append(token)
+    return tuple(dict.fromkeys(seeds))
+
+
+def _shard_value(text: str) -> tuple[int, int]:
+    """Parse ``K/N`` into (shard_index, shard_count)."""
+    try:
+        index_text, count_text = text.split("/")
+        index, count = int(index_text), int(count_text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"shard must look like K/N (e.g. 0/4), got {text!r}"
+        ) from None
+    if count < 1 or not 0 <= index < count:
+        raise argparse.ArgumentTypeError(
+            f"shard K/N needs 0 <= K < N, got {text!r}"
+        )
+    return index, count
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -131,11 +196,105 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument("which", choices=FIGURES)
     figure.add_argument(
         "--seeds",
-        type=int,
+        type=_seed_token,
         nargs="+",
         default=[11],
-        help="repetition seeds (the paper averages 10)",
+        help="repetition seeds: integers and/or 'paper' (the nbRepeat=10 "
+        "set) / 'default'",
     )
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run, inspect, merge, and summarise whole evaluation sweeps",
+    )
+    sweep_sub = sweep.add_subparsers(dest="sweep_command", required=True)
+
+    def add_spec_options(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--name",
+            default="paper-grid",
+            help="sweep name recorded in manifests (default: paper-grid)",
+        )
+        command.add_argument(
+            "--scenarios",
+            nargs="+",
+            choices=available_scenarios(),
+            default=list(available_scenarios()),
+            metavar="SCENARIO",
+            help="catalog scenarios to sweep (default: the whole catalog; "
+            f"available: {', '.join(available_scenarios())})",
+        )
+        command.add_argument(
+            "--methods",
+            nargs="+",
+            choices=available_methods(),
+            default=list(PAPER_METHODS),
+            metavar="METHOD",
+            help="allocation methods (default: the paper's three)",
+        )
+        command.add_argument(
+            "--seeds",
+            type=_seed_token,
+            nargs="+",
+            default=["default"],
+            help="repetition seeds: integers and/or 'paper' (the "
+            "nbRepeat=10 set) / 'default'",
+        )
+        command.add_argument(
+            "--scale",
+            choices=sorted(SCALES),
+            default="scaled",
+            help="base environment scale (default: scaled)",
+        )
+
+    sweep_run = sweep_sub.add_parser(
+        "run", help="execute one deterministic shard of a sweep"
+    )
+    add_spec_options(sweep_run)
+    sweep_run.add_argument(
+        "--shard",
+        type=_shard_value,
+        default=(0, 1),
+        metavar="K/N",
+        help="which deterministic shard to run (default 0/1 = everything)",
+    )
+    sweep_run.add_argument(
+        "--workers",
+        type=positive_int,
+        default=None,
+        help="process-pool size for the shard's simulation jobs",
+    )
+    add_cache_options(sweep_run)
+
+    sweep_status = sweep_sub.add_parser(
+        "status", help="summarise the shard manifests under a store"
+    )
+    add_cache_options(sweep_status)
+
+    sweep_merge = sweep_sub.add_parser(
+        "merge",
+        help="union result-store directories (and manifests) into one",
+    )
+    sweep_merge.add_argument(
+        "sources", nargs="+", help="source store directories to merge from"
+    )
+    sweep_merge.add_argument(
+        "--into", required=True, help="destination store directory"
+    )
+
+    sweep_report = sweep_sub.add_parser(
+        "report",
+        help="per-(scenario, method) summary: means and quantiles "
+        "across seeds",
+    )
+    add_spec_options(sweep_report)
+    sweep_report.add_argument(
+        "--workers",
+        type=positive_int,
+        default=None,
+        help="process-pool size for any cells missing from the store",
+    )
+    add_cache_options(sweep_report)
     return parser
 
 
@@ -192,7 +351,7 @@ def _cmd_run(args: argparse.Namespace) -> str:
 
 
 def _cmd_figure(args: argparse.Namespace) -> str:
-    seeds = tuple(args.seeds)
+    seeds = resolve_seeds(args.seeds)
     which = args.which
     if which in FIGURE4_SERIES:
         family = captive_ramp(seeds=seeds)
@@ -240,6 +399,116 @@ def _cmd_figure(args: argparse.Namespace) -> str:
     raise AssertionError(f"unhandled figure {which!r}")  # pragma: no cover
 
 
+def _spec_from_args(args: argparse.Namespace) -> SweepSpec:
+    return SweepSpec(
+        name=args.name,
+        scenarios=tuple(args.scenarios),
+        methods=tuple(args.methods),
+        seeds=resolve_seeds(args.seeds),
+        scale=args.scale,
+    )
+
+
+def _cmd_sweep_run(args: argparse.Namespace) -> str:
+    executor = get_default_executor()
+    if executor.store is None:
+        raise SystemExit(
+            "repro: error: sweep run needs a result store for manifests "
+            "and resume; pass --cache-dir or set $REPRO_CACHE_DIR"
+        )
+    spec = _spec_from_args(args)
+    shard_index, shard_count = args.shard
+    report = SweepRunner(executor).run_shard(spec, shard_index, shard_count)
+    lines = [
+        f"sweep: {spec.name}   spec: {spec.spec_hash()}   "
+        f"shard: {shard_index}/{shard_count}",
+        f"jobs: {report.jobs}   simulated: {report.simulated}   "
+        f"store hits: {report.store_hits}",
+        f"manifest: {report.manifest_path}",
+    ]
+    if report.all_store_hits:
+        lines.append("shard fully warm: zero new simulations")
+    return "\n".join(lines)
+
+
+def _cmd_sweep_status(args: argparse.Namespace) -> str:
+    if args.no_cache:
+        raise SystemExit(
+            "repro: error: sweep status reads a store's manifests; "
+            "--no-cache makes no sense here"
+        )
+    cache_dir = args.cache_dir or os.environ.get(CACHE_DIR_ENV) or None
+    if cache_dir is None:
+        raise SystemExit(
+            "repro: error: sweep status needs --cache-dir or $REPRO_CACHE_DIR"
+        )
+    manifests = load_manifests(cache_dir)
+    if not manifests:
+        return f"no sweep manifests under {cache_dir}"
+    lines = [
+        f"{'sweep':<16} {'spec':<16} {'shard':>7} {'jobs':>5} "
+        f"{'simulated':>9} {'store_hit':>9} {'engine':>7}"
+    ]
+    for manifest in manifests:
+        states = [job["state"] for job in manifest["jobs"]]
+        engine = manifest.get("engine_version", "?")
+        stale = "" if engine == ENGINE_VERSION else " (stale)"
+        shard = (
+            f"{manifest.get('shard_index', '?')}"
+            f"/{manifest.get('shard_count', '?')}"
+        )
+        lines.append(
+            f"{manifest.get('sweep', '?'):<16} "
+            f"{manifest.get('spec_hash', '?'):<16} "
+            f"{shard:>7} "
+            f"{len(states):>5} "
+            f"{sum(1 for s in states if s == 'simulated'):>9} "
+            f"{sum(1 for s in states if s == 'store_hit'):>9} "
+            f"{engine:>7}{stale}"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_sweep_merge(args: argparse.Namespace) -> str:
+    try:
+        report = merge_stores(args.sources, args.into)
+    except FileNotFoundError as error:
+        raise SystemExit(f"repro: error: {error}") from None
+    return (
+        f"merged into {report.destination}: "
+        f"{report.entries_copied} entries copied, "
+        f"{report.entries_skipped} already present; "
+        f"{report.manifests_copied} manifests copied, "
+        f"{report.manifests_skipped} already present"
+    )
+
+
+def _cmd_sweep_report(args: argparse.Namespace) -> str:
+    spec = _spec_from_args(args)
+    summaries = sweep_summary(spec, executor=get_default_executor())
+    header = (
+        f"# sweep: {spec.name}   spec: {spec.spec_hash()}   "
+        f"scale: {spec.scale}   seeds: {len(spec.seeds)}"
+    )
+    return header + "\n" + format_sweep_table(summaries)
+
+
+def _cmd_sweep(args: argparse.Namespace) -> str:
+    if args.sweep_command == "run":
+        _configure_executor(args)
+        return _cmd_sweep_run(args)
+    if args.sweep_command == "status":
+        return _cmd_sweep_status(args)
+    if args.sweep_command == "merge":
+        return _cmd_sweep_merge(args)
+    if args.sweep_command == "report":
+        _configure_executor(args)
+        return _cmd_sweep_report(args)
+    raise AssertionError(
+        f"unhandled sweep command {args.sweep_command!r}"
+    )  # pragma: no cover
+
+
 def _configure_executor(args: argparse.Namespace) -> None:
     """Install the default executor the simulation commands run through.
 
@@ -272,4 +541,6 @@ def main(argv: list[str] | None = None) -> int:
     elif args.command == "figure":
         _configure_executor(args)
         print(_cmd_figure(args))
+    elif args.command == "sweep":
+        print(_cmd_sweep(args))
     return 0

@@ -138,6 +138,19 @@ class ExperimentExecutor:
         finishes — an interrupt mid-batch loses at most the in-flight
         runs, never the completed ones.
         """
+        return [result for result, _ in self.run_detailed(jobs)]
+
+    def run_detailed(
+        self, jobs: Iterable[SimulationJob]
+    ) -> list[tuple[SimulationResult, bool]]:
+        """Like :meth:`run`, also reporting which jobs were store hits.
+
+        Returns ``(result, store_hit)`` per job, order-preserving.  The
+        flag is the executor's own ground truth (a ``True`` means the
+        result came from the store without simulation), so callers —
+        the sweep manifests — never need a second store read to
+        classify jobs.
+        """
         jobs = list(jobs)
         results: list[SimulationResult | None] = [None] * len(jobs)
 
@@ -154,7 +167,7 @@ class ExperimentExecutor:
                 pending.append(position)
 
         if not pending:
-            return results  # type: ignore[return-value]
+            return [(result, True) for result in results]  # type: ignore[misc]
 
         if self.workers == 1 or len(pending) == 1:
             for position in pending:
@@ -174,7 +187,11 @@ class ExperimentExecutor:
                     results[position] = self._complete(
                         jobs[position], future.result()
                     )
-        return results  # type: ignore[return-value]
+        simulated = set(pending)
+        return [
+            (result, position not in simulated)
+            for position, result in enumerate(results)
+        ]  # type: ignore[misc]
 
     def _complete(
         self, job: SimulationJob, result: SimulationResult

@@ -35,6 +35,7 @@ from repro.simulation.engine import SimulationResult
 
 __all__ = [
     "DEFAULT_SEEDS",
+    "PAPER_SEEDS",
     "MethodAverages",
     "average_series",
     "run_repeated",
@@ -46,6 +47,11 @@ __all__ = [
 #: already averaging out most run-to-run noise.  Pass more seeds for
 #: paper-strength averaging.
 DEFAULT_SEEDS = (11, 23, 47)
+
+#: Paper-strength repetition seeds: ``nbRepeat = 10`` (Table 2).  A
+#: fixed, ordered superset of :data:`DEFAULT_SEEDS`, so paper-scale
+#: sweeps reuse every run the default seed set already cached.
+PAPER_SEEDS = (11, 23, 47, 61, 83, 101, 131, 151, 181, 199)
 
 
 def run_repeated(

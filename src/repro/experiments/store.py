@@ -63,13 +63,26 @@ def cache_key(config: SimulationConfig, method: str, seed: int) -> str:
     included), the method name, the seed, and the engine/format version
     tags.  Two runs share a key if and only if they are guaranteed to
     produce identical results.
+
+    ``WorkloadSpec`` fields that are ``None`` (the kind-specific knobs
+    of the burst/piecewise kinds) are dropped from the payload: an
+    unset knob cannot influence the run, and dropping it keeps the keys
+    of pre-existing fixed/ramp stores valid when new optional workload
+    fields are introduced.  Any future optional workload field must
+    follow the same None-means-absent convention.
     """
+    config_payload = dataclasses.asdict(config)
+    config_payload["workload"] = {
+        name: value
+        for name, value in config_payload["workload"].items()
+        if value is not None
+    }
     payload = {
         "engine_version": ENGINE_VERSION,
         "format_version": _FORMAT_VERSION,
         "method": str(method),
         "seed": int(seed),
-        "config": dataclasses.asdict(config),
+        "config": config_payload,
     }
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

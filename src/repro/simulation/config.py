@@ -162,7 +162,9 @@ class QueryClassSpec:
         if any(cost <= 0 for cost in self.costs):
             raise ValueError(f"query costs must be positive, got {self.costs}")
         if any(weight < 0 for weight in self.weights) or sum(self.weights) <= 0:
-            raise ValueError(f"weights must be non-negative and not all zero")
+            raise ValueError(
+                f"weights must be non-negative and not all zero, got {self.weights}"
+            )
 
     @property
     def mean_cost(self) -> float:
@@ -173,31 +175,129 @@ class QueryClassSpec:
 
 @dataclass(frozen=True)
 class WorkloadSpec:
-    """The arrival process: Poisson with a fixed or ramping rate.
+    """The arrival process: Poisson with a time-varying target fraction.
 
     The paper's Figure 4(a)-(h) runs ramp the workload *uniformly* from
     30 % to 100 % of the total system capacity over the run; the
-    response-time and autonomy experiments use fixed workloads.
+    response-time and autonomy experiments use fixed workloads.  Two
+    further shapes extend the evaluation beyond the paper's grid:
+
+    * ``burst`` — a flash crowd: the load sits at ``start_fraction``
+      except inside the relative window ``[burst_start, burst_end)``
+      (fractions of the horizon), where it jumps to ``burst_fraction``.
+    * ``piecewise`` — piecewise-linear over breakpoints
+      ``((relative_time, fraction), ...)`` spanning the whole horizon;
+      expressive enough for diurnal load, sawtooths, or decay shapes.
 
     Workload fractions are relative to the *initial* total system
-    capacity (departures do not change the demand).
+    capacity (departures do not change the demand).  ``burst`` and
+    ``piecewise`` fractions may exceed 1 (overload stress).
     """
 
     kind: str = "ramp"
     start_fraction: float = 0.30
     end_fraction: float = 1.00
+    #: ``burst`` only: the elevated fraction and its relative window.
+    burst_fraction: float | None = None
+    burst_start: float | None = None
+    burst_end: float | None = None
+    #: ``piecewise`` only: ((relative_time, fraction), ...) breakpoints.
+    points: tuple[tuple[float, float], ...] | None = None
 
     def __post_init__(self) -> None:
-        if self.kind not in ("fixed", "ramp"):
-            raise ValueError(f"kind must be 'fixed' or 'ramp', got {self.kind!r}")
+        if self.kind not in ("fixed", "ramp", "burst", "piecewise"):
+            raise ValueError(
+                "kind must be 'fixed', 'ramp', 'burst', or 'piecewise', "
+                f"got {self.kind!r}"
+            )
+        if self.kind in ("fixed", "ramp"):
+            self._validate_no_extras()
+            if self.start_fraction <= 0:
+                raise ValueError(
+                    f"start_fraction must be positive, got {self.start_fraction}"
+                )
+            if self.kind == "fixed" and self.end_fraction != self.start_fraction:
+                object.__setattr__(self, "end_fraction", self.start_fraction)
+            if self.end_fraction < self.start_fraction:
+                raise ValueError("a ramp cannot decrease")
+        elif self.kind == "burst":
+            self._validate_burst()
+        else:
+            self._validate_piecewise()
+
+    def _validate_no_extras(self) -> None:
+        if (
+            self.burst_fraction is not None
+            or self.burst_start is not None
+            or self.burst_end is not None
+        ):
+            raise ValueError(
+                f"burst_* parameters are only valid for kind='burst', "
+                f"not {self.kind!r}"
+            )
+        if self.points is not None:
+            raise ValueError(
+                f"points are only valid for kind='piecewise', not {self.kind!r}"
+            )
+
+    def _validate_burst(self) -> None:
+        if self.points is not None:
+            raise ValueError("points are only valid for kind='piecewise'")
         if self.start_fraction <= 0:
             raise ValueError(
                 f"start_fraction must be positive, got {self.start_fraction}"
             )
-        if self.kind == "fixed" and self.end_fraction != self.start_fraction:
+        if self.burst_fraction is None or self.burst_fraction <= 0:
+            raise ValueError(
+                f"burst_fraction must be positive, got {self.burst_fraction}"
+            )
+        if self.burst_start is None or self.burst_end is None:
+            raise ValueError("a burst needs both burst_start and burst_end")
+        if not 0.0 <= self.burst_start < self.burst_end <= 1.0:
+            raise ValueError(
+                "burst window must satisfy 0 <= burst_start < burst_end <= 1, "
+                f"got [{self.burst_start}, {self.burst_end})"
+            )
+        # The baseline is the level outside the window; end_fraction is
+        # meaningless for bursts and pinned so equality/hashing behave.
+        if self.end_fraction != self.start_fraction:
             object.__setattr__(self, "end_fraction", self.start_fraction)
-        if self.end_fraction < self.start_fraction:
-            raise ValueError("a ramp cannot decrease")
+
+    def _validate_piecewise(self) -> None:
+        if (
+            self.burst_fraction is not None
+            or self.burst_start is not None
+            or self.burst_end is not None
+        ):
+            raise ValueError("burst_* parameters are only valid for kind='burst'")
+        if self.points is None or len(self.points) < 2:
+            raise ValueError("piecewise needs at least two (time, fraction) points")
+        for point in self.points:
+            if len(point) != 2:
+                raise ValueError(f"each point must be (time, fraction), got {point}")
+        # Canonicalise to a tuple of float pairs so specs hash and
+        # compare by value regardless of how the points were supplied.
+        object.__setattr__(
+            self,
+            "points",
+            tuple((float(t), float(v)) for t, v in self.points),
+        )
+        times = [float(t) for t, _ in self.points]
+        values = [float(v) for _, v in self.points]
+        if times[0] != 0.0 or times[-1] != 1.0:
+            raise ValueError(
+                "piecewise points must span the whole horizon: first time "
+                f"must be 0 and last must be 1, got {times[0]} and {times[-1]}"
+            )
+        if any(b <= a for a, b in zip(times, times[1:])):
+            raise ValueError(f"piecewise times must strictly increase, got {times}")
+        if any(v <= 0 for v in values):
+            raise ValueError(f"piecewise fractions must be positive, got {values}")
+        # Pin the redundant scalars to the endpoint values so
+        # fraction_at(0)/fraction_at(duration) match start/end as for
+        # the other kinds.
+        object.__setattr__(self, "start_fraction", values[0])
+        object.__setattr__(self, "end_fraction", values[-1])
 
     @staticmethod
     def fixed(fraction: float) -> "WorkloadSpec":
@@ -206,6 +306,34 @@ class WorkloadSpec:
             kind="fixed", start_fraction=fraction, end_fraction=fraction
         )
 
+    @staticmethod
+    def burst(
+        base: float, peak: float, start: float, end: float
+    ) -> "WorkloadSpec":
+        """A flash crowd: ``base`` load, ``peak`` during ``[start, end)``.
+
+        ``start`` and ``end`` are fractions of the run duration, so one
+        spec describes the same *shape* at every horizon.
+        """
+        return WorkloadSpec(
+            kind="burst",
+            start_fraction=base,
+            end_fraction=base,
+            burst_fraction=peak,
+            burst_start=start,
+            burst_end=end,
+        )
+
+    @staticmethod
+    def piecewise(
+        points: tuple[tuple[float, float], ...]
+    ) -> "WorkloadSpec":
+        """Piecewise-linear load over ``((relative_time, fraction), ...)``."""
+        canonical = tuple(
+            (float(time), float(value)) for time, value in points
+        )
+        return WorkloadSpec(kind="piecewise", points=canonical)
+
     def fraction_at(self, time: float, duration: float) -> float:
         """Instantaneous workload fraction at ``time`` into a run."""
         if self.kind == "fixed":
@@ -213,9 +341,38 @@ class WorkloadSpec:
         if duration <= 0:
             return self.start_fraction
         progress = min(max(time / duration, 0.0), 1.0)
-        return self.start_fraction + progress * (
-            self.end_fraction - self.start_fraction
-        )
+        if self.kind == "ramp":
+            return self.start_fraction + progress * (
+                self.end_fraction - self.start_fraction
+            )
+        if self.kind == "burst":
+            if self.burst_start <= progress < self.burst_end:
+                return self.burst_fraction
+            return self.start_fraction
+        # piecewise: linear interpolation between the bracketing points.
+        points = self.points
+        for (t0, v0), (t1, v1) in zip(points, points[1:]):
+            if progress <= t1:
+                span = t1 - t0
+                return v0 + (progress - t0) / span * (v1 - v0)
+        return points[-1][1]  # pragma: no cover - progress is clamped to 1
+
+    def peak_fraction(self, duration: float) -> float:
+        """Upper bound of ``fraction_at`` over the horizon.
+
+        Used for the Poisson thinning envelope.  For ``fixed``/``ramp``
+        this evaluates the endpoints exactly as
+        :meth:`SimulationConfig.peak_arrival_rate` historically did, so
+        existing numerics are bit-identical.
+        """
+        if self.kind in ("fixed", "ramp"):
+            return max(
+                self.fraction_at(0.0, duration),
+                self.fraction_at(duration, duration),
+            )
+        if self.kind == "burst":
+            return max(self.start_fraction, self.burst_fraction)
+        return max(value for _, value in self.points)
 
 
 @dataclass(frozen=True)
@@ -342,7 +499,9 @@ class MariposaParams:
         if self.base_spread <= 1:
             raise ValueError(f"base_spread must exceed 1, got {self.base_spread}")
         if self.load_weight < 0:
-            raise ValueError(f"load_weight must be non-negative")
+            raise ValueError(
+                f"load_weight must be non-negative, got {self.load_weight}"
+            )
         if self.max_delay <= 0:
             raise ValueError(f"max_delay must be positive, got {self.max_delay}")
 
@@ -472,9 +631,8 @@ class SimulationConfig:
 
     def peak_arrival_rate(self) -> float:
         """The maximum arrival rate over the run (used for thinning)."""
-        return max(
-            self.arrival_rate_at(0.0), self.arrival_rate_at(self.duration)
-        )
+        fraction = self.workload.peak_fraction(self.duration)
+        return fraction * self.total_capacity() / self.query_classes.mean_cost
 
     def optimal_utilization_at(self, time: float) -> float:
         """The paper's 'optimal utilisation': the workload fraction."""

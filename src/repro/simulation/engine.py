@@ -244,6 +244,10 @@ class MediatorSimulation:
         # --- accounting -------------------------------------------------
         self._collector = TimeSeriesCollector()
         self._departures: list[DepartureRecord] = []
+        # Running per-kind counts so sampling never rescans the full
+        # departure list (that scan was O(samples × departures)).
+        self._provider_departure_count = 0
+        self._consumer_departure_count = 0
         self._queries_issued = 0
         self._queries_served = 0
         self._queries_unserved = 0
@@ -439,6 +443,11 @@ class MediatorSimulation:
             self._departure_policy.check_consumers(time, self.consumers)
         )
         self._departures.extend(records)
+        for record in records:
+            if record.kind == "provider":
+                self._provider_departure_count += 1
+            else:
+                self._consumer_departure_count += 1
 
     def _sample(self, time: float) -> None:
         self.utilization.advance(time)
@@ -452,10 +461,10 @@ class MediatorSimulation:
             "active_providers": float(active_p.sum()),
             "active_consumers": float(active_c.sum()),
             "provider_departures_cumulative": float(
-                sum(1 for d in self._departures if d.kind == "provider")
+                self._provider_departure_count
             ),
             "consumer_departures_cumulative": float(
-                sum(1 for d in self._departures if d.kind == "consumer")
+                self._consumer_departure_count
             ),
         }
 

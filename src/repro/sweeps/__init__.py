@@ -1,0 +1,60 @@
+"""Sweep orchestration: the paper's whole evaluation as one object.
+
+The paper's evaluation is a grid — environments × methods × seeds,
+``nbRepeat = 10`` — that the per-figure experiment families only ever
+walked one slice at a time.  This package makes the grid first-class:
+
+* :mod:`repro.sweeps.scenarios` — a catalog of named environments: the
+  paper's Table 2 captive/autonomous settings plus new workload shapes
+  (flash crowds, diurnal load, provider-churn stress).
+* :mod:`repro.sweeps.spec` — :class:`SweepSpec`, a declarative grid
+  that expands to a deterministic ordered job list and partitions into
+  ``shard k of n`` with no coordination.
+* :mod:`repro.sweeps.runner` — :class:`SweepRunner` executes shards
+  through the experiment executor/store and writes per-shard JSON
+  manifests, so interrupted sweeps resume with zero re-simulation.
+* :mod:`repro.sweeps.aggregate` — merges store directories from many
+  machines and renders per-(scenario, method) summary tables with
+  means *and* quantiles across seeds.
+
+CLI surface: ``python -m repro sweep run|status|merge|report``.
+"""
+
+from repro.sweeps.aggregate import (
+    MergeReport,
+    ScenarioMethodSummary,
+    format_sweep_table,
+    merge_stores,
+    sweep_summary,
+)
+from repro.sweeps.runner import (
+    ShardReport,
+    SweepRunner,
+    load_manifests,
+    manifest_directory,
+)
+from repro.sweeps.scenarios import (
+    SCALES,
+    Scenario,
+    available_scenarios,
+    scenario_catalog,
+)
+from repro.sweeps.spec import SweepJob, SweepSpec
+
+__all__ = [
+    "MergeReport",
+    "SCALES",
+    "Scenario",
+    "ScenarioMethodSummary",
+    "ShardReport",
+    "SweepJob",
+    "SweepRunner",
+    "SweepSpec",
+    "available_scenarios",
+    "format_sweep_table",
+    "load_manifests",
+    "manifest_directory",
+    "merge_stores",
+    "scenario_catalog",
+    "sweep_summary",
+]

@@ -1,0 +1,232 @@
+"""Shard execution and manifests.
+
+``SweepRunner`` routes one shard of a sweep through the configured
+:class:`~repro.experiments.executor.ExperimentExecutor` — so shards get
+the process pool and the persistent result store for free — and records
+a JSON *manifest* next to the store describing exactly what the shard
+ran: the spec payload and hash, the engine version, and one entry per
+job with its store key and whether it was simulated or served from the
+store.
+
+Manifests make sweeps resumable and auditable with zero coordination:
+
+* Re-running an interrupted shard re-simulates only the jobs whose
+  results never reached the store; the fresh manifest shows everything
+  else as a ``store_hit``.
+* ``status`` (CLI) reads the manifests under a cache directory and
+  reports per-shard completion without touching a single result file.
+* The aggregation layer (:mod:`repro.sweeps.aggregate`) merges
+  manifests from different machines' store directories by spec hash.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from pathlib import Path
+
+from repro.experiments.executor import (
+    ExperimentExecutor,
+    get_default_executor,
+)
+from repro.experiments.store import _atomic_write_bytes, cache_key
+from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import ENGINE_VERSION
+from repro.sweeps.spec import SweepSpec
+
+__all__ = [
+    "MANIFEST_DIR_NAME",
+    "ShardReport",
+    "SweepRunner",
+    "environment_hash",
+    "load_manifests",
+    "manifest_directory",
+]
+
+
+def environment_hash(
+    spec: SweepSpec, base: SimulationConfig | None = None
+) -> str:
+    """Fingerprint of the *effective* scenario environments (8 hex chars).
+
+    ``run_shard`` accepts a ``base`` config override, which changes
+    every job while leaving the spec payload untouched; folding this
+    hash into the manifest identity keeps a spec-only run and an
+    overridden run from overwriting each other's manifests.  Derived
+    from the fully built scenario configs, so it is identical across
+    machines whenever the effective environments are.
+    """
+    configs = {
+        name: dataclasses.asdict(config)
+        for name, config in spec.configs(base).items()
+    }
+    canonical = json.dumps(configs, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:8]
+
+#: Subdirectory of a result-store root where manifests live.  The store
+#: only globs top-level files, so manifests never collide with entries.
+MANIFEST_DIR_NAME = "manifests"
+
+#: Bump when the manifest JSON schema changes incompatibly.
+_MANIFEST_FORMAT = 1
+
+
+def manifest_directory(store_root: Path | str) -> Path:
+    """Where a store directory keeps its sweep manifests."""
+    return Path(store_root) / MANIFEST_DIR_NAME
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardReport:
+    """What one shard execution did."""
+
+    spec: SweepSpec
+    shard_index: int
+    shard_count: int
+    jobs: int
+    simulated: int
+    store_hits: int
+    manifest_path: Path | None
+
+    @property
+    def all_store_hits(self) -> bool:
+        """True when the shard re-simulated nothing (fully warm)."""
+        return self.simulated == 0 and self.jobs > 0
+
+
+class SweepRunner:
+    """Executes sweep shards through an experiment executor.
+
+    Parameters
+    ----------
+    executor:
+        The executor to route jobs through; ``None`` (default) uses the
+        process-wide default executor, which the CLI and benchmarks
+        configure with ``--workers`` / ``--cache-dir``.
+    """
+
+    def __init__(self, executor: ExperimentExecutor | None = None) -> None:
+        self._executor = executor
+
+    @property
+    def executor(self) -> ExperimentExecutor:
+        return (
+            self._executor
+            if self._executor is not None
+            else get_default_executor()
+        )
+
+    def run_shard(
+        self,
+        spec: SweepSpec,
+        shard_index: int = 0,
+        shard_count: int = 1,
+        base: SimulationConfig | None = None,
+    ) -> ShardReport:
+        """Run one shard; returns counts and the manifest path.
+
+        Jobs already present in the executor's store are recorded as
+        ``store_hit`` and cost one disk read; the rest are simulated
+        (fanning out over the executor's pool) and persisted.  With a
+        store-less executor the shard still runs, but no manifest can be
+        written — resumability needs the store.
+        """
+        executor = self.executor
+        store = executor.store
+        sweep_jobs = spec.shard(shard_index, shard_count, base)
+
+        # run_detailed reports the executor's own ground truth per job
+        # (an unreadable store entry is a miss and gets re-simulated),
+        # so the manifest states always match what actually happened.
+        detailed = executor.run_detailed([sj.job for sj in sweep_jobs])
+        warm = [hit for _, hit in detailed]
+
+        entries = [
+            {
+                "scenario": sj.scenario,
+                "method": sj.job.method,
+                "seed": sj.job.seed,
+                "key": cache_key(sj.job.config, sj.job.method, sj.job.seed),
+                "state": "store_hit" if hit else "simulated",
+            }
+            for sj, hit in zip(sweep_jobs, warm)
+        ]
+
+        manifest_path: Path | None = None
+        if store is not None:
+            manifest_path = self._write_manifest(
+                store.root,
+                spec,
+                environment_hash(spec, base),
+                shard_index,
+                shard_count,
+                entries,
+            )
+
+        store_hits = sum(warm)
+        return ShardReport(
+            spec=spec,
+            shard_index=shard_index,
+            shard_count=shard_count,
+            jobs=len(sweep_jobs),
+            simulated=len(sweep_jobs) - store_hits,
+            store_hits=store_hits,
+            manifest_path=manifest_path,
+        )
+
+    @staticmethod
+    def _write_manifest(
+        store_root: Path,
+        spec: SweepSpec,
+        env_hash: str,
+        shard_index: int,
+        shard_count: int,
+        entries: list[dict],
+    ) -> Path:
+        directory = manifest_directory(store_root)
+        directory.mkdir(parents=True, exist_ok=True)
+        manifest = {
+            "format": _MANIFEST_FORMAT,
+            "sweep": spec.name,
+            "spec": spec.payload(),
+            "spec_hash": spec.spec_hash(),
+            "environment_hash": env_hash,
+            "engine_version": ENGINE_VERSION,
+            "shard_index": shard_index,
+            "shard_count": shard_count,
+            "completed": True,
+            "jobs": entries,
+        }
+        path = directory / (
+            f"{spec.spec_hash()}.{env_hash}"
+            f".shard{shard_index:04d}of{shard_count:04d}.json"
+        )
+        _atomic_write_bytes(
+            path, json.dumps(manifest, sort_keys=True, indent=1).encode("utf-8")
+        )
+        return path
+
+
+def load_manifests(store_root: Path | str) -> list[dict]:
+    """Every readable manifest under a store directory, sorted by name.
+
+    Unreadable or schema-mismatched files are skipped (a crashed writer
+    never blocks status reporting).
+    """
+    directory = manifest_directory(store_root)
+    manifests = []
+    if not directory.is_dir():
+        return manifests
+    for path in sorted(directory.glob("*.json")):
+        try:
+            manifest = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        if not isinstance(manifest, dict) or "jobs" not in manifest:
+            continue
+        if manifest.get("format") != _MANIFEST_FORMAT:
+            continue
+        manifest["path"] = str(path)
+        manifests.append(manifest)
+    return manifests

@@ -1,0 +1,192 @@
+"""The scenario catalog: named evaluation environments.
+
+A *scenario* is a fully specified environment — workload shape plus
+autonomy rules — applied to a base configuration (tiny / scaled /
+paper scale, see :data:`SCALES`).  The catalog covers the paper's
+Table 2 settings (captive ramp, captive fixed, the Section 6.3.2
+autonomous variants) and new workload shapes that stress the methods
+beyond the paper's grid:
+
+* ``flash_crowd`` — a burst workload: steady 40 % load with a jump to
+  100 % during the middle fifth of the run (think a breaking-news spike
+  against a mediator that was provisioned for the steady state).
+* ``diurnal`` — piecewise-linear double-peak load (morning and evening
+  rush) between 30 % and 100 %.
+* ``provider_churn_stress`` — an autonomous environment driven into
+  overload (120 %) for the middle of the run, so every departure reason
+  can trip; measures how much of the provider population each method
+  burns through.
+
+Scenario names are the unit the sweep layer shards and aggregates by:
+``SweepSpec.scenarios`` is a tuple of catalog names, and summary tables
+report per (scenario, method).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.simulation.config import (
+    DepartureRules,
+    SimulationConfig,
+    WorkloadSpec,
+    paper_config,
+    scaled_config,
+    tiny_config,
+)
+
+__all__ = [
+    "SCALES",
+    "Scenario",
+    "available_scenarios",
+    "base_config",
+    "scenario_catalog",
+]
+
+#: Base-configuration factories the catalog can be instantiated at.
+SCALES: dict[str, Callable[[], SimulationConfig]] = {
+    "tiny": tiny_config,
+    "scaled": scaled_config,
+    "paper": paper_config,
+}
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named environment: a description plus its full config."""
+
+    name: str
+    description: str
+    config: SimulationConfig
+
+
+def _captive_ramp(base: SimulationConfig) -> SimulationConfig:
+    return base.with_departures(DepartureRules.captive()).with_workload(
+        WorkloadSpec(kind="ramp", start_fraction=0.30, end_fraction=1.00)
+    )
+
+
+def _captive_fixed_80(base: SimulationConfig) -> SimulationConfig:
+    return base.with_departures(DepartureRules.captive()).with_workload(
+        WorkloadSpec.fixed(0.80)
+    )
+
+
+def _autonomous_full(base: SimulationConfig) -> SimulationConfig:
+    return base.with_departures(
+        DepartureRules.autonomous(include_overutilization=True)
+    ).with_workload(WorkloadSpec.fixed(0.80))
+
+
+def _autonomous_no_overutilization(base: SimulationConfig) -> SimulationConfig:
+    return base.with_departures(
+        DepartureRules.autonomous(include_overutilization=False)
+    ).with_workload(WorkloadSpec.fixed(0.80))
+
+
+def _flash_crowd(base: SimulationConfig) -> SimulationConfig:
+    return base.with_departures(DepartureRules.captive()).with_workload(
+        WorkloadSpec.burst(base=0.40, peak=1.00, start=0.40, end=0.60)
+    )
+
+
+def _diurnal(base: SimulationConfig) -> SimulationConfig:
+    return base.with_departures(DepartureRules.captive()).with_workload(
+        WorkloadSpec.piecewise(
+            (
+                (0.00, 0.30),
+                (0.25, 0.90),
+                (0.50, 0.40),
+                (0.75, 1.00),
+                (1.00, 0.30),
+            )
+        )
+    )
+
+
+def _provider_churn_stress(base: SimulationConfig) -> SimulationConfig:
+    return base.with_departures(
+        DepartureRules.autonomous(include_overutilization=True)
+    ).with_workload(
+        WorkloadSpec.burst(base=0.50, peak=1.20, start=0.30, end=0.70)
+    )
+
+
+#: name → (description, builder applying the scenario to a base config).
+_BUILDERS: dict[
+    str, tuple[str, Callable[[SimulationConfig], SimulationConfig]]
+] = {
+    "captive_ramp": (
+        "Table 2 / Figure 4: captive participants, 30→100 % uniform ramp",
+        _captive_ramp,
+    ),
+    "captive_fixed_80": (
+        "captive participants at the paper's reference 80 % workload",
+        _captive_fixed_80,
+    ),
+    "autonomous_full": (
+        "Section 6.3.2: all departure reasons enabled, 80 % workload",
+        _autonomous_full,
+    ),
+    "autonomous_no_overutilization": (
+        "Figure 5(a) setting: departures by dissatisfaction/starvation only",
+        _autonomous_no_overutilization,
+    ),
+    "flash_crowd": (
+        "burst workload: 40 % steady load spiking to 100 % mid-run",
+        _flash_crowd,
+    ),
+    "diurnal": (
+        "piecewise double-peak day: 30→90→40→100→30 % load",
+        _diurnal,
+    ),
+    "provider_churn_stress": (
+        "autonomous overload burst (120 % mid-run): provider churn stress",
+        _provider_churn_stress,
+    ),
+}
+
+
+def available_scenarios() -> tuple[str, ...]:
+    """All catalog scenario names, in deterministic order."""
+    return tuple(_BUILDERS)
+
+
+def base_config(scale: str) -> SimulationConfig:
+    """The base environment for one of the :data:`SCALES`."""
+    try:
+        factory = SCALES[scale]
+    except KeyError:
+        raise ValueError(
+            f"unknown scale {scale!r}; available: {sorted(SCALES)}"
+        ) from None
+    return factory()
+
+
+def scenario_catalog(
+    base: SimulationConfig | str = "scaled",
+    names: tuple[str, ...] | None = None,
+) -> dict[str, Scenario]:
+    """Build (a subset of) the catalog on one base configuration.
+
+    ``base`` is either a scale name from :data:`SCALES` or an explicit
+    base config (tests pass short-horizon configs directly).  The
+    returned dict preserves catalog order.
+    """
+    if isinstance(base, str):
+        base = base_config(base)
+    selected = names if names is not None else available_scenarios()
+    catalog: dict[str, Scenario] = {}
+    for name in selected:
+        try:
+            description, builder = _BUILDERS[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown scenario {name!r}; "
+                f"available: {sorted(_BUILDERS)}"
+            ) from None
+        catalog[name] = Scenario(
+            name=name, description=description, config=builder(base)
+        )
+    return catalog

@@ -96,6 +96,31 @@ class TestExperimentExecutor:
         ]
         assert executor.simulations_run == 2
 
+    def test_run_detailed_reports_ground_truth_hits(self, tmp_path):
+        config = tiny_config(duration=40.0)
+        store = ResultStore(tmp_path)
+        ExperimentExecutor(store=store).run_one(config, "capacity", seed=2)
+
+        executor = ExperimentExecutor(workers=1, store=store)
+        detailed = executor.run_detailed(
+            [
+                SimulationJob(config, "sqlb", 1),
+                SimulationJob(config, "capacity", 2),
+            ]
+        )
+        assert [hit for _, hit in detailed] == [False, True]
+        assert executor.simulations_run == 1
+        # Store-less executors never report hits.
+        bare = ExperimentExecutor(workers=1).run_detailed(
+            [SimulationJob(config, "capacity", 2)]
+        )
+        assert [hit for _, hit in bare] == [False]
+        # Fully warm: everything is a hit and nothing simulates.
+        warm = ExperimentExecutor(workers=1, store=store).run_detailed(
+            [SimulationJob(config, "capacity", 2)]
+        )
+        assert [hit for _, hit in warm] == [True]
+
     def test_warm_cache_runs_zero_simulations(self, tmp_path):
         """Acceptance: cold → warm re-run performs zero new simulations."""
         config = tiny_config(duration=40.0)

@@ -8,12 +8,25 @@ import numpy as np
 import pytest
 
 from repro.experiments.harness import (
+    DEFAULT_SEEDS,
+    PAPER_SEEDS,
     MethodAverages,
     average_series,
     run_method_family,
     run_repeated,
 )
 from repro.simulation.config import tiny_config
+
+
+class TestSeedSets:
+    def test_paper_seeds_are_nb_repeat_10(self):
+        assert len(PAPER_SEEDS) == 10
+        assert len(set(PAPER_SEEDS)) == 10
+
+    def test_paper_seeds_extend_the_default_set(self):
+        """Paper-strength sweeps must reuse every default-seed run
+        already sitting in a store, so the sets must nest."""
+        assert PAPER_SEEDS[: len(DEFAULT_SEEDS)] == DEFAULT_SEEDS
 
 
 @pytest.fixture(scope="module")

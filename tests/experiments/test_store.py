@@ -47,6 +47,36 @@ class TestCacheKey:
             tiny_config(), "sqlb", 1
         )
 
+    def test_fixed_ramp_keys_stable_across_releases(self):
+        """Frozen PR 1 keys: stores populated before the burst/piecewise
+        workload kinds existed must stay valid.  Unset (None) workload
+        knobs are dropped from the key payload, so adding optional
+        fields to WorkloadSpec must never shift these hashes (an
+        intentional semantic change shifts them via ENGINE_VERSION)."""
+        from repro.simulation.config import scaled_config
+
+        assert cache_key(tiny_config(), "sqlb", 11) == (
+            "0133888f71ac6fb810cec6978344380b8c9c3ad6737b7dce3564a8b9f3fa3e82"
+        )
+        assert cache_key(scaled_config(), "capacity", 23) == (
+            "a49dceb50f3fbd46d705aa49bf9c85359821bbd1940aaba455175d2ca1c18e57"
+        )
+
+    def test_new_workload_kinds_get_distinct_keys(self):
+        burst = tiny_config(
+            workload=WorkloadSpec.burst(base=0.4, peak=1.0, start=0.4, end=0.6)
+        )
+        piecewise = tiny_config(
+            workload=WorkloadSpec.piecewise(((0.0, 0.4), (1.0, 0.4)))
+        )
+        keys = {
+            cache_key(tiny_config(), "sqlb", 1),
+            cache_key(burst, "sqlb", 1),
+            cache_key(piecewise, "sqlb", 1),
+            cache_key(tiny_config(workload=WorkloadSpec.fixed(0.4)), "sqlb", 1),
+        }
+        assert len(keys) == 4
+
 
 class TestRoundTrip:
     def _assert_round_trip(self, store, result):

@@ -91,6 +91,126 @@ class TestDerivedQuantities:
         )
 
 
+class TestBurstWorkload:
+    def test_fraction_at_inside_and_outside_the_window(self):
+        spec = WorkloadSpec.burst(base=0.4, peak=1.0, start=0.4, end=0.6)
+        assert spec.fraction_at(0.0, 100.0) == pytest.approx(0.4)
+        assert spec.fraction_at(39.9, 100.0) == pytest.approx(0.4)
+        assert spec.fraction_at(40.0, 100.0) == pytest.approx(1.0)
+        assert spec.fraction_at(50.0, 100.0) == pytest.approx(1.0)
+        # The window is half-open: [start, end).
+        assert spec.fraction_at(60.0, 100.0) == pytest.approx(0.4)
+        assert spec.fraction_at(100.0, 100.0) == pytest.approx(0.4)
+
+    def test_window_is_relative_to_the_horizon(self):
+        spec = WorkloadSpec.burst(base=0.5, peak=1.2, start=0.25, end=0.75)
+        for duration in (40.0, 400.0, 4000.0):
+            assert spec.fraction_at(0.5 * duration, duration) == pytest.approx(
+                1.2
+            )
+            assert spec.fraction_at(0.1 * duration, duration) == pytest.approx(
+                0.5
+            )
+
+    def test_peak_fraction_covers_both_levels(self):
+        surge = WorkloadSpec.burst(base=0.4, peak=1.0, start=0.4, end=0.6)
+        assert surge.peak_fraction(100.0) == pytest.approx(1.0)
+        dip = WorkloadSpec.burst(base=0.9, peak=0.2, start=0.4, end=0.6)
+        assert dip.peak_fraction(100.0) == pytest.approx(0.9)
+
+    def test_overload_burst_drives_the_arrival_rate(self):
+        config = tiny_config(
+            workload=WorkloadSpec.burst(base=0.5, peak=1.2, start=0.3, end=0.7),
+            duration=100.0,
+        )
+        mid = config.arrival_rate_at(50.0)
+        edge = config.arrival_rate_at(10.0)
+        assert mid == pytest.approx(1.2 / 0.5 * edge)
+        assert config.peak_arrival_rate() == pytest.approx(mid)
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError, match="burst_fraction"):
+            WorkloadSpec(kind="burst", burst_start=0.2, burst_end=0.5)
+        with pytest.raises(ValueError, match="burst_start"):
+            WorkloadSpec(kind="burst", burst_fraction=1.0)
+        with pytest.raises(ValueError, match="burst window"):
+            WorkloadSpec.burst(base=0.5, peak=1.0, start=0.6, end=0.4)
+        with pytest.raises(ValueError, match="burst window"):
+            WorkloadSpec.burst(base=0.5, peak=1.0, start=-0.1, end=0.5)
+        with pytest.raises(ValueError, match="burst window"):
+            WorkloadSpec.burst(base=0.5, peak=1.0, start=0.5, end=1.1)
+        with pytest.raises(ValueError, match="start_fraction"):
+            WorkloadSpec.burst(base=0.0, peak=1.0, start=0.2, end=0.5)
+        with pytest.raises(ValueError, match="points are only valid"):
+            WorkloadSpec(
+                kind="burst",
+                burst_fraction=1.0,
+                burst_start=0.2,
+                burst_end=0.5,
+                points=((0.0, 0.5), (1.0, 0.5)),
+            )
+
+    def test_burst_fields_rejected_on_fixed_and_ramp(self):
+        with pytest.raises(ValueError, match="only valid for kind='burst'"):
+            WorkloadSpec(kind="ramp", burst_fraction=1.0)
+        with pytest.raises(ValueError, match="only valid for kind='piecewise'"):
+            WorkloadSpec(kind="fixed", start_fraction=0.5,
+                         points=((0.0, 0.5), (1.0, 0.5)))
+
+
+class TestPiecewiseWorkload:
+    def test_linear_interpolation_between_breakpoints(self):
+        spec = WorkloadSpec.piecewise(((0.0, 0.3), (0.5, 1.0), (1.0, 0.3)))
+        assert spec.fraction_at(0.0, 100.0) == pytest.approx(0.3)
+        assert spec.fraction_at(25.0, 100.0) == pytest.approx(0.65)
+        assert spec.fraction_at(50.0, 100.0) == pytest.approx(1.0)
+        assert spec.fraction_at(75.0, 100.0) == pytest.approx(0.65)
+        assert spec.fraction_at(100.0, 100.0) == pytest.approx(0.3)
+        # Out-of-range times clamp to the endpoints.
+        assert spec.fraction_at(-5.0, 100.0) == pytest.approx(0.3)
+        assert spec.fraction_at(500.0, 100.0) == pytest.approx(0.3)
+
+    def test_endpoint_scalars_pinned_to_the_points(self):
+        spec = WorkloadSpec.piecewise(((0.0, 0.2), (1.0, 0.9)))
+        assert spec.start_fraction == pytest.approx(0.2)
+        assert spec.end_fraction == pytest.approx(0.9)
+
+    def test_peak_fraction_is_the_largest_breakpoint(self):
+        spec = WorkloadSpec.piecewise(
+            ((0.0, 0.3), (0.25, 0.9), (0.5, 0.4), (0.75, 1.0), (1.0, 0.3))
+        )
+        assert spec.peak_fraction(100.0) == pytest.approx(1.0)
+
+    def test_points_canonicalised_and_hashable(self):
+        from_lists = WorkloadSpec(kind="piecewise", points=([0, 1], [1, 2]))
+        assert from_lists.points == ((0.0, 1.0), (1.0, 2.0))
+        assert hash(from_lists) == hash(
+            WorkloadSpec.piecewise(((0.0, 1.0), (1.0, 2.0)))
+        )
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError, match="at least two"):
+            WorkloadSpec(kind="piecewise")
+        with pytest.raises(ValueError, match="at least two"):
+            WorkloadSpec.piecewise(((0.0, 0.5),))
+        with pytest.raises(ValueError, match="span the whole horizon"):
+            WorkloadSpec.piecewise(((0.1, 0.5), (1.0, 0.5)))
+        with pytest.raises(ValueError, match="span the whole horizon"):
+            WorkloadSpec.piecewise(((0.0, 0.5), (0.9, 0.5)))
+        with pytest.raises(ValueError, match="strictly increase"):
+            WorkloadSpec.piecewise(((0.0, 0.5), (0.5, 0.6), (0.5, 0.7), (1.0, 0.5)))
+        with pytest.raises(ValueError, match="must be positive"):
+            WorkloadSpec.piecewise(((0.0, 0.5), (0.5, 0.0), (1.0, 0.5)))
+        with pytest.raises(ValueError, match="time, fraction"):
+            WorkloadSpec(kind="piecewise", points=((0.0, 0.5, 1.0), (1.0, 0.5)))
+        with pytest.raises(ValueError, match="only valid for kind='burst'"):
+            WorkloadSpec(
+                kind="piecewise",
+                points=((0.0, 0.5), (1.0, 0.5)),
+                burst_fraction=1.0,
+            )
+
+
 class TestValidation:
     def test_class_band_rejects_empty_range(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,272 @@
+"""Tests for shard execution, manifests, merging, and reporting."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.executor import (
+    ExperimentExecutor,
+    set_default_executor,
+)
+from repro.experiments.store import ResultStore
+from repro.simulation.config import tiny_config
+from repro.simulation.engine import ENGINE_VERSION
+from repro.sweeps.aggregate import (
+    format_sweep_table,
+    merge_stores,
+    sweep_summary,
+)
+from repro.sweeps.runner import SweepRunner, load_manifests, manifest_directory
+from repro.sweeps.spec import SweepSpec
+
+
+@pytest.fixture(autouse=True)
+def _reset_default_executor():
+    yield
+    set_default_executor(None)
+
+
+def spec() -> SweepSpec:
+    return SweepSpec(
+        name="unit",
+        scenarios=("captive_fixed_80", "flash_crowd"),
+        methods=("sqlb", "capacity"),
+        seeds=(1, 2),
+        scale="tiny",
+    )
+
+
+def fast_base():
+    return tiny_config(duration=40.0)
+
+
+def executor_for(path) -> ExperimentExecutor:
+    return ExperimentExecutor(workers=1, store=ResultStore(path))
+
+
+class TestRunShard:
+    def test_cold_then_warm(self, tmp_path):
+        runner = SweepRunner(executor_for(tmp_path))
+        cold = runner.run_shard(spec(), 0, 1, base=fast_base())
+        assert cold.jobs == 8
+        assert cold.simulated == 8
+        assert cold.store_hits == 0
+        assert not cold.all_store_hits
+
+        warm = SweepRunner(executor_for(tmp_path)).run_shard(
+            spec(), 0, 1, base=fast_base()
+        )
+        assert warm.simulated == 0
+        assert warm.store_hits == 8
+        assert warm.all_store_hits
+
+    def test_interrupted_sweep_resumes_without_resimulation(self, tmp_path):
+        """Only the jobs missing from the store are simulated."""
+        first = executor_for(tmp_path)
+        SweepRunner(first).run_shard(spec(), 0, 2, base=fast_base())
+        assert first.simulations_run == 4
+
+        # The 'interrupted' full run: shard 0's jobs are already stored.
+        resumed = executor_for(tmp_path)
+        report = SweepRunner(resumed).run_shard(spec(), 0, 1, base=fast_base())
+        assert report.jobs == 8
+        assert report.store_hits == 4
+        assert report.simulated == 4
+        assert resumed.simulations_run == 4
+
+    def test_manifest_contents(self, tmp_path):
+        runner = SweepRunner(executor_for(tmp_path))
+        report = runner.run_shard(spec(), 1, 2, base=fast_base())
+        manifest = json.loads(report.manifest_path.read_text())
+        assert manifest["sweep"] == "unit"
+        assert manifest["spec_hash"] == spec().spec_hash()
+        assert manifest["engine_version"] == ENGINE_VERSION
+        assert manifest["shard_index"] == 1
+        assert manifest["shard_count"] == 2
+        assert manifest["completed"] is True
+        assert len(manifest["jobs"]) == 4
+        for entry in manifest["jobs"]:
+            assert entry["state"] == "simulated"
+            assert len(entry["key"]) == 64
+        # The spec payload round-trips into the identical spec.
+        rebuilt = SweepSpec(**manifest["spec"])
+        assert rebuilt == spec()
+
+    def test_warm_manifest_shows_all_store_hits(self, tmp_path):
+        """Acceptance: a warm re-run's manifest is all store_hit."""
+        SweepRunner(executor_for(tmp_path)).run_shard(
+            spec(), 0, 1, base=fast_base()
+        )
+        report = SweepRunner(executor_for(tmp_path)).run_shard(
+            spec(), 0, 1, base=fast_base()
+        )
+        manifest = json.loads(report.manifest_path.read_text())
+        assert all(
+            entry["state"] == "store_hit" for entry in manifest["jobs"]
+        )
+
+    def test_storeless_executor_runs_but_writes_no_manifest(self, tmp_path):
+        runner = SweepRunner(ExperimentExecutor(workers=1))
+        report = runner.run_shard(
+            SweepSpec(
+                name="nostore",
+                scenarios=("captive_fixed_80",),
+                methods=("capacity",),
+                seeds=(1,),
+                scale="tiny",
+            ),
+            base=fast_base(),
+        )
+        assert report.simulated == 1
+        assert report.manifest_path is None
+
+    def test_corrupt_store_entry_is_reported_as_simulated(self, tmp_path):
+        """An unreadable entry is a miss for the executor, so the
+        manifest must not claim it was a store hit."""
+        first = executor_for(tmp_path)
+        small = SweepSpec(
+            name="corrupt",
+            scenarios=("captive_fixed_80",),
+            methods=("sqlb", "capacity"),
+            seeds=(1,),
+            scale="tiny",
+        )
+        SweepRunner(first).run_shard(small, base=fast_base())
+
+        # Truncate one entry's numeric payload in place.
+        victim = sorted(tmp_path.glob("*.npz"))[0]
+        victim.write_bytes(b"not an npz archive")
+
+        warm = executor_for(tmp_path)
+        report = SweepRunner(warm).run_shard(small, base=fast_base())
+        assert report.simulated == 1
+        assert report.store_hits == 1
+        assert not report.all_store_hits
+        assert warm.simulations_run == 1
+        manifest = json.loads(report.manifest_path.read_text())
+        assert sorted(e["state"] for e in manifest["jobs"]) == [
+            "simulated",
+            "store_hit",
+        ]
+
+    def test_base_override_gets_its_own_manifest(self, tmp_path):
+        """A run with a base-config override must not overwrite the
+        manifest of the same spec run without the override."""
+        small = SweepSpec(
+            name="override",
+            scenarios=("captive_fixed_80",),
+            methods=("capacity",),
+            seeds=(1,),
+            scale="tiny",
+        )
+        plain = SweepRunner(executor_for(tmp_path)).run_shard(small)
+        overridden = SweepRunner(executor_for(tmp_path)).run_shard(
+            small, base=fast_base()
+        )
+        assert plain.manifest_path != overridden.manifest_path
+        assert plain.manifest_path.is_file()
+        assert overridden.manifest_path.is_file()
+        plain_manifest = json.loads(plain.manifest_path.read_text())
+        over_manifest = json.loads(overridden.manifest_path.read_text())
+        assert (
+            plain_manifest["environment_hash"]
+            != over_manifest["environment_hash"]
+        )
+        # Same spec + same base ⇒ same identity (cross-machine match).
+        repeat = SweepRunner(executor_for(tmp_path)).run_shard(
+            small, base=fast_base()
+        )
+        assert repeat.manifest_path == overridden.manifest_path
+
+    def test_load_manifests_skips_garbage(self, tmp_path):
+        runner = SweepRunner(executor_for(tmp_path))
+        runner.run_shard(spec(), 0, 1, base=fast_base())
+        directory = manifest_directory(tmp_path)
+        (directory / "broken.json").write_text("{not json")
+        (directory / "schema.json").write_text('{"no": "jobs"}')
+        (directory / "future.json").write_text('{"format": 99, "jobs": []}')
+        manifests = load_manifests(tmp_path)
+        assert len(manifests) == 1
+        assert load_manifests(tmp_path / "missing") == []
+
+
+class TestMergeAndReport:
+    def test_two_machine_merge_reports_identically(self, tmp_path):
+        """Acceptance: shard 0 + shard 1 (run into *separate* stores,
+        as on two machines), merged, report identical to an unsharded
+        run — with zero new simulations."""
+        machine_a = tmp_path / "machine_a"
+        machine_b = tmp_path / "machine_b"
+        merged = tmp_path / "merged"
+        reference = tmp_path / "reference"
+
+        SweepRunner(executor_for(machine_a)).run_shard(
+            spec(), 0, 2, base=fast_base()
+        )
+        SweepRunner(executor_for(machine_b)).run_shard(
+            spec(), 1, 2, base=fast_base()
+        )
+        report = merge_stores([machine_a, machine_b], merged)
+        assert report.entries_copied == 8
+        assert report.manifests_copied == 2
+
+        # Reporting from the merged store simulates nothing.
+        merged_executor = executor_for(merged)
+        merged_table = format_sweep_table(
+            sweep_summary(spec(), executor=merged_executor, base=fast_base())
+        )
+        assert merged_executor.simulations_run == 0
+
+        unsharded = executor_for(reference)
+        SweepRunner(unsharded).run_shard(spec(), 0, 1, base=fast_base())
+        reference_table = format_sweep_table(
+            sweep_summary(spec(), executor=unsharded, base=fast_base())
+        )
+        assert merged_table == reference_table
+
+    def test_merge_rejects_missing_sources(self, tmp_path):
+        existing = tmp_path / "exists"
+        existing.mkdir()
+        with pytest.raises(FileNotFoundError, match="typo"):
+            merge_stores(
+                [existing, tmp_path / "typo"], tmp_path / "dest"
+            )
+
+    def test_merge_is_idempotent_and_self_merge_is_noop(self, tmp_path):
+        store_dir = tmp_path / "store"
+        SweepRunner(executor_for(store_dir)).run_shard(
+            SweepSpec(
+                name="idem",
+                scenarios=("captive_fixed_80",),
+                methods=("capacity",),
+                seeds=(1,),
+                scale="tiny",
+            ),
+            base=fast_base(),
+        )
+        dest = tmp_path / "dest"
+        first = merge_stores([store_dir], dest)
+        assert first.entries_copied == 1
+        second = merge_stores([store_dir], dest)
+        assert second.entries_copied == 0
+        assert second.entries_skipped == 1
+        self_merge = merge_stores([dest], dest)
+        assert self_merge.entries_copied == 0
+
+    def test_summary_has_quantiles_per_cell(self, tmp_path):
+        executor = executor_for(tmp_path)
+        summaries = sweep_summary(spec(), executor=executor, base=fast_base())
+        assert len(summaries) == 4  # 2 scenarios × 2 methods
+        for row in summaries:
+            assert row.seeds == 2
+            assert set(row.response_time_quantiles) == {0.5, 0.9}
+            low, high = (
+                row.response_time_quantiles[0.5],
+                row.response_time_quantiles[0.9],
+            )
+            assert low <= high
+        table = format_sweep_table(summaries)
+        assert "rt_p50(s)" in table and "rt_p90(s)" in table
+        assert "flash_crowd" in table

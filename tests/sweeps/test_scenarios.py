@@ -1,0 +1,99 @@
+"""Tests for the scenario catalog."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation.config import tiny_config
+from repro.simulation.engine import run_simulation
+from repro.sweeps.scenarios import (
+    Scenario,
+    available_scenarios,
+    base_config,
+    scenario_catalog,
+)
+
+EXPECTED = (
+    "captive_ramp",
+    "captive_fixed_80",
+    "autonomous_full",
+    "autonomous_no_overutilization",
+    "flash_crowd",
+    "diurnal",
+    "provider_churn_stress",
+)
+
+
+class TestCatalogShape:
+    def test_catalog_names_are_stable(self):
+        assert available_scenarios() == EXPECTED
+
+    def test_catalog_builds_on_every_scale(self):
+        for scale in ("tiny", "scaled", "paper"):
+            catalog = scenario_catalog(scale)
+            assert set(catalog) == set(EXPECTED)
+            for scenario in catalog.values():
+                assert isinstance(scenario, Scenario)
+                assert scenario.description
+
+    def test_unknown_scale_and_scenario_raise(self):
+        with pytest.raises(ValueError, match="unknown scale"):
+            base_config("huge")
+        with pytest.raises(ValueError, match="unknown scenario"):
+            scenario_catalog("tiny", names=("captive_ramp", "nope"))
+
+    def test_subset_preserves_requested_order(self):
+        names = ("diurnal", "captive_ramp")
+        assert tuple(scenario_catalog("tiny", names=names)) == names
+
+    def test_explicit_base_config_is_respected(self):
+        base = tiny_config(duration=33.0)
+        catalog = scenario_catalog(base)
+        for scenario in catalog.values():
+            assert scenario.config.duration == 33.0
+
+
+class TestScenarioSemantics:
+    def test_paper_settings(self):
+        catalog = scenario_catalog("scaled")
+        ramp = catalog["captive_ramp"].config
+        assert ramp.workload.kind == "ramp"
+        assert ramp.workload.start_fraction == pytest.approx(0.30)
+        assert not ramp.departures.consumers_may_leave
+        assert catalog["captive_fixed_80"].config.workload.kind == "fixed"
+
+        full = catalog["autonomous_full"].config.departures
+        assert full.consumers_may_leave
+        assert "overutilization" in full.provider_reasons
+        no_over = catalog["autonomous_no_overutilization"].config.departures
+        assert "overutilization" not in no_over.provider_reasons
+        assert set(no_over.provider_reasons) == {
+            "dissatisfaction",
+            "starvation",
+        }
+
+    def test_new_workload_shapes(self):
+        catalog = scenario_catalog("scaled")
+        flash = catalog["flash_crowd"].config.workload
+        assert flash.kind == "burst"
+        assert flash.peak_fraction(1.0) == pytest.approx(1.0)
+        diurnal = catalog["diurnal"].config.workload
+        assert diurnal.kind == "piecewise"
+        assert len(diurnal.points) == 5
+        churn = catalog["provider_churn_stress"].config
+        assert churn.workload.burst_fraction == pytest.approx(1.20)
+        assert churn.departures.provider_reasons
+
+
+@pytest.mark.parametrize("name", EXPECTED)
+def test_every_scenario_simulates(name):
+    """Acceptance: each catalog entry is exercised end-to-end."""
+    base = tiny_config(duration=40.0)
+    config = scenario_catalog(base, names=(name,))[name].config
+    result = run_simulation(config, "capacity", seed=7)
+    assert result.queries_issued > 0
+    workload = result.series("workload_fraction")
+    assert len(workload) > 0
+    # The sampled workload series follows the spec's fraction_at.
+    for time, value in zip(result.times(), workload):
+        assert value == config.workload.fraction_at(time, config.duration)

@@ -4,7 +4,16 @@ from __future__ import annotations
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import build_parser, main, resolve_seeds
+from repro.experiments.executor import set_default_executor
+from repro.experiments.harness import DEFAULT_SEEDS, PAPER_SEEDS
+
+
+@pytest.fixture(autouse=True)
+def _reset_default_executor():
+    """CLI commands install default executors; never leak them."""
+    yield
+    set_default_executor(None)
 
 
 class TestParser:
@@ -25,6 +34,47 @@ class TestParser:
     def test_rejects_unknown_figure(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["figure", "9z"])
+
+    def test_figure_seeds_accept_paper_sugar(self):
+        args = build_parser().parse_args(["figure", "4a", "--seeds", "paper"])
+        assert resolve_seeds(args.seeds) == PAPER_SEEDS
+        args = build_parser().parse_args(
+            ["figure", "4a", "--seeds", "7", "default"]
+        )
+        assert resolve_seeds(args.seeds) == (7,) + DEFAULT_SEEDS
+
+    def test_seed_sugar_deduplicates_preserving_order(self):
+        args = build_parser().parse_args(
+            ["figure", "4a", "--seeds", "11", "paper"]
+        )
+        assert resolve_seeds(args.seeds) == PAPER_SEEDS
+
+    def test_rejects_garbage_seeds(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "4a", "--seeds", "many"])
+
+    def test_sweep_run_defaults_and_shard(self):
+        args = build_parser().parse_args(["sweep", "run", "--shard", "2/4"])
+        assert args.sweep_command == "run"
+        assert args.shard == (2, 4)
+        assert args.scale == "scaled"
+        assert "captive_ramp" in args.scenarios
+        assert resolve_seeds(args.seeds) == DEFAULT_SEEDS
+
+    @pytest.mark.parametrize("shard", ["4/4", "-1/2", "1", "a/b", "1/0"])
+    def test_rejects_bad_shards(self, shard):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "run", "--shard", shard])
+
+    def test_sweep_rejects_unknown_scenario(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["sweep", "run", "--scenarios", "warp_drive"]
+            )
+
+    def test_sweep_requires_a_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep"])
 
 
 class TestCommands:
@@ -66,3 +116,117 @@ class TestCommands:
             ]
         )
         assert "departures:" in capsys.readouterr().out
+
+
+SWEEP_FLAGS = [
+    "--scenarios",
+    "captive_fixed_80",
+    "--methods",
+    "sqlb",
+    "capacity",
+    "--seeds",
+    "1",
+    "--scale",
+    "tiny",
+    "--name",
+    "cli-e2e",
+]
+
+
+class TestSweepCommands:
+    def _run(self, capsys, *argv: str) -> str:
+        assert main(list(argv)) == 0
+        return capsys.readouterr().out
+
+    def test_sweep_run_requires_a_store(self):
+        with pytest.raises(SystemExit, match="cache-dir"):
+            main(["sweep", "run", *SWEEP_FLAGS, "--no-cache"])
+
+    def test_sweep_status_requires_a_store(self):
+        with pytest.raises(SystemExit, match="cache-dir"):
+            main(["sweep", "status"])
+        with pytest.raises(SystemExit, match="no-cache"):
+            main(["sweep", "status", "--no-cache"])
+
+    def test_sharded_run_matches_unsharded_report(self, tmp_path, capsys):
+        """Acceptance: shard 0/2 + shard 1/2 into one cache dir, then
+        report — identical to an unsharded run's report, and a warm
+        re-run performs zero new simulations."""
+        sharded = str(tmp_path / "sharded")
+        reference = str(tmp_path / "reference")
+
+        out0 = self._run(
+            capsys,
+            "sweep", "run", *SWEEP_FLAGS, "--shard", "0/2",
+            "--cache-dir", sharded,
+        )
+        assert "simulated: 1" in out0
+        out1 = self._run(
+            capsys,
+            "sweep", "run", *SWEEP_FLAGS, "--shard", "1/2",
+            "--cache-dir", sharded,
+        )
+        assert "simulated: 1" in out1
+
+        sharded_report = self._run(
+            capsys, "sweep", "report", *SWEEP_FLAGS, "--cache-dir", sharded
+        )
+        self._run(
+            capsys,
+            "sweep", "run", *SWEEP_FLAGS, "--cache-dir", reference,
+        )
+        reference_report = self._run(
+            capsys, "sweep", "report", *SWEEP_FLAGS, "--cache-dir", reference
+        )
+        assert sharded_report == reference_report
+        assert "cli-e2e" in sharded_report
+
+        # Warm re-run: the manifest records every job as a store hit.
+        warm = self._run(
+            capsys,
+            "sweep", "run", *SWEEP_FLAGS, "--cache-dir", sharded,
+        )
+        assert "simulated: 0" in warm
+        assert "store hits: 2" in warm
+        assert "zero new simulations" in warm
+
+        status = self._run(
+            capsys, "sweep", "status", "--cache-dir", sharded
+        )
+        assert "cli-e2e" in status
+        # Shards 0/2, 1/2 and the warm 0/1 run each left a manifest.
+        assert len(status.strip().splitlines()) == 1 + 3
+
+    def test_sweep_merge_unions_two_stores(self, tmp_path, capsys):
+        machine_a = str(tmp_path / "a")
+        machine_b = str(tmp_path / "b")
+        merged = str(tmp_path / "merged")
+        self._run(
+            capsys,
+            "sweep", "run", *SWEEP_FLAGS, "--shard", "0/2",
+            "--cache-dir", machine_a,
+        )
+        self._run(
+            capsys,
+            "sweep", "run", *SWEEP_FLAGS, "--shard", "1/2",
+            "--cache-dir", machine_b,
+        )
+        out = self._run(
+            capsys,
+            "sweep", "merge", machine_a, machine_b, "--into", merged,
+        )
+        assert "2 entries copied" in out
+        assert "2 manifests copied" in out
+
+        # The merged store satisfies the warm-run acceptance check.
+        warm = self._run(
+            capsys,
+            "sweep", "run", *SWEEP_FLAGS, "--cache-dir", merged,
+        )
+        assert "simulated: 0" in warm
+
+    def test_sweep_status_reports_empty_store(self, tmp_path, capsys):
+        out = self._run(
+            capsys, "sweep", "status", "--cache-dir", str(tmp_path)
+        )
+        assert "no sweep manifests" in out
