@@ -1,23 +1,28 @@
 """Micro-benchmark — end-to-end mediator throughput.
 
 Documents how many queries per second the full pipeline (intentions →
-scoring → allocation → queues → satisfaction model) sustains for each
-method, which bounds what horizon/population the experiments can use.
+scoring → allocation → queues → satisfaction model) sustains on the
+engine's *standard perf matrix* (captive + autonomous, small +
+paper-scale populations; see ``repro.experiments.perf``), which bounds
+what horizon/population the experiments can use.  The committed
+``BENCH_engine.json`` holds the reference numbers; ``repro perf``
+regenerates them and checks regressions.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.simulation.config import WorkloadSpec, scaled_config
+from repro.experiments.perf import PERF_MATRIX, PERF_METHODS
 from repro.simulation.engine import run_simulation
 
+_CELLS = {cell.name: cell for cell in PERF_MATRIX}
 
-@pytest.mark.parametrize("method", ["sqlb", "capacity", "mariposa"])
-def test_engine_throughput(benchmark, method):
-    config = scaled_config(
-        duration=120.0, workload=WorkloadSpec.fixed(0.8)
-    )
+
+@pytest.mark.parametrize("method", PERF_METHODS)
+@pytest.mark.parametrize("cell", sorted(_CELLS))
+def test_engine_throughput(benchmark, cell, method):
+    config = _CELLS[cell].build()
     result = benchmark.pedantic(
         run_simulation,
         args=(config, method),

@@ -16,7 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.allocation.base import AllocationMethod, AllocationRequest
-from repro.core.ranking import rank_providers, select_top
+from repro.core.ranking import top_selection
 
 __all__ = ["CapacityBasedMethod"]
 
@@ -31,7 +31,9 @@ class CapacityBasedMethod(AllocationMethod):
 
     def select(self, request: AllocationRequest) -> np.ndarray:
         available = request.capacities * (1.0 - request.utilizations)
-        ranking = rank_providers(
-            available, rng=request.rng, tie_break=self._tie_break
+        return top_selection(
+            available,
+            request.n_to_select,
+            rng=request.rng,
+            tie_break=self._tie_break,
         )
-        return select_top(ranking, request.query.n_desired)

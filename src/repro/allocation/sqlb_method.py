@@ -10,7 +10,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.allocation.base import AllocationMethod, AllocationRequest
-from repro.core.sqlb import allocate_query
+from repro.core.ranking import top_selection
+from repro.core.scoring import omega_vector, provider_score_vector
 
 __all__ = ["SQLBMethod"]
 
@@ -39,20 +40,42 @@ class SQLBMethod(AllocationMethod):
     ) -> None:
         if epsilon <= 0:
             raise ValueError(f"epsilon must be positive, got {epsilon}")
+        if fixed_omega is not None and not 0.0 <= fixed_omega <= 1.0:
+            raise ValueError(f"fixed omega must be in [0, 1], got {fixed_omega}")
         self._epsilon = float(epsilon)
         self._fixed_omega = fixed_omega
         self._tie_break = tie_break
 
     def select(self, request: AllocationRequest) -> np.ndarray:
-        allocation = allocate_query(
-            provider_intentions=request.provider_intentions,
-            consumer_intentions=request.consumer_intentions,
-            consumer_satisfaction=request.consumer_satisfaction,
-            provider_satisfactions=request.provider_satisfactions,
-            n_desired=request.query.n_desired,
+        # Algorithm 1's score/rank/select steps, unrolled from
+        # repro.core.sqlb.allocate_query: same arithmetic, minus the
+        # SQLBAllocation wrapper the public helper builds per query.
+        if (
+            request.provider_intentions.shape
+            != request.consumer_intentions.shape
+        ):
+            raise ValueError(
+                f"PI_q shape {request.provider_intentions.shape} does not "
+                f"match CI_q shape {request.consumer_intentions.shape}"
+            )
+        if self._fixed_omega is not None:
+            omegas = np.full(
+                request.provider_intentions.shape, float(self._fixed_omega)
+            )
+        else:
+            omegas = omega_vector(
+                request.consumer_satisfaction,
+                request.provider_satisfactions,
+            )
+        scores = provider_score_vector(
+            request.provider_intentions,
+            request.consumer_intentions,
+            omegas,
             epsilon=self._epsilon,
-            fixed_omega=self._fixed_omega,
+        )
+        return top_selection(
+            scores,
+            request.n_to_select,
             rng=request.rng,
             tie_break=self._tie_break,
         )
-        return allocation.selected

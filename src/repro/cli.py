@@ -21,6 +21,14 @@ Four subcommands::
         ``report`` prints the per-(scenario, method) summary table with
         means and quantiles across seeds.
 
+    python -m repro perf [--quick] [--out PATH] [--check BASELINE]
+        Time the engine's standard workload matrix (captive + autonomous,
+        small + paper-scale populations) and report queries/sec; --out
+        writes the machine-readable BENCH_engine.json, --check compares
+        against a committed baseline and exits non-zero on a regression
+        beyond --tolerance (default 30 %), --profile N appends a cProfile
+        top-N of the hot path.
+
 The simulation-running subcommands accept ``--cache-dir PATH`` (persist
 completed runs to a disk store so re-invocations skip simulation) and
 ``--no-cache`` (ignore any configured store, including
@@ -34,6 +42,7 @@ seed set) and ``default`` alongside explicit integers.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 from collections import Counter
 
@@ -57,6 +66,14 @@ from repro.experiments.captive import (
     response_time_curve,
 )
 from repro.experiments.harness import DEFAULT_SEEDS, PAPER_SEEDS
+from repro.experiments.perf import (
+    compare_reports,
+    format_report,
+    load_report,
+    profile_run,
+    run_perf,
+    write_report,
+)
 from repro.experiments.report import (
     format_curve_table,
     format_reason_table,
@@ -295,6 +312,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="process-pool size for any cells missing from the store",
     )
     add_cache_options(sweep_report)
+
+    perf = sub.add_parser(
+        "perf",
+        help="time the engine's standard workload matrix (queries/sec)",
+    )
+    perf.add_argument(
+        "--quick",
+        action="store_true",
+        help="small-population cells only (seconds, for CI smoke)",
+    )
+    perf.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the machine-readable report JSON here "
+        "(e.g. BENCH_engine.json)",
+    )
+    perf.add_argument(
+        "--check",
+        default=None,
+        metavar="BASELINE",
+        help="compare against this baseline JSON; exit 1 when any shared "
+        "cell regresses beyond --tolerance",
+    )
+    perf.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="allowed fractional qps drop before --check fails "
+        "(default 0.30)",
+    )
+    perf.add_argument(
+        "--profile",
+        type=positive_int,
+        default=None,
+        metavar="N",
+        help="append a cProfile top-N of one representative cell",
+    )
+    perf.add_argument(
+        "--repeats",
+        type=positive_int,
+        default=2,
+        help="time each cell this many times, report the best "
+        "(default 2; filters scheduler noise out of the gate)",
+    )
     return parser
 
 
@@ -483,6 +545,39 @@ def _cmd_sweep_merge(args: argparse.Namespace) -> str:
     )
 
 
+def _cmd_perf(args: argparse.Namespace) -> str:
+    report = run_perf(quick=args.quick, repeats=args.repeats)
+    lines = [format_report(report)]
+    if args.profile:
+        lines.append("")
+        lines.append(f"cProfile top {args.profile} (captive_small/sqlb):")
+        lines.append(profile_run(top=args.profile))
+    if args.out:
+        write_report(report, args.out)
+        lines.append(f"report written to {args.out}")
+    if args.check:
+        try:
+            baseline = load_report(args.check)
+        except (OSError, json.JSONDecodeError) as error:
+            raise SystemExit(
+                f"repro: error: cannot read baseline {args.check}: {error}"
+            ) from None
+        problems = compare_reports(
+            report, baseline, tolerance=args.tolerance
+        )
+        if problems:
+            print("\n".join(lines))
+            raise SystemExit(
+                "repro: perf regression against "
+                f"{args.check}:\n  " + "\n  ".join(problems)
+            )
+        lines.append(
+            f"no regression against {args.check} "
+            f"(tolerance {args.tolerance:.0%})"
+        )
+    return "\n".join(lines)
+
+
 def _cmd_sweep_report(args: argparse.Namespace) -> str:
     spec = _spec_from_args(args)
     summaries = sweep_summary(spec, executor=get_default_executor())
@@ -543,4 +638,6 @@ def main(argv: list[str] | None = None) -> int:
         print(_cmd_figure(args))
     elif args.command == "sweep":
         print(_cmd_sweep(args))
+    elif args.command == "perf":
+        print(_cmd_perf(args))
     return 0

@@ -107,13 +107,16 @@ def consumer_intention_vector(
     if epsilon <= 0:
         raise ValueError(f"epsilon must be positive, got {epsilon}")
     prf = np.asarray(preferences, dtype=float)
-    rep = np.broadcast_to(np.asarray(reputations, dtype=float), prf.shape)
+    rep = np.asarray(reputations, dtype=float)
+    if rep.shape != prf.shape:
+        rep = np.broadcast_to(rep, prf.shape)
     positive = (prf > 0.0) & (rep > 0.0)
     # Both factor bases are strictly positive on their branch, so the
-    # fractional powers are always well defined; the `where` arguments
-    # are pre-clipped to keep numpy from warning on the unused lane.
-    pos = np.power(np.clip(prf, 0.0, None), upsilon) * np.power(
-        np.clip(rep, 0.0, None), 1.0 - upsilon
+    # fractional powers are always well defined; the unused lane is
+    # floored at 0 (``maximum`` ≡ the one-sided clip, minus the
+    # dispatch overhead) to keep numpy from warning.
+    pos = np.power(np.maximum(prf, 0.0), upsilon) * np.power(
+        np.maximum(rep, 0.0), 1.0 - upsilon
     )
     neg = -(
         np.power(1.0 - prf + epsilon, upsilon)
@@ -181,17 +184,20 @@ def provider_intention_vector(
     """
     if epsilon <= 0:
         raise ValueError(f"epsilon must be positive, got {epsilon}")
-    prf, ut, sat = np.broadcast_arrays(
-        np.asarray(preferences, dtype=float),
-        np.asarray(utilizations, dtype=float),
-        np.asarray(satisfactions, dtype=float),
-    )
+    prf = np.asarray(preferences, dtype=float)
+    ut = np.asarray(utilizations, dtype=float)
+    sat = np.asarray(satisfactions, dtype=float)
+    if not (prf.shape == ut.shape == sat.shape):
+        # The engine always passes three aligned candidate vectors;
+        # broadcasting only runs for surface plots and scalar mixes.
+        prf, ut, sat = np.broadcast_arrays(prf, ut, sat)
     positive = (prf > 0.0) & (ut < 1.0)
-    pos = np.power(np.clip(prf, 0.0, None), 1.0 - sat) * np.power(
-        np.clip(1.0 - ut, 0.0, None), sat
+    one_minus_sat = 1.0 - sat  # shared by both branches' exponents
+    pos = np.power(np.maximum(prf, 0.0), one_minus_sat) * np.power(
+        np.maximum(1.0 - ut, 0.0), sat
     )
     neg = -(
-        np.power(1.0 - prf + epsilon, 1.0 - sat)
+        np.power(1.0 - prf + epsilon, one_minus_sat)
         * np.power(ut + epsilon, sat)
     )
     return np.where(positive, pos, neg)

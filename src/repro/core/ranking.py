@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["rank_providers", "select_top"]
+__all__ = ["rank_providers", "select_top", "top_selection"]
 
 _TIE_BREAKS = ("random", "index")
 
@@ -61,6 +61,52 @@ def rank_providers(
     jitter = rng.random(values.size)
     order = np.lexsort((jitter, -values))
     return order
+
+
+def top_selection(
+    scores: np.ndarray,
+    n_select: int,
+    rng: np.random.Generator | None = None,
+    tie_break: str = "random",
+) -> np.ndarray:
+    """The first ``n_select`` entries of :func:`rank_providers`'s ranking.
+
+    Identical selection, cheaper route: sorting is only needed when more
+    than one provider is taken, but the paper's experiments use
+    ``q.n = 1`` everywhere — and sorting fresh scores (and fresh random
+    jitter) every query is the single most expensive step of the
+    allocation.  For ``n_select == 1`` this is a linear scan: the
+    highest score wins, score ties fall to the lowest jitter, jitter
+    ties to the lowest position — exactly the order ``lexsort`` defines,
+    so the result is bit-identical to ``rank_providers(...)[:1]``.  The
+    jitter is drawn either way, keeping the RNG stream unchanged.
+    """
+    if n_select < 1:
+        raise ValueError(f"n_select must be at least 1, got {n_select}")
+    values = np.asarray(scores, dtype=float)
+    if values.ndim != 1:
+        raise ValueError(f"scores must be 1-D, got shape {values.shape}")
+    if np.isnan(values).any():
+        raise ValueError("scores must not contain NaN")
+    if tie_break not in _TIE_BREAKS:
+        raise ValueError(f"tie_break must be one of {_TIE_BREAKS}, got {tie_break!r}")
+    if tie_break == "index" or values.size <= 1:
+        if n_select == 1 and values.size > 1:
+            # Stable sort puts the first maximal element on top.
+            return np.array([np.argmax(values)])
+        return np.argsort(-values, kind="stable")[:n_select]
+    if rng is None:
+        raise ValueError("random tie-breaking requires an rng")
+    jitter = rng.random(values.size)
+    if n_select == 1:
+        best = int(np.argmax(values))
+        ties = values == values[best]
+        if np.count_nonzero(ties) > 1:
+            tied = np.flatnonzero(ties)
+            best = int(tied[np.argmin(jitter[tied])])
+        return np.array([best])
+    order = np.lexsort((jitter, -values))
+    return order[:n_select]
 
 
 def select_top(ranking: np.ndarray, n_desired: int) -> np.ndarray:

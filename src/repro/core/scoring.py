@@ -132,19 +132,21 @@ def provider_score_vector(
     """
     if epsilon <= 0:
         raise ValueError(f"epsilon must be positive, got {epsilon}")
-    pi, ci, om = np.broadcast_arrays(
-        np.asarray(provider_intentions, dtype=float),
-        np.asarray(consumer_intentions, dtype=float),
-        np.asarray(omega_values, dtype=float),
-    )
+    pi = np.asarray(provider_intentions, dtype=float)
+    ci = np.asarray(consumer_intentions, dtype=float)
+    om = np.asarray(omega_values, dtype=float)
+    if not (pi.shape == ci.shape == om.shape):
+        # Aligned candidate vectors (the hot path) skip the broadcast.
+        pi, ci, om = np.broadcast_arrays(pi, ci, om)
     if om.size and (om.min() < 0.0 or om.max() > 1.0):
         raise ValueError("omega values must be in [0, 1]")
     positive = (pi > 0.0) & (ci > 0.0)
-    pos = np.power(np.clip(pi, 0.0, None), om) * np.power(
-        np.clip(ci, 0.0, None), 1.0 - om
+    one_minus_om = 1.0 - om  # shared by both branches' exponents
+    pos = np.power(np.maximum(pi, 0.0), om) * np.power(
+        np.maximum(ci, 0.0), one_minus_om
     )
     neg = -(
         np.power(1.0 - pi + epsilon, om)
-        * np.power(1.0 - ci + epsilon, 1.0 - om)
+        * np.power(1.0 - ci + epsilon, one_minus_om)
     )
     return np.where(positive, pos, neg)

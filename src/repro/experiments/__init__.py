@@ -32,6 +32,14 @@ from repro.experiments.harness import (
     run_method_family,
     run_repeated,
 )
+from repro.experiments.perf import (
+    PERF_MATRIX,
+    PerfCell,
+    compare_reports,
+    format_report,
+    profile_run,
+    run_perf,
+)
 from repro.experiments.store import ResultStore, cache_key
 from repro.experiments.prediction import (
     DepartureRiskReport,
@@ -52,25 +60,31 @@ __all__ = [
     "ExperimentExecutor",
     "FIGURE4_SERIES",
     "MethodAverages",
+    "PERF_MATRIX",
+    "PerfCell",
     "ResultStore",
     "SimulationJob",
     "average_series",
     "cache_key",
     "captive_ramp",
     "captive_ramp_config",
+    "compare_reports",
     "configure_default_executor",
     "consumer_departure_curve",
     "departure_reason_table",
     "departure_response_times",
     "format_curve_table",
     "format_reason_table",
+    "format_report",
     "format_series_table",
     "format_surface",
     "get_default_executor",
     "predict_departure_risks",
+    "profile_run",
     "provider_departure_curve",
     "response_time_curve",
     "run_method_family",
+    "run_perf",
     "run_repeated",
     "set_default_executor",
 ]

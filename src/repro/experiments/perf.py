@@ -1,0 +1,257 @@
+"""Throughput-regression harness for the simulation engine.
+
+The engine's queries-per-second is the multiplier on every scenario ×
+method × seed job the sweep subsystem schedules, so it is guarded like
+a correctness property: a *standard matrix* of workloads (captive and
+autonomous, small and paper-scale populations) is timed end-to-end, the
+results are written to ``BENCH_engine.json``, and CI compares fresh
+numbers against the committed baseline, failing on a >30 % drop.
+
+Three entry points, all reachable through ``repro perf``:
+
+* :func:`run_perf` — run the matrix (or its ``--quick`` subset) and
+  return a serialisable report.
+* :func:`profile_run` — cProfile one representative cell and return the
+  top-N functions by cumulative time.
+* :func:`compare_reports` — regression check of a fresh report against
+  a baseline file's cells.
+
+Timings are wall-clock and machine-dependent; the committed baseline is
+refreshed whenever the engine's performance profile changes materially
+(the regression tolerance absorbs machine-to-machine variation).
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import json
+import pstats
+import sys
+import time
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.simulation.config import (
+    DepartureRules,
+    SimulationConfig,
+    WorkloadSpec,
+    paper_config,
+    scaled_config,
+)
+from repro.simulation.engine import ENGINE_VERSION, run_simulation
+
+__all__ = [
+    "PERF_MATRIX",
+    "PerfCell",
+    "compare_reports",
+    "format_report",
+    "profile_run",
+    "run_perf",
+]
+
+#: Methods timed in every cell (the paper's three).
+PERF_METHODS = ("sqlb", "capacity", "mariposa")
+
+#: Seed used for all perf runs — throughput, not statistics, is measured.
+PERF_SEED = 1
+
+
+@dataclass(frozen=True)
+class PerfCell:
+    """One workload of the standard matrix."""
+
+    name: str
+    build: Callable[[], SimulationConfig]
+    #: Included in the ``--quick`` subset (CI smoke).
+    quick: bool = False
+
+
+def _autonomous(config: SimulationConfig) -> SimulationConfig:
+    return config.with_departures(DepartureRules.autonomous(True))
+
+
+PERF_MATRIX: tuple[PerfCell, ...] = (
+    PerfCell(
+        "captive_small",
+        lambda: scaled_config(
+            duration=120.0, workload=WorkloadSpec.fixed(0.8)
+        ),
+        quick=True,
+    ),
+    PerfCell(
+        "autonomy_small",
+        lambda: _autonomous(
+            scaled_config(duration=120.0, workload=WorkloadSpec.fixed(1.0))
+        ),
+        quick=True,
+    ),
+    PerfCell(
+        "captive_large",
+        lambda: paper_config(
+            duration=60.0,
+            sample_interval=30.0,
+            warmup_time=15.0,
+            workload=WorkloadSpec.fixed(0.8),
+        ),
+    ),
+    PerfCell(
+        "autonomy_large",
+        lambda: _autonomous(
+            paper_config(
+                duration=60.0,
+                sample_interval=30.0,
+                warmup_time=15.0,
+                workload=WorkloadSpec.fixed(1.0),
+            )
+        ),
+    ),
+)
+
+
+def run_perf(
+    quick: bool = False,
+    methods: tuple[str, ...] = PERF_METHODS,
+    seed: int = PERF_SEED,
+    repeats: int = 2,
+) -> dict:
+    """Time the standard matrix serially and return a report dict.
+
+    ``quick`` restricts to the small-population cells — a few seconds of
+    wall clock, suitable for CI smoke — and marks the report so a
+    comparison never mixes quick and full cells.  Each cell is timed
+    ``repeats`` times and the *best* run is reported: throughput is a
+    property of the code, and best-of-N filters scheduler and cache
+    noise that a single run (and therefore the regression gate) would
+    otherwise inherit.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be at least 1, got {repeats}")
+    cells = {}
+    total_queries = 0
+    total_seconds = 0.0
+    for cell in PERF_MATRIX:
+        if quick and not cell.quick:
+            continue
+        config = cell.build()
+        for method in methods:
+            best_elapsed = None
+            queries = 0
+            for _ in range(repeats):
+                started = time.perf_counter()
+                result = run_simulation(config, method, seed=seed)
+                elapsed = time.perf_counter() - started
+                queries = result.queries_served
+                if best_elapsed is None or elapsed < best_elapsed:
+                    best_elapsed = elapsed
+            cells[f"{cell.name}/{method}"] = {
+                "queries": queries,
+                "seconds": round(best_elapsed, 4),
+                "qps": round(queries / best_elapsed, 1),
+            }
+            total_queries += queries
+            total_seconds += best_elapsed
+    return {
+        "engine_version": ENGINE_VERSION,
+        "mode": "quick" if quick else "full",
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "seed": seed,
+        "repeats": repeats,
+        "cells": cells,
+        "aggregate_qps": round(total_queries / total_seconds, 1),
+    }
+
+
+def profile_run(
+    cell_name: str = "captive_small",
+    method: str = "sqlb",
+    top: int = 15,
+    seed: int = PERF_SEED,
+) -> str:
+    """cProfile one cell/method and return the top-N cumulative lines."""
+    by_name = {cell.name: cell for cell in PERF_MATRIX}
+    if cell_name not in by_name:
+        raise ValueError(
+            f"unknown perf cell {cell_name!r}; "
+            f"available: {sorted(by_name)}"
+        )
+    config = by_name[cell_name].build()
+    profiler = cProfile.Profile()
+    profiler.enable()
+    run_simulation(config, method, seed=seed)
+    profiler.disable()
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats("cumulative").print_stats(top)
+    return stream.getvalue()
+
+
+def compare_reports(
+    current: dict, baseline: dict, tolerance: float = 0.30
+) -> list[str]:
+    """Regressions of ``current`` against ``baseline`` (empty = pass).
+
+    Only cells present in both reports are compared; a cell regresses
+    when its fresh qps drops more than ``tolerance`` below the baseline.
+    The tolerance absorbs machine-to-machine and run-to-run variation —
+    it guards against structural slowdowns, not noise.
+    """
+    if not 0.0 < tolerance < 1.0:
+        raise ValueError(f"tolerance must be in (0, 1), got {tolerance}")
+    problems = []
+    if current.get("mode") == "full" and baseline.get("mode") == "quick":
+        problems.append(
+            "baseline is quick-mode: the large cells of this full run "
+            "would go ungated — refresh it with `repro perf --out`"
+        )
+    baseline_cells = baseline.get("cells", {})
+    current_cells = current.get("cells", {})
+    shared = sorted(set(baseline_cells) & set(current_cells))
+    if not shared:
+        return [
+            "no overlapping cells between current report and baseline "
+            f"(baseline has {sorted(baseline_cells)})"
+        ]
+    for name in shared:
+        base_qps = float(baseline_cells[name]["qps"])
+        cur_qps = float(current_cells[name]["qps"])
+        floor = base_qps * (1.0 - tolerance)
+        if cur_qps < floor:
+            problems.append(
+                f"{name}: {cur_qps:.0f} qps is "
+                f"{100.0 * (1.0 - cur_qps / base_qps):.0f}% below the "
+                f"baseline {base_qps:.0f} qps (tolerance {tolerance:.0%})"
+            )
+    return problems
+
+
+def format_report(report: dict) -> str:
+    """Human-readable table of one :func:`run_perf` report."""
+    lines = [
+        f"engine {report['engine_version']}   mode {report['mode']}   "
+        f"python {report['python']}   numpy {report['numpy']}",
+        f"{'cell':<28} {'queries':>8} {'seconds':>8} {'qps':>8}",
+    ]
+    for name, cell in report["cells"].items():
+        lines.append(
+            f"{name:<28} {cell['queries']:>8} "
+            f"{cell['seconds']:>8.2f} {cell['qps']:>8.0f}"
+        )
+    lines.append(f"aggregate: {report['aggregate_qps']:.0f} queries/sec")
+    return "\n".join(lines)
+
+
+def load_report(path: str) -> dict:
+    """Read a report/baseline JSON file."""
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def write_report(report: dict, path: str) -> None:
+    """Write a report as stable, diff-friendly JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -14,7 +14,9 @@ This module provides the storage for those sliding windows:
 * :class:`RowRingLog` — a vectorised bank of per-entity ring buffers with
   several value channels and per-channel running sums, used on the
   simulator hot path where one query touches hundreds of providers at
-  once.
+  once.  The channels share one stacked storage block so a push updates
+  every channel's running sums with single (channels × rows) array
+  operations instead of one set of operations per channel.
 
 Running sums accumulate floating-point drift, so both classes refresh
 their sums from the raw buffer after a fixed number of pushes; tests
@@ -99,9 +101,27 @@ class InteractionMemory:
             self._resync()
 
     def extend(self, values: Sequence[float]) -> None:
-        """Push several interactions in chronological order."""
-        for value in values:
-            self.push(value)
+        """Push several interactions in chronological order.
+
+        Bulk path: instead of ``len(values)`` scalar pushes, the ring
+        slots the new values land in are computed once and written with
+        a single vectorised assignment (only the last ``capacity``
+        values can survive, so older ones are never written at all).
+        The running sum is refreshed from the raw buffer afterwards, so
+        it is at least as accurate as the scalar path's incremental sum;
+        the remembered window is bit-identical.
+        """
+        arr = np.asarray(values, dtype=float).reshape(-1)
+        if arr.size == 0:
+            return
+        capacity = self._capacity
+        tail = arr[-capacity:]
+        slots = (self._pos + np.arange(arr.size - tail.size, arr.size)) % capacity
+        self._buffer[slots] = tail
+        self._pos = (self._pos + arr.size) % capacity
+        self._count = min(self._count + arr.size, capacity)
+        self._pushes += arr.size
+        self._resync()
 
     def mean(self, default: float = 0.0) -> float:
         """Average of the remembered window, or ``default`` when empty."""
@@ -175,21 +195,42 @@ class RowRingLog:
         self._rows = int(rows)
         self._capacity = int(capacity)
         self._channels = tuple(channels)
-        self._data = {
-            name: np.zeros((self._rows, self._capacity), dtype=float)
-            for name in self._channels
+        self._channel_set = frozenset(self._channels)
+        self._channel_index = {
+            name: index for index, name in enumerate(self._channels)
         }
-        self._performed = np.zeros((self._rows, self._capacity), dtype=bool)
+        n_channels = len(self._channels)
+        # Slot-major, channel-last storage: ``_data[slot]`` is the
+        # contiguous (rows x channels) plane every row writes its
+        # ``slot``-th interaction into.  Rows that are always pushed
+        # together stay in ring lockstep, so the common full-population
+        # push touches exactly one contiguous plane (see _push_many);
+        # the channel axis rides along in the same operations.
+        self._data = np.zeros(
+            (self._capacity, self._rows, n_channels), dtype=float
+        )
+        self._performed = np.zeros((self._capacity, self._rows), dtype=bool)
         self._pos = np.zeros(self._rows, dtype=np.int64)
         self._count = np.zeros(self._rows, dtype=np.int64)
-        self._sum_all = {
-            name: np.zeros(self._rows, dtype=float) for name in self._channels
-        }
-        self._sum_performed = {
-            name: np.zeros(self._rows, dtype=float) for name in self._channels
-        }
+        self._sum_all = np.zeros((self._rows, n_channels), dtype=float)
+        self._sum_performed = np.zeros((self._rows, n_channels), dtype=float)
         self._count_performed = np.zeros(self._rows, dtype=np.int64)
         self._pushes = 0
+        self._generation = 0
+        self._empty_rows = np.empty(0, dtype=np.int64)
+        self._arange = np.arange(self._rows)
+        # Identity cache: the last rows array verified to be arange(rows)
+        # (callers like the engine reuse one cached candidates array, so
+        # an `is` check replaces an elementwise comparison per push).
+        self._known_full_rows: np.ndarray | None = None
+        # Lockstep bookkeeping.  _uniform_slot is the ring slot every
+        # row currently sits at while the whole bank advances together
+        # (None once any partial push breaks global lockstep); _all_full
+        # latches once every window has filled — counts never decrease,
+        # so from then on eviction bookkeeping needs no masks.
+        self._uniform_slot: int | None = 0
+        self._all_full = False
+        self._dirty_mask: np.ndarray | None = None
 
     @property
     def rows(self) -> int:
@@ -202,6 +243,17 @@ class RowRingLog:
     @property
     def channels(self) -> tuple[str, ...]:
         return self._channels
+
+    @property
+    def generation(self) -> int:
+        """Bumped whenever the running sums are rebuilt wholesale.
+
+        A drift-cancelling :meth:`_resync` rewrites the sums of *every*
+        row, so any caller maintaining derived per-row caches (the
+        participant pools) must discard them when this changes; between
+        generations only the rows reported by :meth:`push` are dirtied.
+        """
+        return self._generation
 
     def counts(self) -> np.ndarray:
         """Per-row number of remembered interactions (copy)."""
@@ -216,13 +268,17 @@ class RowRingLog:
         row_indices: np.ndarray,
         values: dict[str, np.ndarray],
         performed: np.ndarray,
-    ) -> None:
+    ) -> np.ndarray:
         """Record one interaction for each row in ``row_indices``.
 
         Parameters
         ----------
         row_indices:
-            Integer array of distinct rows that observed this interaction.
+            Integer array of **distinct** rows that observed this
+            interaction.  Distinctness is a hard requirement, not a
+            hint: the running sums accumulate with fancy indexing,
+            which silently drops duplicate contributions (no error is
+            raised), corrupting every mean until the next resync.
         values:
             Mapping from channel name to a float array aligned with
             ``row_indices``.
@@ -230,66 +286,283 @@ class RowRingLog:
             Boolean array aligned with ``row_indices``; ``True`` where the
             row actually performed the interaction (for providers: the
             query was allocated to them).
+
+        Returns
+        -------
+        numpy.ndarray
+            The subset of ``row_indices`` whose *performed* running sums
+            changed — rows that performed this interaction or evicted a
+            performed one.  (Every pushed row's whole-window sums change,
+            so there is no point reporting those.)  Callers maintaining
+            performed-mean caches only need to refresh these rows.
         """
         rows = np.asarray(row_indices, dtype=np.int64)
         if rows.size == 0:
-            return
+            return self._empty_rows
         performed = np.asarray(performed, dtype=bool)
         if performed.shape != rows.shape:
             raise ValueError("performed must align with row_indices")
-        if set(values) != set(self._channels):
+        if values.keys() != self._channel_set:
             missing = set(self._channels) ^ set(values)
             raise ValueError(f"channel mismatch: {sorted(missing)}")
 
-        pos = self._pos[rows]
-        full = self._count[rows] == self._capacity
-        old_performed = self._performed[rows, pos] & full
-
-        for name in self._channels:
-            new = np.asarray(values[name], dtype=float)
-            if new.shape != rows.shape:
-                raise ValueError(f"channel {name!r} must align with row_indices")
-            old = self._data[name][rows, pos]
-            # Evict the outgoing entry from both running sums, then add
-            # the incoming one.
-            np.subtract.at(self._sum_all[name], rows, np.where(full, old, 0.0))
-            np.subtract.at(
-                self._sum_performed[name],
-                rows,
-                np.where(old_performed, old, 0.0),
-            )
-            self._data[name][rows, pos] = new
-            np.add.at(self._sum_all[name], rows, new)
-            np.add.at(
-                self._sum_performed[name], rows, np.where(performed, new, 0.0)
-            )
-
-        np.subtract.at(
-            self._count_performed, rows, old_performed.astype(np.int64)
-        )
-        np.add.at(self._count_performed, rows, performed.astype(np.int64))
-        self._performed[rows, pos] = performed
-        self._count[rows] = np.minimum(self._count[rows] + 1, self._capacity)
-        self._pos[rows] = (pos + 1) % self._capacity
+        if rows.size == 1:
+            dirty = self._push_one(int(rows[0]), values, bool(performed[0]))
+            dirty_rows = rows if dirty else self._empty_rows
+        else:
+            dirty_rows = self._push_many(rows, values, performed)
 
         self._pushes += 1
         if self._pushes % _RESYNC_INTERVAL == 0:
             self._resync()
+        return dirty_rows
+
+    def _stack_values(
+        self, values: dict[str, np.ndarray], shape: tuple[int, ...]
+    ) -> np.ndarray:
+        stacked = np.empty(shape + (len(self._channels),), dtype=float)
+        for name, index in self._channel_index.items():
+            new = np.asarray(values[name], dtype=float)
+            if new.shape != shape:
+                raise ValueError(f"channel {name!r} must align with row_indices")
+            stacked[..., index] = new
+        return stacked
+
+    def _is_all_rows(self, rows: np.ndarray) -> bool:
+        if rows.size != self._rows:
+            return False
+        if rows is self._arange or rows is self._known_full_rows:
+            return True
+        if np.array_equal(rows, self._arange):
+            self._known_full_rows = rows
+            return True
+        return False
+
+    def _push_many(
+        self,
+        rows: np.ndarray,
+        values: dict[str, np.ndarray],
+        performed: np.ndarray,
+    ) -> np.ndarray:
+        new = self._stack_values(values, rows.shape)
+        all_rows = self._is_all_rows(rows)
+        if all_rows and self._uniform_slot is not None:
+            # Global lockstep: the slot is known without touching _pos.
+            self._push_uniform_slot(
+                rows, self._uniform_slot, new, performed, all_rows=True
+            )
+            return rows[self._dirty_mask]
+        pos = self._pos if all_rows else self._pos[rows]
+        slot = pos[0]
+        if (pos == slot).all():
+            self._push_uniform_slot(
+                rows, int(slot), new, performed, all_rows=all_rows
+            )
+            return rows[self._dirty_mask]
+        self._uniform_slot = None
+        return self._push_scattered(rows, pos, new, performed)
+
+    def _push_uniform_slot(
+        self,
+        rows: np.ndarray,
+        slot: int,
+        new: np.ndarray,
+        performed: np.ndarray,
+        all_rows: bool,
+    ) -> None:
+        # All pushed rows share one ring slot (they have been pushed in
+        # lockstep since construction — the universal-matchmaker hot
+        # path, including after departures shrink the set).  One
+        # contiguous plane holds every outgoing and incoming value, so
+        # the update is a handful of dense (rows x channels) operations
+        # with no scatter machinery at all.  Once every window is full
+        # the eviction masks collapse (full ≡ True) and the whole update
+        # shrinks further.  The order of the sum updates (evict old,
+        # then add new) matches the scattered path, so the running sums
+        # stay bit-identical whichever path a push takes.
+        plane = self._data[slot]
+        performed_plane = self._performed[slot]
+        capacity = self._capacity
+        if all_rows:
+            old = plane  # live view: consumed before the overwrite below
+            if self._all_full:
+                old_performed = performed_plane  # live view, same caveat
+                self._sum_all -= old
+            else:
+                full = self._count == capacity
+                old_performed = performed_plane & full
+                self._sum_all -= np.where(full[:, None], old, 0.0)
+            self._sum_performed -= np.where(
+                old_performed[:, None], old, 0.0
+            )
+            self._dirty_mask = performed | old_performed
+            self._count_performed += performed.astype(
+                np.int64
+            ) - old_performed.astype(np.int64)
+            plane[...] = new
+            self._sum_all += new
+            self._sum_performed += np.where(performed[:, None], new, 0.0)
+            performed_plane[...] = performed
+            if not self._all_full:
+                np.minimum(self._count + 1, capacity, out=self._count)
+                if bool((self._count == capacity).all()):
+                    self._all_full = True
+            self._pos[...] = (slot + 1) % capacity
+            self._uniform_slot = (slot + 1) % capacity
+        else:
+            old = plane[rows]
+            if self._all_full:
+                old_performed = performed_plane[rows]
+                self._sum_all[rows] -= old
+            else:
+                full = self._count[rows] == capacity
+                old_performed = performed_plane[rows] & full
+                self._sum_all[rows] -= np.where(full[:, None], old, 0.0)
+            self._sum_performed[rows] -= np.where(
+                old_performed[:, None], old, 0.0
+            )
+            self._dirty_mask = performed | old_performed
+            self._count_performed[rows] += performed.astype(
+                np.int64
+            ) - old_performed.astype(np.int64)
+            plane[rows] = new
+            self._sum_all[rows] += new
+            self._sum_performed[rows] += np.where(
+                performed[:, None], new, 0.0
+            )
+            performed_plane[rows] = performed
+            if not self._all_full:
+                self._count[rows] = np.minimum(
+                    self._count[rows] + 1, capacity
+                )
+                if bool((self._count == capacity).all()):
+                    self._all_full = True
+            self._pos[rows] = (slot + 1) % capacity
+            self._uniform_slot = None
+
+    def _push_scattered(
+        self,
+        rows: np.ndarray,
+        pos: np.ndarray,
+        new: np.ndarray,
+        performed: np.ndarray,
+    ) -> np.ndarray:
+        # General path: rows sit at different ring positions.  Rows are
+        # distinct (see the push docstring), so plain fancy indexing
+        # accumulates exactly like a duplicate-safe ufunc.at scatter
+        # would, without its overhead.
+        full = self._count[rows] == self._capacity
+        old_performed = self._performed[pos, rows] & full
+
+        old = self._data[pos, rows]
+        # Evict the outgoing entry from both running sums, then add the
+        # incoming one; the channel axis rides along contiguously.
+        self._sum_all[rows] -= np.where(full[:, None], old, 0.0)
+        self._sum_performed[rows] -= np.where(old_performed[:, None], old, 0.0)
+        self._data[pos, rows] = new
+        self._sum_all[rows] += new
+        self._sum_performed[rows] += np.where(performed[:, None], new, 0.0)
+
+        self._count_performed[rows] += performed.astype(
+            np.int64
+        ) - old_performed.astype(np.int64)
+        self._performed[pos, rows] = performed
+        if not self._all_full:
+            self._count[rows] = np.minimum(
+                self._count[rows] + 1, self._capacity
+            )
+        self._pos[rows] = (pos + 1) % self._capacity
+        return rows[performed | old_performed]
+
+    def push_scalar(
+        self, row: int, values: Sequence[float], performed: bool
+    ) -> bool:
+        """Scalar push of one row, values given in channel order.
+
+        The cheapest way to record a single participant's interaction
+        (every consumer query): no index arrays, no per-channel dict of
+        singleton arrays.  Arithmetic and resync cadence are identical
+        to :meth:`push` with one row.  Returns whether the performed
+        running sums moved (the row performed or evicted a performed
+        entry).
+        """
+        if len(values) != len(self._channels):
+            raise ValueError(
+                f"expected {len(self._channels)} channel values, "
+                f"got {len(values)}"
+            )
+        dirty = self._apply_scalar_push(row, values, performed)
+        self._pushes += 1
+        if self._pushes % _RESYNC_INTERVAL == 0:
+            self._resync()
+        return dirty
+
+    def _push_one(
+        self, row: int, values: dict[str, np.ndarray], performed: bool
+    ) -> bool:
+        # push() with a single row: validate the per-channel singleton
+        # arrays, then run the same scalar core as push_scalar (the
+        # push() wrapper owns the pushes/resync bookkeeping here).
+        scalars = []
+        for name in self._channels:
+            new_arr = np.asarray(values[name], dtype=float)
+            if new_arr.shape != (1,):
+                raise ValueError(f"channel {name!r} must align with row_indices")
+            scalars.append(new_arr[0])
+        return self._apply_scalar_push(row, scalars, performed)
+
+    def _apply_scalar_push(
+        self, row: int, values: Sequence[float], performed: bool
+    ) -> bool:
+        # Scalar core shared by push_scalar and single-row push(): plain
+        # float arithmetic in the same evict-old-then-add-new order as
+        # the vector paths, so the sums stay bit-identical while
+        # skipping all the fancy indexing machinery.  Returns whether
+        # the performed sums moved.
+        pos = int(self._pos[row])
+        full = int(self._count[row]) == self._capacity
+        old_performed = full and bool(self._performed[pos, row])
+
+        data = self._data
+        sum_all = self._sum_all
+        sum_performed = self._sum_performed
+        for index, value in enumerate(values):
+            new = float(value)
+            old = float(data[pos, row, index])
+            if full:
+                sum_all[row, index] -= old
+            if old_performed:
+                sum_performed[row, index] -= old
+            data[pos, row, index] = new
+            sum_all[row, index] += new
+            if performed:
+                sum_performed[row, index] += new
+
+        self._count_performed[row] += int(performed) - int(old_performed)
+        self._performed[pos, row] = performed
+        if not full:
+            self._count[row] += 1
+        self._pos[row] = (pos + 1) % self._capacity
+        if self._rows > 1:
+            self._uniform_slot = None
+        else:
+            self._uniform_slot = (pos + 1) % self._capacity
+        return performed or old_performed
 
     def push_all_rows(
         self, values: dict[str, np.ndarray], performed: np.ndarray
-    ) -> None:
+    ) -> np.ndarray:
         """Record one interaction observed by *every* row.
 
         This is the common case in the paper's evaluation, where every
         provider is able to treat every query and therefore every query is
         proposed to all of them.
         """
-        self.push(np.arange(self._rows), values, performed)
+        return self.push(self._arange, values, performed)
 
     def mean_all(self, channel: str, default: float = 0.0) -> np.ndarray:
         """Per-row mean of ``channel`` over the whole window."""
-        sums = self._sum_all[channel]
+        sums = self._sum_all[:, self._channel_index[channel]]
         out = np.full(self._rows, default, dtype=float)
         nonempty = self._count > 0
         out[nonempty] = sums[nonempty] / self._count[nonempty]
@@ -297,34 +570,81 @@ class RowRingLog:
 
     def mean_performed(self, channel: str, default: float = 0.0) -> np.ndarray:
         """Per-row mean of ``channel`` over performed entries only."""
-        sums = self._sum_performed[channel]
+        sums = self._sum_performed[:, self._channel_index[channel]]
         out = np.full(self._rows, default, dtype=float)
         nonempty = self._count_performed > 0
         out[nonempty] = sums[nonempty] / self._count_performed[nonempty]
         return out
 
+    def mean_all_rows(
+        self, channel: str, rows: np.ndarray, default: float = 0.0
+    ) -> np.ndarray:
+        """:meth:`mean_all` restricted to ``rows`` (bit-identical there).
+
+        The per-row arithmetic is the same elementwise sum/count divide
+        as the full-population method, so a cache refreshed row-by-row
+        through this never drifts from a wholesale recompute.
+        """
+        sums = self._sum_all[rows, self._channel_index[channel]]
+        counts = self._count[rows]
+        out = np.full(rows.shape, default, dtype=float)
+        nonempty = counts > 0
+        out[nonempty] = sums[nonempty] / counts[nonempty]
+        return out
+
+    def mean_performed_rows(
+        self, channel: str, rows: np.ndarray, default: float = 0.0
+    ) -> np.ndarray:
+        """:meth:`mean_performed` restricted to ``rows``."""
+        sums = self._sum_performed[rows, self._channel_index[channel]]
+        counts = self._count_performed[rows]
+        out = np.full(rows.shape, default, dtype=float)
+        nonempty = counts > 0
+        out[nonempty] = sums[nonempty] / counts[nonempty]
+        return out
+
+    def mean_all_one(
+        self, channel: str, row: int, default: float = 0.0
+    ) -> float:
+        """:meth:`mean_all` of a single row, as a scalar."""
+        count = self._count[row]
+        if count == 0:
+            return default
+        return float(self._sum_all[row, self._channel_index[channel]] / count)
+
+    def mean_performed_one(
+        self, channel: str, row: int, default: float = 0.0
+    ) -> float:
+        """:meth:`mean_performed` of a single row, as a scalar."""
+        count = self._count_performed[row]
+        if count == 0:
+            return default
+        return float(
+            self._sum_performed[row, self._channel_index[channel]] / count
+        )
+
     def row_values(self, row: int, channel: str) -> np.ndarray:
         """The remembered values of one row/channel, oldest first."""
         count = int(self._count[row])
         pos = int(self._pos[row])
-        data = self._data[channel][row]
+        data = self._data[:, row, self._channel_index[channel]]
         if count < self._capacity:
             return data[:count].copy()
         return np.concatenate((data[pos:], data[:pos]))
 
     def _resync(self) -> None:
         # Rebuild running sums from the raw buffers to cancel FP drift.
+        self._generation += 1
+        # valid[slot, row]: slot holds a live interaction of row.
         valid = (
-            np.arange(self._capacity)[None, :] < self._count[:, None]
+            np.arange(self._capacity)[:, None] < self._count[None, :]
         )
         performed = self._performed & valid
-        for name in self._channels:
-            data = self._data[name]
-            self._sum_all[name] = np.where(valid, data, 0.0).sum(axis=1)
-            self._sum_performed[name] = np.where(performed, data, 0.0).sum(
-                axis=1
-            )
-        self._count_performed = performed.sum(axis=1)
+        self._sum_all = np.where(valid[:, :, None], self._data, 0.0).sum(axis=0)
+        self._sum_performed = np.where(
+            performed[:, :, None], self._data, 0.0
+        ).sum(axis=0)
+        self._count_performed = performed.sum(axis=0)
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return (

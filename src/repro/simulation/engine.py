@@ -24,7 +24,6 @@ import numpy as np
 from repro.allocation.base import AllocationMethod, AllocationRequest
 from repro.allocation.registry import build_method
 from repro.core.intentions import (
-    clip_intention,
     consumer_intention_vector,
     provider_intention_vector,
 )
@@ -62,19 +61,36 @@ __all__ = [
 ENGINE_VERSION = "1"
 
 
-def _finite_mean(values: np.ndarray) -> float:
-    """Mean over finite entries; NaN when none remain."""
-    finite = values[np.isfinite(values)]
+def _finite_values(values: np.ndarray) -> np.ndarray:
+    """The finite entries of ``values`` (one ``isfinite`` scan).
+
+    ``_sample`` needs both the mean and the fairness of several sampled
+    vectors; sharing the compressed finite array between them halves the
+    ``isfinite`` scans per sample.
+    """
+    return values[np.isfinite(values)]
+
+
+def _mean_of_finite(finite: np.ndarray) -> float:
+    """Mean of an already-compressed finite array; NaN when empty."""
     if finite.size == 0:
         return float("nan")
     return float(finite.mean())
 
 
-def _finite_fairness(values: np.ndarray) -> float:
-    finite = values[np.isfinite(values)]
+def _fairness_of_finite(finite: np.ndarray) -> float:
     if finite.size == 0:
         return float("nan")
     return metrics.fairness(finite)
+
+
+def _finite_mean(values: np.ndarray) -> float:
+    """Mean over finite entries; NaN when none remain."""
+    return _mean_of_finite(_finite_values(values))
+
+
+def _finite_fairness(values: np.ndarray) -> float:
+    return _fairness_of_finite(_finite_values(values))
 
 
 @dataclass
@@ -241,6 +257,25 @@ class MediatorSimulation:
             config.query_classes, config.queries_per_request, self._rng_queries
         )
 
+        # --- hot-path caches and scratch buffers ------------------------
+        # Candidate sets are constant between departures (the active mask
+        # only changes in _check_departures), so they are cached per query
+        # class and invalidated by comparing pool epochs.  Only matchmakers
+        # that declare themselves a pure function of (query class, active
+        # mask) participate — a custom matchmaker depending on anything
+        # else stays on the uncached path.
+        self._matchmaker_cacheable = bool(
+            getattr(self._matchmaker, "cacheable_by_class", False)
+        )
+        self._candidate_cache: dict[int, np.ndarray] = {}
+        self._candidate_epoch = -1
+        # Per-query scratch reused across arrivals so the hot loop stops
+        # allocating full-population intermediates (the ring log copies
+        # what it stores, so reuse is safe).
+        self._performed_scratch = np.zeros(config.n_providers, dtype=bool)
+        self._ci_clip_scratch = np.empty(config.n_providers, dtype=float)
+        self._pi_clip_scratch = np.empty(config.n_providers, dtype=float)
+
         # --- accounting -------------------------------------------------
         self._collector = TimeSeriesCollector()
         self._departures: list[DepartureRecord] = []
@@ -266,20 +301,38 @@ class MediatorSimulation:
         """Execute the full horizon and return the run's results."""
         config = self.config
         self.method.reset()
+        # Hoist the capacity/cost constants out of the per-candidate rate
+        # evaluation; the expression keeps arrival_rate_at's exact
+        # left-to-right arithmetic so the thinning stream is unchanged.
+        total_capacity = config.total_capacity()
+        mean_cost = config.query_classes.mean_cost
+        workload = config.workload
+        duration = config.duration
+
+        def rate_at(time: float) -> float:
+            return (
+                workload.fraction_at(time, duration) * total_capacity / mean_cost
+            )
+
         arrivals = PoissonArrivals(
-            rate_at=config.arrival_rate_at,
+            rate_at=rate_at,
             peak_rate=config.peak_arrival_rate(),
             duration=config.duration,
             rng=self._rng_workload,
+            # A fixed workload's rate always equals the peak, so every
+            # candidate is accepted and the per-candidate rate evaluation
+            # can be skipped (the thinning draw itself is kept).
+            constant_rate=workload.kind == "fixed",
         )
         next_sample = config.sample_interval
         next_check = config.warmup_time + config.departure_check_interval
+        autonomy = self._autonomy_enabled()  # constant for the whole run
 
         for time in arrivals:
             while next_sample <= time:
                 self._sample(next_sample)
                 next_sample += config.sample_interval
-            while self._autonomy_enabled() and next_check <= time:
+            while autonomy and next_check <= time:
                 self._check_departures(next_check)
                 next_check += config.departure_check_interval
             self._process_arrival(time)
@@ -294,6 +347,50 @@ class MediatorSimulation:
     # per-query processing
     # ------------------------------------------------------------------
 
+    def _candidate_entry(self, query) -> tuple[np.ndarray, np.ndarray]:
+        """(candidates, their capacities) for ``query``, cached between
+        departures.
+
+        Invariant: for a cacheable matchmaker the cached array always
+        equals ``matchmaker.candidates(query, active)`` recomputed fresh
+        — the cache is keyed by query class and dropped whenever the
+        provider pool's epoch (bumped on every ``deactivate``) moves.
+        The capacity gather rides along because it depends only on the
+        candidate set.  Callers must treat both arrays as read-only.
+        """
+        if not self._matchmaker_cacheable:
+            candidates = self._matchmaker.candidates(
+                query, self.providers.active
+            )
+            return candidates, self.capacity.rates[candidates]
+        epoch = self.providers.epoch
+        if epoch != self._candidate_epoch:
+            self._candidate_cache.clear()
+            self._candidate_epoch = epoch
+        entry = self._candidate_cache.get(query.klass)
+        if entry is None:
+            candidates = self._matchmaker.candidates(
+                query, self.providers.active
+            )
+            # Class-independent matchmakers (the universal one) produce
+            # the same candidate set for every class; reusing the first
+            # equal entry keeps one array *object* per epoch, which the
+            # downstream identity-keyed caches (preference bands,
+            # utilization denominators, ring-log lockstep) rely on to
+            # hit across query classes.
+            for existing in self._candidate_cache.values():
+                if np.array_equal(existing[0], candidates):
+                    entry = existing
+                    break
+            else:
+                entry = (candidates, self.capacity.rates[candidates])
+            self._candidate_cache[query.klass] = entry
+        return entry
+
+    def _candidates(self, query) -> np.ndarray:
+        """The candidate set for ``query`` (see :meth:`_candidate_entry`)."""
+        return self._candidate_entry(query)[0]
+
     def _process_arrival(self, time: float) -> None:
         config = self.config
         consumer = int(self._rng_queries.integers(config.n_consumers))
@@ -305,7 +402,7 @@ class MediatorSimulation:
         query = self._factory.create(consumer, time)
         self._queries_issued += 1
 
-        candidates = self._matchmaker.candidates(query, self.providers.active)
+        candidates, capacities = self._candidate_entry(query)
         if candidates.size == 0:
             self._queries_unserved += 1
             return
@@ -320,9 +417,9 @@ class MediatorSimulation:
                 candidates.size, config.fixed_provider_satisfaction
             )
         else:
-            provider_pref_satisfaction = self.providers.satisfactions(
-                "preference"
-            )[candidates]
+            provider_pref_satisfaction = self.providers.satisfactions_of(
+                candidates, "preference"
+            )
         provider_intentions = provider_intention_vector(
             provider_preferences,
             utilizations,
@@ -331,14 +428,16 @@ class MediatorSimulation:
         )
         consumer_intentions = self._consumer_intentions(consumer, candidates)
 
-        consumer_satisfaction = float(
-            self.consumers.satisfactions()[consumer]
+        consumer_satisfaction = self.consumers.satisfaction_of(consumer)
+        provider_satisfactions = self.providers.satisfactions_of(
+            candidates, "intention"
         )
-        provider_satisfactions = self.providers.satisfactions("intention")[
-            candidates
-        ]
 
-        request = AllocationRequest(
+        # Bypass the frozen-dataclass __init__ (twelve object.__setattr__
+        # calls per query); the instance is indistinguishable from a
+        # normally-constructed AllocationRequest.
+        request = AllocationRequest.__new__(AllocationRequest)
+        request.__dict__.update(
             time=time,
             query=query,
             candidates=candidates,
@@ -346,8 +445,8 @@ class MediatorSimulation:
             provider_intentions=provider_intentions,
             provider_preferences=provider_preferences,
             utilizations=utilizations,
-            capacities=self.capacity.rates[candidates],
-            backlog_seconds=self.queues.backlog_seconds(time)[candidates],
+            capacities=capacities,
+            backlog_seconds=self.queues.backlog_seconds_of(candidates, time),
             consumer_satisfaction=consumer_satisfaction,
             provider_satisfactions=provider_satisfactions,
             rng=self._rng_method,
@@ -360,21 +459,31 @@ class MediatorSimulation:
         completions = self.queues.assign(selected, query.cost_units, time)
         response = self.queues.response_time(completions, time)
         self._record_response(response, time)
-        self.utilization.assign(selected, query.cost_units)
+        self.utilization.assign(selected, query.cost_units, assume_unique=True)
 
         # --- satisfaction model updates -------------------------------
-        ci_clipped = clip_intention(consumer_intentions)
+        # Clips land in preallocated scratch (the pools copy what they
+        # store, so the buffers can be reused next arrival).
+        n_candidates = candidates.size
+        # min/max pair == np.clip without its dispatch wrapper.
+        ci_clipped = self._ci_clip_scratch[:n_candidates]
+        np.maximum(consumer_intentions, -1.0, out=ci_clipped)
+        np.minimum(ci_clipped, 1.0, out=ci_clipped)
         adequation = query_adequation(ci_clipped)
         satisfaction = query_satisfaction(
             ci_clipped[positions], query.n_desired
         )
         self.consumers.record_query(consumer, adequation, satisfaction)
 
-        performed = np.zeros(candidates.size, dtype=bool)
+        performed = self._performed_scratch[:n_candidates]
+        performed[:] = False
         performed[positions] = True
+        pi_clipped = self._pi_clip_scratch[:n_candidates]
+        np.maximum(provider_intentions, -1.0, out=pi_clipped)
+        np.minimum(pi_clipped, 1.0, out=pi_clipped)
         self.providers.record_proposals(
             candidates,
-            intentions=clip_intention(provider_intentions),
+            intentions=pi_clipped,
             preferences=provider_preferences,
             performed=performed,
         )
@@ -387,8 +496,10 @@ class MediatorSimulation:
         preferences = self.consumer_prefs.for_consumer(consumer, candidates)
         if config.consumer_intention_mode == "preference":
             # The paper's experimental setting: υ = 1, intentions are
-            # exactly the consumer's preferences.
-            return preferences.copy()
+            # exactly the consumer's preferences.  ``for_consumer``
+            # gathers with an index array, so this is already a fresh
+            # array — no defensive copy needed.
+            return preferences
         return consumer_intention_vector(
             preferences,
             self.reputation.of(candidates),
@@ -406,6 +517,13 @@ class MediatorSimulation:
                 f"method {request.query.qid}: selected {positions.size} "
                 f"providers, expected {expected}"
             )
+        if positions.size == 1:
+            # Fast path for the paper's q.n = 1: no duplicate check (a
+            # singleton cannot repeat) and scalar range comparisons.
+            position = positions[0]
+            if position < 0 or position >= request.n_candidates:
+                raise ValueError("selection out of candidate range")
+            return
         if positions.size and (
             positions.min() < 0 or positions.max() >= request.n_candidates
         ):
@@ -470,35 +588,45 @@ class MediatorSimulation:
 
         utilization = self.utilization.utilization()
         if active_p.any():
-            ut_active = utilization[active_p]
-            sample["utilization_mean"] = _finite_mean(ut_active)
-            sample["utilization_fairness"] = _finite_fairness(ut_active)
+            ut_finite = _finite_values(utilization[active_p])
+            sample["utilization_mean"] = _mean_of_finite(ut_finite)
+            sample["utilization_fairness"] = _fairness_of_finite(ut_finite)
         else:
             sample["utilization_mean"] = float("nan")
             sample["utilization_fairness"] = float("nan")
 
         for basis in ("intention", "preference"):
-            sat = self.providers.satisfactions(basis)[active_p]
+            # The satisfaction vector feeds both the mean and the
+            # fairness, so its finite mask is computed once and shared.
+            sat_finite = _finite_values(
+                self.providers.satisfactions(basis)[active_p]
+            )
             adq = self.providers.adequations(basis)[active_p]
             alloc = self.providers.allocation_satisfactions(basis)[active_p]
             prefix = f"provider_{basis}"
-            sample[f"{prefix}_satisfaction_mean"] = _finite_mean(sat)
+            sample[f"{prefix}_satisfaction_mean"] = _mean_of_finite(sat_finite)
             sample[f"{prefix}_adequation_mean"] = _finite_mean(adq)
             sample[f"{prefix}_allocation_satisfaction_mean"] = _finite_mean(
                 alloc
             )
-            sample[f"{prefix}_satisfaction_fairness"] = _finite_fairness(sat)
+            sample[f"{prefix}_satisfaction_fairness"] = _fairness_of_finite(
+                sat_finite
+            )
 
-        consumer_sat = self.consumers.satisfactions()[active_c]
+        consumer_sat_finite = _finite_values(
+            self.consumers.satisfactions()[active_c]
+        )
         consumer_adq = self.consumers.adequations()[active_c]
         consumer_alloc = self.consumers.allocation_satisfactions()[active_c]
-        sample["consumer_satisfaction_mean"] = _finite_mean(consumer_sat)
+        sample["consumer_satisfaction_mean"] = _mean_of_finite(
+            consumer_sat_finite
+        )
         sample["consumer_adequation_mean"] = _finite_mean(consumer_adq)
         sample["consumer_allocation_satisfaction_mean"] = _finite_mean(
             consumer_alloc
         )
-        sample["consumer_satisfaction_fairness"] = _finite_fairness(
-            consumer_sat
+        sample["consumer_satisfaction_fairness"] = _fairness_of_finite(
+            consumer_sat_finite
         )
 
         if self._interval_response_count:

@@ -27,6 +27,14 @@ __all__ = ["CapabilityMatchmaker", "Matchmaker", "UniversalMatchmaker"]
 class Matchmaker:
     """Interface: map a query to the provider indices able to treat it."""
 
+    #: True when :meth:`candidates` is a pure function of the query's
+    #: *class* and the active mask.  The engine then caches candidate
+    #: sets per query class between departures (the only events that
+    #: change the mask).  A matchmaker depending on anything else — the
+    #: issuing consumer, time, per-query content — must leave this False
+    #: to stay on the uncached path.
+    cacheable_by_class: bool = False
+
     def candidates(self, query: Query, active: np.ndarray) -> np.ndarray:
         """The set ``P_q`` restricted to currently active providers.
 
@@ -48,6 +56,8 @@ class Matchmaker:
 class UniversalMatchmaker(Matchmaker):
     """Every active provider can treat every query (Section 6.1)."""
 
+    cacheable_by_class = True
+
     def candidates(self, query: Query, active: np.ndarray) -> np.ndarray:
         return np.flatnonzero(active)
 
@@ -63,6 +73,8 @@ class CapabilityMatchmaker(Matchmaker):
         Sound and complete by construction: the returned set is exactly
         the capable subset, no false positives or negatives.
     """
+
+    cacheable_by_class = True
 
     def __init__(self, capability: np.ndarray) -> None:
         capability = np.asarray(capability, dtype=bool)

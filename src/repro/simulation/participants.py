@@ -8,6 +8,19 @@ the Section 3 semantics (including the strict Definition 4/5 zero for
 empty windows and the ``SQ ⊆ PQ`` coupling) and add activity masks for
 the autonomy experiments.
 
+The satisfaction/adequation views are maintained *incrementally*.  A
+pushed proposal changes every touched row's whole-window mean but only
+changes the performed-only mean of the rows that performed it or evicted
+a performed entry — a handful per query.  The pools therefore refresh
+the satisfaction (performed-mean) views eagerly on exactly those dirty
+rows, which the engine reads on every arrival, and recompute the
+adequation (whole-window) views lazily when they are actually read —
+once per sample or departure check rather than once per query.  Both
+refresh paths apply the same elementwise arithmetic as a wholesale
+recompute, so the views are bit-identical to the pre-cache behaviour;
+when the underlying log resyncs its running sums (drift cancellation),
+everything is rebuilt wholesale.
+
 The test suite cross-checks the pools against the scalar profiles on
 random interaction traces.
 """
@@ -62,6 +75,8 @@ class ConsumerPool:
         )
         self._initial = float(initial_satisfaction)
         self._active = np.ones(n_consumers, dtype=bool)
+        self._epoch = 0
+        self._refresh_all()
 
     @property
     def size(self) -> int:
@@ -72,43 +87,75 @@ class ConsumerPool:
         """Boolean activity mask (live view; mutate via :meth:`deactivate`)."""
         return self._active
 
+    @property
+    def epoch(self) -> int:
+        """Bumped whenever :meth:`deactivate` flips the activity mask.
+
+        Callers caching anything derived from ``active`` (the engine's
+        candidate sets) compare epochs instead of rescanning the mask.
+        """
+        return self._epoch
+
     def active_indices(self) -> np.ndarray:
         return np.flatnonzero(self._active)
 
     def deactivate(self, consumer: int) -> None:
         """Mark one consumer as departed."""
         self._active[consumer] = False
+        self._epoch += 1
 
     def record_query(
         self, consumer: int, adequation: float, satisfaction: float
     ) -> None:
         """Push one issued query's per-query characteristics."""
-        rows = np.array([consumer], dtype=np.int64)
-        self._log.push(
-            rows,
-            {
-                "adequation": np.array([adequation]),
-                "satisfaction": np.array([satisfaction]),
-            },
-            performed=np.array([True]),
+        # Channel order matches the log's ("adequation", "satisfaction").
+        self._log.push_scalar(
+            consumer, (adequation, satisfaction), performed=True
         )
+        if self._log.generation != self._generation:
+            self._refresh_all()
+        else:
+            self._refresh_one(consumer)
+
+    def _refresh_all(self) -> None:
+        # Running-sum drift can nudge a mean a few ulps outside the
+        # contractual [0, 1] range; clip.
+        self._adequation_view = np.clip(
+            self._log.mean_all("adequation", default=self._initial), 0.0, 1.0
+        )
+        self._satisfaction_view = np.clip(
+            self._log.mean_all("satisfaction", default=self._initial), 0.0, 1.0
+        )
+        self._generation = self._log.generation
+
+    def _refresh_one(self, consumer: int) -> None:
+        # Scalar refresh of one dirty row; min/max is the scalar clip
+        # (the means are never NaN), so the values match _refresh_all.
+        adequation = self._log.mean_all_one(
+            "adequation", consumer, default=self._initial
+        )
+        self._adequation_view[consumer] = min(max(adequation, 0.0), 1.0)
+        satisfaction = self._log.mean_all_one(
+            "satisfaction", consumer, default=self._initial
+        )
+        self._satisfaction_view[consumer] = min(max(satisfaction, 0.0), 1.0)
 
     def adequations(self) -> np.ndarray:
         """``δa(c)`` per consumer (Definition 1)."""
-        means = self._log.mean_all("adequation", default=self._initial)
-        # Running-sum drift can nudge a mean a few ulps outside the
-        # contractual [0, 1] range; clip.
-        return np.clip(means, 0.0, 1.0)
+        return self._adequation_view.copy()
 
     def satisfactions(self) -> np.ndarray:
         """``δs(c)`` per consumer (Definition 2)."""
-        means = self._log.mean_all("satisfaction", default=self._initial)
-        return np.clip(means, 0.0, 1.0)
+        return self._satisfaction_view.copy()
+
+    def satisfaction_of(self, consumer: int) -> float:
+        """``δs(c)`` of one consumer — O(1) from the maintained view."""
+        return float(self._satisfaction_view[consumer])
 
     def allocation_satisfactions(self) -> np.ndarray:
         """``δas(c)`` per consumer (Definition 3)."""
         return ratio_with_zero_convention(
-            self.satisfactions(), self.adequations()
+            self._satisfaction_view, self._adequation_view
         )
 
     def queries_remembered(self) -> np.ndarray:
@@ -130,6 +177,8 @@ class ProviderPool:
     the Table 2 initialisation.
     """
 
+    _BASES = ("intention", "preference")
+
     def __init__(
         self,
         n_providers: int,
@@ -146,6 +195,7 @@ class ProviderPool:
         )
         self._initial = float(initial_satisfaction)
         self._active = np.ones(n_providers, dtype=bool)
+        self._epoch = 0
         # Neutral warm-start: intention/preference 0 maps to the 0.5
         # initial satisfaction after the (x+1)/2 rescale.  A non-0.5
         # initial value seeds the equivalent constant instead.
@@ -158,6 +208,7 @@ class ProviderPool:
                 },
                 performed=np.ones(n_providers, dtype=bool),
             )
+        self._refresh_all()
 
     @property
     def size(self) -> int:
@@ -168,12 +219,23 @@ class ProviderPool:
         """Boolean activity mask (live view; mutate via :meth:`deactivate`)."""
         return self._active
 
+    @property
+    def epoch(self) -> int:
+        """Bumped whenever :meth:`deactivate` flips the activity mask.
+
+        The engine's cached candidate sets key their validity on this:
+        between departures the active set is constant, so candidates
+        need no recomputation.
+        """
+        return self._epoch
+
     def active_indices(self) -> np.ndarray:
         return np.flatnonzero(self._active)
 
     def deactivate(self, provider: int) -> None:
         """Mark one provider as departed."""
         self._active[provider] = False
+        self._epoch += 1
 
     def record_proposals(
         self,
@@ -187,18 +249,75 @@ class ProviderPool:
         ``intentions`` must already be clipped to ``[-1, 1]`` (the
         Section 2 range the satisfaction model is defined over).
         """
-        self._log.push(
+        dirty = self._log.push(
             providers,
             {"intention": intentions, "preference": preferences},
             performed=performed,
         )
+        if self._log.generation != self._generation:
+            self._refresh_all()
+            return
+        # Every pushed row's whole-window mean moved: the adequation
+        # views go stale and are rebuilt on next read (once per sample
+        # or departure check).  The performed-only means moved just for
+        # the rows push reported — the providers that performed this
+        # query or evicted a performed entry — so the satisfaction
+        # views, read on every arrival, refresh only those.
+        self._adequation_stale = True
+        if dirty.size:
+            self._refresh_satisfaction_rows(dirty)
+
+    def _refresh_all(self) -> None:
+        self._satisfaction_views = {}
+        for basis in self._BASES:
+            # Running-sum drift can nudge a mean a few ulps outside
+            # [-1, 1]; the model's range is contractual, so clip.
+            means_performed = self._log.mean_performed(basis, default=-1.0)
+            self._satisfaction_views[basis] = np.clip(
+                (means_performed + 1.0) / 2.0, 0.0, 1.0
+            )
+        self._refresh_adequations()
+        self._generation = self._log.generation
+
+    def _refresh_adequations(self) -> None:
+        self._adequation_views = {}
+        for basis in self._BASES:
+            means_all = self._log.mean_all(basis, default=-1.0)
+            self._adequation_views[basis] = np.clip(
+                (means_all + 1.0) / 2.0, 0.0, 1.0
+            )
+        self._adequation_stale = False
+
+    def _refresh_satisfaction_rows(self, rows: np.ndarray) -> None:
+        if rows.size <= 8:
+            # The dirty set is almost always just the selected provider
+            # plus the odd performed-entry eviction: scalar arithmetic
+            # (min/max is the scalar clip; the means are never NaN)
+            # beats assembling masked subset arrays.
+            log = self._log
+            for row in rows:
+                index = int(row)
+                for basis in self._BASES:
+                    mean = log.mean_performed_one(basis, index, default=-1.0)
+                    value = (mean + 1.0) / 2.0
+                    self._satisfaction_views[basis][index] = min(
+                        max(value, 0.0), 1.0
+                    )
+            return
+        for basis in self._BASES:
+            means = self._log.mean_performed_rows(basis, rows, default=-1.0)
+            self._satisfaction_views[basis][rows] = np.clip(
+                (means + 1.0) / 2.0, 0.0, 1.0
+            )
+
+    def _adequation_view(self, basis: str) -> np.ndarray:
+        if self._adequation_stale:
+            self._refresh_adequations()
+        return self._adequation_views[basis]
 
     def adequations(self, basis: str = "intention") -> np.ndarray:
         """``δa(p)`` per provider (Definition 4); 0 for empty windows."""
-        means = self._log.mean_all(self._channel(basis), default=-1.0)
-        # Running-sum drift can nudge a mean a few ulps outside [-1, 1];
-        # the model's range is contractual, so clip.
-        return np.clip((means + 1.0) / 2.0, 0.0, 1.0)
+        return self._adequation_view(self._channel(basis)).copy()
 
     def satisfactions(self, basis: str = "intention") -> np.ndarray:
         """``δs(p)`` per provider (Definition 5); 0 when nothing performed.
@@ -208,13 +327,19 @@ class ProviderPool:
         the paper's punishment mechanism under preference-blind
         allocation.
         """
-        means = self._log.mean_performed(self._channel(basis), default=-1.0)
-        return np.clip((means + 1.0) / 2.0, 0.0, 1.0)
+        return self._satisfaction_views[self._channel(basis)].copy()
+
+    def satisfactions_of(
+        self, providers: np.ndarray, basis: str = "intention"
+    ) -> np.ndarray:
+        """``δs(p)`` for a provider subset, gathered from the view."""
+        return self._satisfaction_views[self._channel(basis)][providers]
 
     def allocation_satisfactions(self, basis: str = "intention") -> np.ndarray:
         """``δas(p)`` per provider (Definition 6)."""
+        basis = self._channel(basis)
         return ratio_with_zero_convention(
-            self.satisfactions(basis), self.adequations(basis)
+            self._satisfaction_views[basis], self._adequation_view(basis)
         )
 
     def proposed_counts(self) -> np.ndarray:

@@ -90,6 +90,15 @@ class ProviderPreferences:
     _rng: np.random.Generator
     _per_class_table: np.ndarray | None
 
+    def __post_init__(self) -> None:
+        # Identity-keyed cache of the per-candidate band bounds: the
+        # engine passes the same cached candidates array on every
+        # arrival between departures, so the class/bound gathers are
+        # recomputed only when the candidate set object changes.
+        self._cached_providers: np.ndarray | None = None
+        self._cached_low: np.ndarray | None = None
+        self._cached_span: np.ndarray | None = None
+
     def draw(self, providers: np.ndarray, query_class: int) -> np.ndarray:
         """Preferences of a provider subset for one incoming query.
 
@@ -100,9 +109,15 @@ class ProviderPreferences:
         if self._mode == "per_query_class":
             assert self._per_class_table is not None
             return self._per_class_table[providers, query_class]
-        low = self._band_low[self.adaptation_classes[providers]]
-        high = self._band_high[self.adaptation_classes[providers]]
-        return low + self._rng.random(providers.size) * (high - low)
+        if providers is not self._cached_providers:
+            classes = self.adaptation_classes[providers]
+            self._cached_low = self._band_low[classes]
+            self._cached_span = self._band_high[classes] - self._cached_low
+            self._cached_providers = providers
+        return (
+            self._cached_low
+            + self._rng.random(providers.size) * self._cached_span
+        )
 
 
 def build_provider_preferences(

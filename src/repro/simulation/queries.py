@@ -67,6 +67,13 @@ class QueryFactory:
         self._costs = np.asarray(spec.costs, dtype=float)
         weights = np.asarray(spec.weights, dtype=float)
         self._probabilities = weights / weights.sum()
+        # Precomputed inverse-CDF table replicating Generator.choice's
+        # internals (cumsum, normalise, searchsorted against one uniform
+        # draw): same class sequence, same RNG stream, none of choice's
+        # per-call validation overhead.
+        self._cdf = self._probabilities.cumsum()
+        self._cdf /= self._cdf[-1]
+        self._cost_list = [float(cost) for cost in self._costs]
         self._n_desired = int(n_desired)
         self._rng = rng
         self._next_id = 0
@@ -77,15 +84,24 @@ class QueryFactory:
         return self._next_id
 
     def create(self, consumer: int, issued_at: float) -> Query:
-        """Draw a query class and issue a query for ``consumer``."""
-        klass = int(
-            self._rng.choice(self._costs.size, p=self._probabilities)
-        )
-        query = Query(
+        """Draw a query class and issue a query for ``consumer``.
+
+        The class draw is ``Generator.choice(n, p=...)`` unrolled: one
+        uniform against the precomputed CDF, which consumes the exact
+        same stream (verified bit-identical in the RNG tests).
+        """
+        klass = int(self._cdf.searchsorted(self._rng.random(), side="right"))
+        # Bypass the frozen-dataclass __init__ (per-field object.__setattr__
+        # plus __post_init__): every field here is valid by construction —
+        # costs and n_desired were validated when the spec/factory were
+        # built.  The resulting instance is indistinguishable from a
+        # normally-constructed Query.
+        query = Query.__new__(Query)
+        query.__dict__.update(
             qid=self._next_id,
             consumer=consumer,
             klass=klass,
-            cost_units=float(self._costs[klass]),
+            cost_units=self._cost_list[klass],
             n_desired=self._n_desired,
             issued_at=issued_at,
         )

@@ -50,6 +50,14 @@ class ProviderQueues:
         """Seconds of queued work ahead of a new arrival, per provider."""
         return np.maximum(self._busy_until - now, 0.0)
 
+    def backlog_seconds_of(self, providers: np.ndarray, now: float) -> np.ndarray:
+        """:meth:`backlog_seconds` for a provider subset only.
+
+        Saves the full-population subtract/maximum when the caller (the
+        engine, once per query) only needs the candidate rows.
+        """
+        return np.maximum(self._busy_until[providers] - now, 0.0)
+
     def estimate_delay(
         self, providers: np.ndarray, cost_units: float, now: float
     ) -> np.ndarray:
@@ -77,6 +85,18 @@ class ProviderQueues:
             raise ValueError("cannot assign a query to zero providers")
         if cost_units <= 0:
             raise ValueError(f"cost must be positive, got {cost_units}")
+        if providers.size == 1:
+            # Scalar path for the paper's q.n = 1 (identical arithmetic:
+            # the conditional is max(), float ops are the same IEEE ops).
+            provider = providers[0]
+            busy = float(self._busy_until[provider])
+            start = busy if busy > now else now
+            service = cost_units / float(self._capacities[provider])
+            completion = start + service
+            self._busy_until[provider] = completion
+            self._completed[provider] += 1
+            self._busy_time[provider] += service
+            return np.array([completion])
         starts = np.maximum(self._busy_until[providers], now)
         service = cost_units / self._capacities[providers]
         completions = starts + service
@@ -87,6 +107,8 @@ class ProviderQueues:
 
     def response_time(self, completions: np.ndarray, issued_at: float) -> float:
         """Consumer-observed response time for one query's completions."""
+        if completions.size == 1:
+            return float(completions[0] - issued_at)
         return float(np.max(completions) - issued_at)
 
     def completed_counts(self) -> np.ndarray:

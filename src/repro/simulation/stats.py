@@ -5,6 +5,12 @@ them here.  The collector is deliberately dumb — named scalar series
 plus a shared time axis — so that experiments can postprocess without
 knowing engine internals, and new series can be added without schema
 changes.
+
+Storage is numpy-backed: each series is a float64 buffer grown by
+doubling, so appending a sample is an O(1) scalar store and reading a
+series back is a slice copy — no Python ``list[float]`` round-trips.
+This matters most for the persistent result store, which rebuilds a
+collector from arrays on every warm cache hit.
 """
 
 from __future__ import annotations
@@ -13,13 +19,18 @@ import numpy as np
 
 __all__ = ["TimeSeriesCollector"]
 
+#: Initial buffer capacity (samples); buffers double as they fill.
+_INITIAL_CAPACITY = 64
+
 
 class TimeSeriesCollector:
     """Accumulates named scalar series sampled over simulation time."""
 
     def __init__(self) -> None:
-        self._times: list[float] = []
-        self._series: dict[str, list[float]] = {}
+        self._length = 0
+        self._capacity = 0
+        self._times = np.empty(0, dtype=float)
+        self._series: dict[str, np.ndarray] = {}
 
     @classmethod
     def from_arrays(
@@ -29,10 +40,12 @@ class TimeSeriesCollector:
 
         The inverse of :meth:`times`/:meth:`as_dict`; used by the
         persistent result store to deserialize sampled runs.  Every
-        series must align with the time axis.
+        series must align with the time axis.  The arrays are adopted
+        wholesale (as float64 copies) — no per-element conversion.
         """
         collector = cls()
         times = np.asarray(times, dtype=float)
+        converted: dict[str, np.ndarray] = {}
         for name, values in series.items():
             values = np.asarray(values, dtype=float)
             if values.shape != times.shape:
@@ -40,20 +53,31 @@ class TimeSeriesCollector:
                     f"series {name!r} has shape {values.shape}, "
                     f"expected {times.shape}"
                 )
-        collector._times = [float(t) for t in times]
-        collector._series = {
-            name: [float(v) for v in np.asarray(values, dtype=float)]
-            for name, values in series.items()
-        }
+            converted[name] = values.copy()
+        collector._times = times.astype(float, copy=True).reshape(-1)
+        collector._series = converted
+        collector._length = collector._times.size
+        collector._capacity = collector._times.size
         return collector
 
     def __len__(self) -> int:
-        return len(self._times)
+        return self._length
 
     @property
     def names(self) -> tuple[str, ...]:
         """Names of all series collected so far."""
         return tuple(self._series)
+
+    def _grow(self) -> None:
+        new_capacity = max(self._capacity * 2, _INITIAL_CAPACITY)
+        times = np.empty(new_capacity, dtype=float)
+        times[: self._length] = self._times[: self._length]
+        self._times = times
+        for name, values in self._series.items():
+            grown = np.empty(new_capacity, dtype=float)
+            grown[: self._length] = values[: self._length]
+            self._series[name] = grown
+        self._capacity = new_capacity
 
     def add_sample(self, time: float, values: dict[str, float]) -> None:
         """Record one synchronous snapshot of every series.
@@ -61,22 +85,33 @@ class TimeSeriesCollector:
         All samples must carry the same keys; a new key appearing after
         the first sample would silently misalign, so it is rejected.
         """
-        if self._times and set(values) != set(self._series):
+        length = self._length
+        if length and values.keys() != self._series.keys():
             unexpected = set(values) ^ set(self._series)
             raise ValueError(
                 f"sample keys changed mid-run (difference: {sorted(unexpected)})"
             )
-        if self._times and time < self._times[-1]:
+        if length and time < self._times[length - 1]:
             raise ValueError(
-                f"samples must be chronological: {time} < {self._times[-1]}"
+                f"samples must be chronological: {time} < "
+                f"{self._times[length - 1]}"
             )
-        self._times.append(float(time))
+        if length == self._capacity:
+            if not length:
+                # First sample defines the schema.
+                self._series = {
+                    name: np.empty(0, dtype=float) for name in values
+                }
+            self._grow()
+        self._times[length] = time
+        series = self._series
         for name, value in values.items():
-            self._series.setdefault(name, []).append(float(value))
+            series[name][length] = value
+        self._length = length + 1
 
     def times(self) -> np.ndarray:
         """The shared time axis."""
-        return np.asarray(self._times, dtype=float)
+        return self._times[: self._length].copy()
 
     def series(self, name: str) -> np.ndarray:
         """One named series aligned with :meth:`times`."""
@@ -84,7 +119,7 @@ class TimeSeriesCollector:
             raise KeyError(
                 f"unknown series {name!r}; available: {sorted(self._series)}"
             )
-        return np.asarray(self._series[name], dtype=float)
+        return self._series[name][: self._length].copy()
 
     def as_dict(self) -> dict[str, np.ndarray]:
         """All series as arrays (copies), keyed by name."""
@@ -93,6 +128,6 @@ class TimeSeriesCollector:
     def last(self, name: str) -> float:
         """Most recent value of one series."""
         values = self._series.get(name)
-        if not values:
+        if values is None or not self._length:
             raise KeyError(f"series {name!r} has no samples")
-        return values[-1]
+        return float(values[self._length - 1])

@@ -58,6 +58,11 @@ class UtilizationTracker:
         self._current_bin = 0
         self._bin_start = 0.0
         self._row_sums = np.zeros(capacities.size, dtype=float)
+        # Identity-keyed cache for utilization_of: the engine passes the
+        # same cached candidates array between departures, so the
+        # capacity-times-window denominator gather is reused.
+        self._cached_providers: np.ndarray | None = None
+        self._cached_denominator: np.ndarray | None = None
 
     @property
     def window(self) -> float:
@@ -92,16 +97,41 @@ class UtilizationTracker:
         # Guard against drift pushing a sum slightly negative.
         np.maximum(self._row_sums, 0.0, out=self._row_sums)
 
-    def assign(self, providers: np.ndarray, units: float | np.ndarray) -> None:
-        """Record ``units`` of work assigned now to each given provider."""
+    def assign(
+        self,
+        providers: np.ndarray,
+        units: float | np.ndarray,
+        assume_unique: bool = False,
+    ) -> None:
+        """Record ``units`` of work assigned now to each given provider.
+
+        ``assume_unique=True`` lets a caller that guarantees distinct
+        provider indices (the engine validates its selection) skip the
+        duplicate-safe ``ufunc.at`` scatter for plain fancy-indexed
+        accumulation, which adds identically for distinct indices.
+        """
         providers = np.asarray(providers, dtype=np.int64)
         if providers.size == 0:
+            return
+        if assume_unique and np.ndim(units) == 0:
+            if providers.size == 1:
+                # Scalar path for single-provider assignments (q.n = 1).
+                provider = providers[0]
+                self._work[provider, self._current_bin] += units
+                self._row_sums[provider] += units
+            else:
+                self._work[providers, self._current_bin] += units
+                self._row_sums[providers] += units
             return
         units_arr = np.broadcast_to(
             np.asarray(units, dtype=float), providers.shape
         )
-        np.add.at(self._work[:, self._current_bin], providers, units_arr)
-        np.add.at(self._row_sums, providers, units_arr)
+        if assume_unique:
+            self._work[providers, self._current_bin] += units_arr
+            self._row_sums[providers] += units_arr
+        else:
+            np.add.at(self._work[:, self._current_bin], providers, units_arr)
+            np.add.at(self._row_sums, providers, units_arr)
 
     def utilization(self) -> np.ndarray:
         """Current ``Ut(p)`` for every provider (a fresh array)."""
@@ -109,9 +139,10 @@ class UtilizationTracker:
 
     def utilization_of(self, providers: np.ndarray) -> np.ndarray:
         """Current ``Ut(p)`` for a provider subset."""
-        return self._row_sums[providers] / (
-            self._capacities[providers] * self._window
-        )
+        if providers is not self._cached_providers:
+            self._cached_denominator = self._capacities[providers] * self._window
+            self._cached_providers = providers
+        return self._row_sums[providers] / self._cached_denominator
 
     def reset(self) -> None:
         """Clear all recorded work (keeps the clock position)."""

@@ -7,7 +7,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.ranking import rank_providers, select_top
+from repro.core.ranking import rank_providers, select_top, top_selection
 
 
 class TestRankProviders:
@@ -75,3 +75,54 @@ class TestSelectTop:
     def test_rejects_non_positive_n(self):
         with pytest.raises(ValueError):
             select_top(np.array([0]), 0)
+
+
+class TestTopSelection:
+    @given(
+        scores=st.lists(
+            # A tiny value set forces heavy ties, the case where the
+            # linear-scan fast path could diverge from the full sort.
+            st.sampled_from([-1.5, -0.25, 0.0, 0.7, 0.7, 1.0]),
+            min_size=1,
+            max_size=25,
+        ),
+        n_select=st.integers(min_value=1, max_value=5),
+        seed=st.integers(min_value=0, max_value=50),
+    )
+    @settings(max_examples=150)
+    def test_matches_full_ranking_slice_and_rng_stream(
+        self, scores, n_select, seed
+    ):
+        """Property: top_selection ≡ rank_providers[:n], same RNG use."""
+        values = np.array(scores)
+        rng_full = np.random.default_rng(seed)
+        rng_top = np.random.default_rng(seed)
+        full = rank_providers(values, rng=rng_full)
+        top = top_selection(values, n_select, rng=rng_top)
+        np.testing.assert_array_equal(
+            top, full[: min(n_select, values.size)]
+        )
+        # Both paths must consume the identical jitter draw so the
+        # engine's RNG stream is unchanged whichever is used.
+        assert (
+            rng_full.bit_generator.state == rng_top.bit_generator.state
+        )
+
+    def test_index_tie_break_takes_first_maximum(self):
+        scores = np.array([0.5, 0.9, 0.9, 0.1])
+        assert top_selection(scores, 1, tie_break="index").tolist() == [1]
+
+    def test_requires_rng_for_random_tie_break(self):
+        with pytest.raises(ValueError):
+            top_selection(np.array([0.5, 0.5]), 1, rng=None)
+
+    def test_rejects_nan_and_bad_n(self, rng):
+        with pytest.raises(ValueError):
+            top_selection(np.array([0.5, float("nan")]), 1, rng=rng)
+        with pytest.raises(ValueError):
+            top_selection(np.array([0.5]), 0, rng=rng)
+
+    def test_single_candidate_consumes_no_jitter(self, rng):
+        state_before = rng.bit_generator.state
+        assert top_selection(np.array([0.3]), 1, rng=rng).tolist() == [0]
+        assert rng.bit_generator.state == state_before

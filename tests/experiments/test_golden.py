@@ -14,6 +14,8 @@ commit so stale store entries are invalidated too.
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 import pytest
 
@@ -35,6 +37,35 @@ AUTONOMOUS_GOLDEN = {
     "sqlb": (663, 1, 2),
     "capacity": (201, 16, 8),
 }
+
+#: SHA-256 over the *entire* sampled output (time axis + every series,
+#: raw float64 bytes) of the two golden configs at seed 5, recorded
+#: before the engine's hot-path overhaul (PR 3).  Unlike the scalar
+#: goldens above, these trip on a single-ulp drift in any sample of any
+#: series — the strongest practical bit-identity check.
+SERIES_SHA256 = {
+    ("captive", "sqlb"):
+        "ed01bf370eb314688efd21fdc17658306e149634f040aadce6794acd972352f4",
+    ("captive", "capacity"):
+        "0a929708a4c0071b6bbe8ebe6f0631499283b3ecf9f0fad1d97d8644163db54e",
+    ("captive", "mariposa"):
+        "88ba7711aa4fe6c41a7f124966565f96128657c383353a6a30edc4ac0068ddbf",
+    ("autonomous", "sqlb"):
+        "668b18ba87b72be7179d34fce2d2fefaf9507e7deeaa07ca937356f1e3ccea6b",
+    ("autonomous", "capacity"):
+        "7300c47e0e4ea68b144b11ca34861ebe9908fa8a77a4f3f8e4732faaa1c1c0a5",
+    ("autonomous", "mariposa"):
+        "4231cc7a13e8069e0ef53365c36fa63451f76f0cdc81aaf96eb8593f34eaf798",
+}
+
+
+def _series_fingerprint(result) -> str:
+    digest = hashlib.sha256()
+    digest.update(result.times().tobytes())
+    for name in sorted(result.collector.names):
+        digest.update(name.encode())
+        digest.update(result.series(name).tobytes())
+    return digest.hexdigest()
 
 
 def captive_config():
@@ -68,6 +99,16 @@ def test_autonomous_departure_counts_match_golden(method):
     assert (
         sum(1 for d in result.departures if d.kind == "consumer") == consumers
     )
+
+
+@pytest.mark.parametrize(
+    ("label", "method"), sorted(SERIES_SHA256)
+)
+def test_full_series_match_pre_overhaul_fingerprints(label, method):
+    """Every sampled series is bit-identical to the pre-refactor engine."""
+    config = captive_config() if label == "captive" else autonomous_config()
+    result = run_simulation(config, method, seed=5)
+    assert _series_fingerprint(result) == SERIES_SHA256[(label, method)]
 
 
 @pytest.mark.parametrize("method", sorted(CAPTIVE_GOLDEN))

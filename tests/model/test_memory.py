@@ -220,3 +220,174 @@ class TestRowRingLog:
             assert log.mean_all("v")[i] == pytest.approx(
                 np.mean([v for v, _ in window]), abs=1e-9
             )
+
+
+class TestInteractionMemoryBulkExtend:
+    """The vectorised extend must be indistinguishable from scalar pushes."""
+
+    @given(
+        capacity=st.integers(min_value=1, max_value=12),
+        chunks=st.lists(
+            st.lists(
+                st.floats(min_value=-1, max_value=1, allow_nan=False),
+                min_size=0,
+                max_size=40,
+            ),
+            min_size=1,
+            max_size=6,
+        ),
+    )
+    @settings(max_examples=80)
+    def test_extend_matches_scalar_pushes(self, capacity, chunks):
+        bulk = InteractionMemory(capacity)
+        scalar = InteractionMemory(capacity)
+        for chunk in chunks:
+            bulk.extend(chunk)
+            for value in chunk:
+                scalar.push(value)
+            # The remembered window is bit-identical; the running mean
+            # may differ by float-drift ulps (extend resyncs from the
+            # raw buffer, which is *more* accurate than the incremental
+            # sum), so it is compared within the documented tolerance.
+            assert np.array_equal(bulk.values(), scalar.values())
+            assert bulk.mean(default=0.5) == pytest.approx(
+                scalar.mean(default=0.5), abs=1e-9
+            )
+            assert len(bulk) == len(scalar)
+
+    def test_extend_then_push_continues_the_same_ring(self):
+        bulk = InteractionMemory(3)
+        scalar = InteractionMemory(3)
+        bulk.extend([1.0, 2.0, 3.0, 4.0])
+        for value in [1.0, 2.0, 3.0, 4.0]:
+            scalar.push(value)
+        bulk.push(5.0)
+        scalar.push(5.0)
+        assert np.array_equal(bulk.values(), scalar.values())
+
+    def test_extend_longer_than_capacity_keeps_only_tail(self):
+        memory = InteractionMemory(3)
+        memory.extend(range(100))
+        assert memory.values().tolist() == [97.0, 98.0, 99.0]
+
+
+class TestRowRingLogBulkPaths:
+    """Uniform-slot, scattered, and scalar pushes against brute force."""
+
+    @given(
+        capacity=st.integers(min_value=1, max_value=5),
+        steps=st.lists(
+            st.tuples(
+                # Row subset as a bitmask over 6 rows (0 → no push).
+                st.integers(min_value=1, max_value=63),
+                st.floats(min_value=-1, max_value=1, allow_nan=False),
+                st.booleans(),
+            ),
+            min_size=0,
+            max_size=40,
+        ),
+    )
+    @settings(max_examples=80)
+    def test_subset_pushes_match_bruteforce_windows(self, capacity, steps):
+        rows_total = 6
+        log = RowRingLog(rows=rows_total, capacity=capacity, channels=("v",))
+        windows = [[] for _ in range(rows_total)]
+        for bitmask, value, performed in steps:
+            rows = np.flatnonzero(
+                [(bitmask >> row) & 1 for row in range(rows_total)]
+            )
+            values = np.full(rows.size, value)
+            performed_arr = np.full(rows.size, performed, dtype=bool)
+            dirty = log.push(rows, {"v": values}, performed=performed_arr)
+            expected_dirty = []
+            for row in rows:
+                window = windows[row]
+                evicted_performed = (
+                    len(window) == capacity and window[0][1]
+                )
+                if performed or evicted_performed:
+                    expected_dirty.append(row)
+                window.append((value, performed))
+                del window[:-capacity]
+            assert dirty.tolist() == expected_dirty
+        for row in range(rows_total):
+            window = windows[row]
+            all_values = [value for value, _ in window]
+            performed_values = [
+                value for value, performed in window if performed
+            ]
+            assert log.counts()[row] == len(all_values)
+            assert log.performed_counts()[row] == len(performed_values)
+            if all_values:
+                assert log.mean_all("v")[row] == pytest.approx(
+                    np.mean(all_values), abs=1e-9
+                )
+                assert np.array_equal(
+                    log.row_values(row, "v"), np.array(all_values)
+                )
+            if performed_values:
+                assert log.mean_performed("v")[row] == pytest.approx(
+                    np.mean(performed_values), abs=1e-9
+                )
+
+    @given(
+        steps=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=3),
+                st.floats(min_value=-1, max_value=1, allow_nan=False),
+                st.floats(min_value=-1, max_value=1, allow_nan=False),
+                st.booleans(),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=60)
+    def test_push_scalar_equals_single_row_push(self, steps):
+        """push_scalar is bit-identical to push() with one row."""
+        via_push = RowRingLog(rows=4, capacity=3, channels=("a", "b"))
+        via_scalar = RowRingLog(rows=4, capacity=3, channels=("a", "b"))
+        for row, a, b, performed in steps:
+            returned = via_push.push(
+                np.array([row]),
+                {"a": np.array([a]), "b": np.array([b])},
+                performed=np.array([performed]),
+            )
+            dirty = via_scalar.push_scalar(row, (a, b), performed)
+            assert dirty == bool(returned.size)
+        for channel in ("a", "b"):
+            assert np.array_equal(
+                via_push.mean_all(channel), via_scalar.mean_all(channel)
+            )
+            assert np.array_equal(
+                via_push.mean_performed(channel),
+                via_scalar.mean_performed(channel),
+            )
+            for row in range(4):
+                assert np.array_equal(
+                    via_push.row_values(row, channel),
+                    via_scalar.row_values(row, channel),
+                )
+
+    def test_push_scalar_validates_channel_count(self):
+        log = RowRingLog(rows=2, capacity=2, channels=("a", "b"))
+        with pytest.raises(ValueError):
+            log.push_scalar(0, (1.0,), True)
+
+    def test_full_population_lockstep_then_subset(self):
+        """Departure-style shrinkage: all-rows pushes then a subset."""
+        log = RowRingLog(rows=5, capacity=2, channels=("v",))
+        for value in (0.1, 0.2, 0.3):
+            log.push_all_rows(
+                {"v": np.full(5, value)}, performed=np.zeros(5, dtype=bool)
+            )
+        survivors = np.array([0, 1, 3])
+        log.push(
+            survivors,
+            {"v": np.full(3, 0.9)},
+            performed=np.array([True, False, False]),
+        )
+        assert log.mean_all("v")[0] == pytest.approx((0.3 + 0.9) / 2)
+        assert log.mean_all("v")[2] == pytest.approx((0.2 + 0.3) / 2)
+        assert log.mean_performed("v", default=-1.0)[0] == pytest.approx(0.9)
+        assert log.mean_performed("v", default=-1.0)[2] == -1.0

@@ -1,0 +1,126 @@
+"""Tests for the engine's cached candidate sets.
+
+The engine caches ``matchmaker.candidates(...)`` per query class and
+invalidates on the provider pool's epoch (bumped by every departure).
+The cache invariant — cached candidates always equal a fresh
+``np.flatnonzero``-style recomputation — is exercised here across
+randomized departure sequences, for both cacheable matchmakers and a
+custom non-cacheable one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulation.config import tiny_config
+from repro.simulation.engine import MediatorSimulation
+from repro.simulation.matchmaking import CapabilityMatchmaker, Matchmaker
+from repro.simulation.queries import Query
+
+
+def make_query(klass=0):
+    return Query(
+        qid=0, consumer=0, klass=klass, cost_units=130.0, n_desired=1,
+        issued_at=0.0,
+    )
+
+
+def build_sim(matchmaker=None):
+    return MediatorSimulation(
+        tiny_config(), "sqlb", seed=0, matchmaker=matchmaker
+    )
+
+
+class TestUniversalCandidateCache:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(st.integers(0, 15), st.integers(0, 1)),
+            max_size=30,
+        )
+    )
+    def test_cached_candidates_always_match_flatnonzero(self, ops):
+        """Property: the cache is indistinguishable from recomputing."""
+        sim = build_sim()
+        for provider, klass in ops:
+            np.testing.assert_array_equal(
+                sim._candidates(make_query(klass)),
+                np.flatnonzero(sim.providers.active),
+            )
+            sim.providers.deactivate(provider)
+        np.testing.assert_array_equal(
+            sim._candidates(make_query(0)),
+            np.flatnonzero(sim.providers.active),
+        )
+
+    def test_cache_returns_same_object_between_departures(self):
+        sim = build_sim()
+        first = sim._candidates(make_query(0))
+        assert sim._candidates(make_query(0)) is first
+
+    def test_departure_invalidates_cache(self):
+        sim = build_sim()
+        before = sim._candidates(make_query(0))
+        sim.providers.deactivate(3)
+        after = sim._candidates(make_query(0))
+        assert 3 in before
+        assert 3 not in after
+        assert after.size == before.size - 1
+
+    def test_capacity_gather_tracks_candidates(self):
+        sim = build_sim()
+        for provider in (0, 5, 9):
+            sim.providers.deactivate(provider)
+            candidates, capacities = sim._candidate_entry(make_query(0))
+            np.testing.assert_array_equal(
+                capacities, sim.capacity.rates[candidates]
+            )
+
+
+class TestCapabilityCandidateCache:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(st.integers(0, 15), st.integers(0, 1)),
+            max_size=30,
+        ),
+        seed=st.integers(0, 5),
+    )
+    def test_cached_candidates_respect_capability_and_activity(
+        self, ops, seed
+    ):
+        capability = np.random.default_rng(seed).random((16, 2)) < 0.8
+        capability[0, :] = True  # keep every class feasible
+        sim = build_sim(matchmaker=CapabilityMatchmaker(capability))
+        for provider, klass in ops:
+            expected = np.flatnonzero(
+                capability[:, klass] & sim.providers.active
+            )
+            np.testing.assert_array_equal(
+                sim._candidates(make_query(klass)), expected
+            )
+            sim.providers.deactivate(provider)
+
+
+class CountingMatchmaker(Matchmaker):
+    """Depends on the consumer, so it must never be cached."""
+
+    cacheable_by_class = False
+
+    def __init__(self):
+        self.calls = 0
+
+    def candidates(self, query, active):
+        self.calls += 1
+        return np.flatnonzero(active)
+
+
+class TestNonCacheableMatchmaker:
+    def test_every_query_recomputes(self):
+        matchmaker = CountingMatchmaker()
+        sim = build_sim(matchmaker=matchmaker)
+        for _ in range(5):
+            sim._candidates(make_query(0))
+        assert matchmaker.calls == 5

@@ -46,3 +46,47 @@ class TestTimeSeriesCollector:
         exported = collector.as_dict()
         exported["a"][0] = 99.0
         assert collector.series("a")[0] == 1.0
+
+
+class TestNumpyBackedStorage:
+    """The numpy-buffer internals must be invisible to callers."""
+
+    def test_growth_beyond_initial_capacity_round_trips(self):
+        import numpy as np
+
+        collector = TimeSeriesCollector()
+        for index in range(1000):  # well past the initial buffer
+            collector.add_sample(
+                float(index), {"a": float(index), "b": float(-index)}
+            )
+        assert len(collector) == 1000
+        assert np.array_equal(
+            collector.times(), np.arange(1000, dtype=float)
+        )
+        assert np.array_equal(
+            collector.series("b"), -np.arange(1000, dtype=float)
+        )
+        assert collector.last("a") == 999.0
+
+    def test_from_arrays_adopts_without_per_element_conversion(self):
+        import numpy as np
+
+        times = np.array([1.0, 2.0, 3.0])
+        series = {"a": np.array([0.5, 0.25, 0.125], dtype=np.float32)}
+        collector = TimeSeriesCollector.from_arrays(times, series)
+        assert collector.series("a").dtype == np.float64
+        # The collector owns copies: mutating the sources changes nothing.
+        times[0] = 99.0
+        series["a"][0] = 99.0
+        assert collector.times()[0] == 1.0
+        assert collector.series("a")[0] == 0.5
+
+    def test_from_arrays_then_append_continues_the_series(self):
+        import numpy as np
+
+        collector = TimeSeriesCollector.from_arrays(
+            np.array([1.0, 2.0]), {"a": np.array([10.0, 20.0])}
+        )
+        collector.add_sample(3.0, {"a": 30.0})
+        assert collector.times().tolist() == [1.0, 2.0, 3.0]
+        assert collector.series("a").tolist() == [10.0, 20.0, 30.0]
