@@ -16,10 +16,24 @@ Four subcommands::
     python -m repro sweep run|status|merge|report
         Drive whole evaluation sweeps: ``run`` executes one deterministic
         shard of a scenarios × methods × seeds grid into a result store
-        (writing a resume manifest), ``status`` reads the manifests,
-        ``merge`` unions store directories from several machines, and
-        ``report`` prints the per-(scenario, method) summary table with
-        means and quantiles across seeds.
+        (writing a resume manifest), ``status`` reads the manifests
+        (``--json`` for the machine-readable rows), ``merge`` unions
+        store directories from several machines, and ``report`` prints
+        the per-(scenario, method) summary table with means and
+        quantiles across seeds.
+
+    python -m repro queue init|work|status|report
+        The dynamic counterpart to static shards: ``init`` turns a sweep
+        grid into a durable file-backed work queue, ``work`` runs a
+        worker daemon that leases jobs (TTL heartbeats; expired leases
+        are requeued, so killed workers lose nothing) until the queue
+        drains, ``status`` reports depth/liveness/ETA (``--json`` for
+        machines), and ``report`` summarises whatever has completed so
+        far.  ``init --adaptive`` enables per-scenario adaptive seeding:
+        seeds are added in batches until the 95 % CI half-width of the
+        post-warmup response time falls under ``--ci-threshold`` (capped
+        at ``--max-seeds``).  Point any number of ``work`` processes —
+        same machine or a shared directory — at one queue.
 
     python -m repro perf [--quick] [--out PATH] [--check BASELINE]
         Time the engine's standard workload matrix (captive + autonomous,
@@ -85,6 +99,14 @@ from repro.simulation.config import (
     paper_config,
     scaled_config,
 )
+from repro.scheduler import (
+    AdaptiveConfig,
+    QueueWorker,
+    WorkQueue,
+    format_queue_status,
+    queue_report,
+    queue_status,
+)
 from repro.simulation.engine import ENGINE_VERSION
 from repro.sweeps import (
     SCALES,
@@ -93,6 +115,7 @@ from repro.sweeps import (
     available_scenarios,
     format_sweep_table,
     load_manifests,
+    manifest_status,
     merge_stores,
     sweep_summary,
 )
@@ -287,6 +310,11 @@ def build_parser() -> argparse.ArgumentParser:
         "status", help="summarise the shard manifests under a store"
     )
     add_cache_options(sweep_status)
+    sweep_status.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable manifest rows instead of a table",
+    )
 
     sweep_merge = sweep_sub.add_parser(
         "merge",
@@ -312,6 +340,121 @@ def build_parser() -> argparse.ArgumentParser:
         help="process-pool size for any cells missing from the store",
     )
     add_cache_options(sweep_report)
+
+    def positive_float(text: str) -> float:
+        value = float(text)
+        if value <= 0:
+            raise argparse.ArgumentTypeError(
+                f"must be a positive number, got {value}"
+            )
+        return value
+
+    queue = sub.add_parser(
+        "queue",
+        help="durable work queue: init once, drain with N worker daemons",
+    )
+    queue_sub = queue.add_subparsers(dest="queue_command", required=True)
+
+    def add_queue_dir(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--queue-dir",
+            required=True,
+            help="queue directory (shared between all workers)",
+        )
+
+    queue_init = queue_sub.add_parser(
+        "init", help="create a queue directory from a sweep grid"
+    )
+    add_queue_dir(queue_init)
+    add_spec_options(queue_init)
+    queue_init.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="enable per-scenario adaptive seeding (CI-driven)",
+    )
+    queue_init.add_argument(
+        "--ci-threshold",
+        type=positive_float,
+        default=0.5,
+        metavar="SECONDS",
+        help="adaptive: stop adding seeds once every method's 95%% CI "
+        "half-width of post-warmup response time is at or under this "
+        "(default 0.5 s)",
+    )
+    queue_init.add_argument(
+        "--max-seeds",
+        type=positive_int,
+        default=len(PAPER_SEEDS),
+        help="adaptive: per-scenario cap on total seeds "
+        f"(default {len(PAPER_SEEDS)}, the paper's nbRepeat)",
+    )
+    queue_init.add_argument(
+        "--seed-batch",
+        type=positive_int,
+        default=2,
+        help="adaptive: seeds added per extension (default 2)",
+    )
+
+    queue_work = queue_sub.add_parser(
+        "work", help="run one worker daemon until the queue drains"
+    )
+    add_queue_dir(queue_work)
+    add_cache_options(queue_work)
+    queue_work.add_argument(
+        "--owner",
+        default=None,
+        help="worker id recorded in leases/manifests "
+        "(default: host-pid-random)",
+    )
+    queue_work.add_argument(
+        "--max-jobs",
+        type=positive_int,
+        default=None,
+        help="stop after this many jobs (default: run until drained)",
+    )
+    queue_work.add_argument(
+        "--ttl",
+        type=positive_float,
+        default=60.0,
+        help="lease time-to-live in seconds; heartbeats renew at ttl/3 "
+        "(default 60)",
+    )
+    queue_work.add_argument(
+        "--poll",
+        type=positive_float,
+        default=0.5,
+        help="seconds between queue checks while idle (default 0.5)",
+    )
+    queue_work.add_argument(
+        "--wait",
+        action="store_true",
+        help="keep polling after the queue drains (standing daemon)",
+    )
+    queue_work.add_argument(
+        "--max-attempts",
+        type=positive_int,
+        default=3,
+        help="attempts per job before it is parked as an error record "
+        "instead of retried (default 3)",
+    )
+
+    queue_status_cmd = queue_sub.add_parser(
+        "status", help="queue depth, worker liveness, and ETA"
+    )
+    add_queue_dir(queue_status_cmd)
+    add_cache_options(queue_status_cmd)
+    queue_status_cmd.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable status payload",
+    )
+
+    queue_report_cmd = queue_sub.add_parser(
+        "report",
+        help="summary table over every cell the queue has completed",
+    )
+    add_queue_dir(queue_report_cmd)
+    add_cache_options(queue_report_cmd)
 
     perf = sub.add_parser(
         "perf",
@@ -493,40 +636,60 @@ def _cmd_sweep_run(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
-def _cmd_sweep_status(args: argparse.Namespace) -> str:
+def _resolve_cache_dir(args: argparse.Namespace) -> str | None:
+    """The one cache-dir resolution: flag beats env, --no-cache beats
+    both.  Every command that touches a store resolves through here so
+    they can never disagree about which store they read."""
+    if args.no_cache:
+        return None
+    if args.cache_dir is not None:
+        return args.cache_dir
+    return os.environ.get(CACHE_DIR_ENV) or None
+
+
+def _require_cache_dir(args: argparse.Namespace, command: str) -> str:
     if args.no_cache:
         raise SystemExit(
-            "repro: error: sweep status reads a store's manifests; "
+            f"repro: error: {command} reads a result store; "
             "--no-cache makes no sense here"
         )
-    cache_dir = args.cache_dir or os.environ.get(CACHE_DIR_ENV) or None
+    cache_dir = _resolve_cache_dir(args)
     if cache_dir is None:
         raise SystemExit(
-            "repro: error: sweep status needs --cache-dir or $REPRO_CACHE_DIR"
+            f"repro: error: {command} needs --cache-dir or $REPRO_CACHE_DIR"
         )
-    manifests = load_manifests(cache_dir)
-    if not manifests:
+    return cache_dir
+
+
+def _cmd_sweep_status(args: argparse.Namespace) -> str:
+    cache_dir = _require_cache_dir(args, "sweep status")
+    rows = manifest_status(load_manifests(cache_dir))
+    if args.json:
+        return json.dumps(
+            {"engine_version": ENGINE_VERSION, "manifests": rows},
+            sort_keys=True,
+            indent=1,
+        )
+    if not rows:
         return f"no sweep manifests under {cache_dir}"
     lines = [
-        f"{'sweep':<16} {'spec':<16} {'shard':>7} {'jobs':>5} "
+        f"{'sweep':<16} {'spec':<16} {'source':>14} {'jobs':>5} "
         f"{'simulated':>9} {'store_hit':>9} {'engine':>7}"
     ]
-    for manifest in manifests:
-        states = [job["state"] for job in manifest["jobs"]]
-        engine = manifest.get("engine_version", "?")
-        stale = "" if engine == ENGINE_VERSION else " (stale)"
-        shard = (
-            f"{manifest.get('shard_index', '?')}"
-            f"/{manifest.get('shard_count', '?')}"
-        )
+    for row in rows:
+        stale = " (stale)" if row["stale"] else ""
+        if row["worker"] is not None:
+            source = f"w:{row['worker'][:12]}"
+        else:
+            source = f"{row['shard_index']}/{row['shard_count']}"
         lines.append(
-            f"{manifest.get('sweep', '?'):<16} "
-            f"{manifest.get('spec_hash', '?'):<16} "
-            f"{shard:>7} "
-            f"{len(states):>5} "
-            f"{sum(1 for s in states if s == 'simulated'):>9} "
-            f"{sum(1 for s in states if s == 'store_hit'):>9} "
-            f"{engine:>7}{stale}"
+            f"{row['sweep'] or '?':<16} "
+            f"{row['spec_hash'] or '?':<16} "
+            f"{source:>14} "
+            f"{row['jobs']:>5} "
+            f"{row['simulated']:>9} "
+            f"{row['store_hits']:>9} "
+            f"{row['engine_version'] or '?':>7}{stale}"
         )
     return "\n".join(lines)
 
@@ -543,6 +706,138 @@ def _cmd_sweep_merge(args: argparse.Namespace) -> str:
         f"{report.manifests_copied} manifests copied, "
         f"{report.manifests_skipped} already present"
     )
+
+
+def _cmd_queue_init(args: argparse.Namespace) -> str:
+    spec = _spec_from_args(args)
+    adaptive = None
+    if args.adaptive:
+        adaptive = AdaptiveConfig(
+            ci_threshold=args.ci_threshold,
+            max_seeds=args.max_seeds,
+            seed_batch=args.seed_batch,
+        ).payload()
+        if args.max_seeds <= len(spec.seeds):
+            # Equal is as useless as below: every scenario starts
+            # "capped" and the advertised CI-driven seeding never runs.
+            raise SystemExit(
+                f"repro: error: --max-seeds {args.max_seeds} leaves no "
+                f"headroom over the {len(spec.seeds)} initial seeds; "
+                "adaptive seeding could never add one"
+            )
+    try:
+        queue = WorkQueue.init(args.queue_dir, spec, adaptive=adaptive)
+    except FileExistsError as error:
+        raise SystemExit(f"repro: error: {error}") from None
+    counts = queue.counts()
+    lines = [
+        f"queue initialised at {queue.root}",
+        f"sweep: {spec.name}   spec: {spec.spec_hash()}   "
+        f"scale: {spec.scale}",
+        f"jobs enqueued: {counts.pending}",
+    ]
+    if adaptive is not None:
+        lines.append(
+            f"adaptive seeding: ci_threshold={args.ci_threshold}s "
+            f"max_seeds={args.max_seeds} seed_batch={args.seed_batch}"
+        )
+    lines.append(
+        "drain with: repro queue work --queue-dir "
+        f"{args.queue_dir} --cache-dir <shared store>"
+    )
+    return "\n".join(lines)
+
+
+def _open_queue(args: argparse.Namespace) -> WorkQueue:
+    try:
+        return WorkQueue(args.queue_dir)
+    except (FileNotFoundError, ValueError) as error:
+        raise SystemExit(f"repro: error: {error}") from None
+
+
+def _cmd_queue_work(args: argparse.Namespace) -> str:
+    executor = get_default_executor()
+    if executor.store is None:
+        raise SystemExit(
+            "repro: error: queue work needs a result store shared by all "
+            "workers; pass --cache-dir or set $REPRO_CACHE_DIR"
+        )
+    worker = QueueWorker(
+        _open_queue(args),
+        executor=executor,
+        owner=args.owner,
+        ttl=args.ttl,
+        poll_interval=args.poll,
+        max_jobs=args.max_jobs,
+        wait=args.wait,
+        max_attempts=args.max_attempts,
+    )
+    report = worker.run(install_signal_handlers=True)
+    lines = [
+        f"worker {report.owner} finished"
+        + (" (signalled)" if report.stopped_by_signal else ""),
+        f"processed: {report.processed}   simulated: {report.simulated}   "
+        f"store hits: {report.store_hits}   "
+        f"requeued expired: {report.requeued}"
+        + (f"   failed: {report.failed}" if report.failed else ""),
+    ]
+    if report.manifest_path is not None:
+        lines.append(f"manifest: {report.manifest_path}")
+    else:
+        lines.append("no manifest written (no jobs processed)")
+    return "\n".join(lines)
+
+
+def _cmd_queue_status(args: argparse.Namespace) -> str:
+    status = queue_status(
+        _open_queue(args), store_root=_resolve_cache_dir(args)
+    )
+    if args.json:
+        return json.dumps(status, sort_keys=True, indent=1)
+    return format_queue_status(status)
+
+
+def _cmd_queue_report(args: argparse.Namespace) -> str:
+    # queue report promises zero new simulations; without the shared
+    # store it would silently re-simulate every completed cell.
+    _require_cache_dir(args, "queue report")
+    queue = _open_queue(args)
+    records = queue.done_records()
+    try:
+        summaries = queue_report(
+            queue,
+            executor=get_default_executor(),
+            done_records=records,
+        )
+    except ValueError as error:
+        raise SystemExit(f"repro: error: {error}") from None
+    errors = sum(1 for r in records if r.get("state") == "error")
+    header = (
+        f"# queue: {queue.name}   spec: {queue.spec_hash}   "
+        f"scale: {queue.spec.scale}   done: {len(records) - errors}"
+        # An error-parked job must be visible here: the table below
+        # silently omits its seed.
+        + (f"   errors: {errors}" if errors else "")
+    )
+    if not summaries:
+        return header + "\nno completed cells yet"
+    return header + "\n" + format_sweep_table(summaries)
+
+
+def _cmd_queue(args: argparse.Namespace) -> str:
+    if args.queue_command == "init":
+        return _cmd_queue_init(args)
+    if args.queue_command == "work":
+        _configure_executor(args)
+        return _cmd_queue_work(args)
+    if args.queue_command == "status":
+        return _cmd_queue_status(args)
+    if args.queue_command == "report":
+        _configure_executor(args)
+        return _cmd_queue_report(args)
+    raise AssertionError(
+        f"unhandled queue command {args.queue_command!r}"
+    )  # pragma: no cover
 
 
 def _cmd_perf(args: argparse.Namespace) -> str:
@@ -617,13 +912,9 @@ def _configure_executor(args: argparse.Namespace) -> None:
             workers = workers_from_environment()
         except ValueError as error:
             raise SystemExit(f"repro: error: {error}") from None
-    if args.no_cache:
-        cache_dir = None
-    elif args.cache_dir is not None:
-        cache_dir = args.cache_dir
-    else:
-        cache_dir = os.environ.get(CACHE_DIR_ENV) or None
-    configure_default_executor(workers=workers, cache_dir=cache_dir)
+    configure_default_executor(
+        workers=workers, cache_dir=_resolve_cache_dir(args)
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -638,6 +929,8 @@ def main(argv: list[str] | None = None) -> int:
         print(_cmd_figure(args))
     elif args.command == "sweep":
         print(_cmd_sweep(args))
+    elif args.command == "queue":
+        print(_cmd_queue(args))
     elif args.command == "perf":
         print(_cmd_perf(args))
     return 0

@@ -1,0 +1,74 @@
+"""Distributed sweep scheduling: queue, workers, adaptive seeding.
+
+PR 2's sweep layer stops at static ``shard k of n`` — every machine
+must be told up front which slice it owns, and a dead machine's slice
+simply goes missing.  This package adds the dynamic half: a **durable,
+file-backed work queue** that any number of worker daemons drain
+concurrently, with nothing but a shared directory (local disk, NFS, or
+rsync'd) as the coordination medium.
+
+* :mod:`repro.scheduler.queue` — :class:`WorkQueue`: jobs as atomic
+  per-job files, claims as atomic renames into ``leases/`` tagged with
+  the owner id, TTL heartbeats, and a scavenger that requeues expired
+  leases so a killed worker loses nothing.
+* :mod:`repro.scheduler.worker` — :class:`QueueWorker`: the daemon
+  loop (lease → run through the experiment executor/store → ack) with
+  background heartbeat renewal, graceful SIGTERM drain, and a worker
+  manifest in the sweep layer's format on exit.
+* :mod:`repro.scheduler.adaptive` — :class:`AdaptiveController`:
+  scenario-level adaptive seeding; after each completed seed batch it
+  widens only the scenarios whose 95 % CI half-width of the headline
+  metric still exceeds a threshold, capped at ``max_seeds``.
+* :mod:`repro.scheduler.monitor` — queue depth, per-worker liveness,
+  completion ETA, as JSON and a human table, plus the partial-progress
+  report over whatever the queue has completed.
+
+Execution is *at least once*; that is safe because results land in the
+content-addressed result store, where a repeat is a store hit rather
+than duplicate work.  CLI surface:
+``python -m repro queue init|work|status|report``.
+"""
+
+from repro.scheduler.adaptive import (
+    AdaptiveConfig,
+    AdaptiveController,
+    AdaptiveDecision,
+    extension_seeds,
+)
+from repro.scheduler.monitor import (
+    format_queue_status,
+    queue_report,
+    queue_status,
+)
+from repro.scheduler.queue import (
+    Lease,
+    QueueCounts,
+    QueueJob,
+    WorkQueue,
+    job_id,
+)
+from repro.scheduler.worker import (
+    QueueWorker,
+    WorkerReport,
+    default_owner_id,
+    write_worker_manifest,
+)
+
+__all__ = [
+    "AdaptiveConfig",
+    "AdaptiveController",
+    "AdaptiveDecision",
+    "Lease",
+    "QueueCounts",
+    "QueueJob",
+    "QueueWorker",
+    "WorkQueue",
+    "WorkerReport",
+    "default_owner_id",
+    "extension_seeds",
+    "format_queue_status",
+    "job_id",
+    "queue_report",
+    "queue_status",
+    "write_worker_manifest",
+]

@@ -1,0 +1,234 @@
+"""Queue observability: depth, worker liveness, ETA, and reporting.
+
+:func:`queue_status` distils a queue directory (and optionally the
+result store next to it) into one JSON-ready dict — the same payload
+``repro queue status --json`` prints and CI asserts on.  The
+``manifests`` section reuses
+:func:`repro.sweeps.runner.manifest_status`, so the sweep CLI, the
+queue monitor, and CI all parse manifests through one function.
+
+:func:`queue_report` renders the per-(scenario, method) summary table
+for whatever the queue has *completed so far* — including adaptively
+added seeds, which static ``sweep report`` (spec-shaped by definition)
+would not know to ask for.  Formatting is shared with the sweep layer
+(:func:`~repro.sweeps.aggregate.format_sweep_table`), so a fully
+drained non-adaptive queue reports byte-identically to the equivalent
+static sweep.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments.executor import (
+    ExperimentExecutor,
+    SimulationJob,
+    get_default_executor,
+)
+from repro.experiments.harness import MethodAverages
+from repro.scheduler.queue import WorkQueue
+from repro.simulation.engine import ENGINE_VERSION
+from repro.sweeps.aggregate import (
+    ScenarioMethodSummary,
+    summarize_cell,
+)
+from repro.sweeps.runner import load_manifests, manifest_status
+
+__all__ = ["format_queue_status", "queue_report", "queue_status"]
+
+
+def queue_status(
+    queue: WorkQueue,
+    store_root: str | None = None,
+    now: float | None = None,
+) -> dict:
+    """One JSON-ready snapshot of a queue's health.
+
+    ``workers`` lists every heartbeat on record with its liveness
+    (deadline vs. ``now``) and current lease count; ``eta_seconds``
+    extrapolates the mean completed-job duration over the outstanding
+    work and the number of live workers (``None`` until at least one
+    job has finished).  Pass ``store_root`` to append the store's
+    manifest rows (shard and worker manifests alike).
+    """
+    now = time.time() if now is None else now
+    counts = queue.counts()
+    lease_owners = queue.lease_owners()
+    workers = []
+    live_workers = 0
+    for heartbeat in queue.heartbeats():
+        owner = heartbeat.get("owner", "?")
+        deadline = float(heartbeat.get("deadline", float("-inf")))
+        alive = deadline >= now
+        if alive:
+            live_workers += 1
+        workers.append(
+            {
+                "owner": owner,
+                "alive": alive,
+                "deadline_in_s": round(deadline - now, 3),
+                "leases": lease_owners.get(owner, 0),
+            }
+        )
+
+    done_records = queue.done_records()
+    durations = [
+        float(record["duration_s"])
+        for record in done_records
+        if record.get("duration_s") is not None
+    ]
+    errors = sum(1 for r in done_records if r.get("state") == "error")
+    outstanding = counts.pending + counts.leased
+    eta_seconds: float | None = None
+    if outstanding == 0:
+        eta_seconds = 0.0
+    elif durations and live_workers > 0:
+        # No live workers ⇒ no ETA: extrapolating with a pretend
+        # worker would show a dead fleet as converging.
+        mean_duration = sum(durations) / len(durations)
+        eta_seconds = round(
+            mean_duration * outstanding / live_workers, 3
+        )
+
+    adaptive = queue.adaptive_payload
+    status = {
+        "queue": str(queue.root),
+        "name": queue.name,
+        "spec_hash": queue.spec_hash,
+        "scale": queue.spec.scale,
+        "engine_version": ENGINE_VERSION,
+        "counts": {
+            "jobs": counts.jobs,
+            "pending": counts.pending,
+            "leased": counts.leased,
+            "done": counts.done,
+            "errors": errors,
+        },
+        "drained": counts.drained,
+        "workers": workers,
+        "eta_seconds": eta_seconds,
+        "adaptive": (
+            {"enabled": True, **adaptive}
+            if adaptive is not None
+            else {"enabled": False}
+        ),
+    }
+    if store_root is not None:
+        status["manifests"] = manifest_status(load_manifests(store_root))
+    return status
+
+
+def format_queue_status(status: dict) -> str:
+    """The human rendering of one :func:`queue_status` payload."""
+    counts = status["counts"]
+    lines = [
+        f"queue: {status['name']}   spec: {status['spec_hash']}   "
+        f"scale: {status['scale']}   engine: {status['engine_version']}",
+        f"jobs: {counts['jobs']}   pending: {counts['pending']}   "
+        f"leased: {counts['leased']}   done: {counts['done']}"
+        + (
+            f"   errors: {counts['errors']}"
+            if counts.get("errors")
+            else ""
+        )
+        + ("   [drained]" if status["drained"] else ""),
+    ]
+    if status["eta_seconds"] is not None and not status["drained"]:
+        lines.append(f"eta: ~{status['eta_seconds']:.0f}s")
+    adaptive = status["adaptive"]
+    if adaptive["enabled"]:
+        lines.append(
+            "adaptive: ci_threshold="
+            f"{adaptive['ci_threshold']}s   max_seeds="
+            f"{adaptive['max_seeds']}   seed_batch="
+            f"{adaptive['seed_batch']}"
+        )
+    if status["workers"]:
+        lines.append(f"{'worker':<40} {'alive':>5} {'leases':>6} {'ttl':>8}")
+        for worker in status["workers"]:
+            lines.append(
+                f"{worker['owner']:<40} "
+                f"{'yes' if worker['alive'] else 'no':>5} "
+                f"{worker['leases']:>6} "
+                f"{worker['deadline_in_s']:>7.0f}s"
+            )
+    for row in status.get("manifests", []):
+        source = (
+            f"worker {row['worker']}"
+            if row.get("worker")
+            else f"shard {row['shard_index']}/{row['shard_count']}"
+        )
+        stale = " (stale)" if row["stale"] else ""
+        lines.append(
+            f"manifest [{source}]: {row['jobs']} jobs, "
+            f"{row['simulated']} simulated, {row['store_hits']} "
+            f"store hits{stale}"
+        )
+    return "\n".join(lines)
+
+
+def queue_report(
+    queue: WorkQueue,
+    executor: ExperimentExecutor | None = None,
+    done_records: list[dict] | None = None,
+) -> list[ScenarioMethodSummary]:
+    """Summaries over every *completed* cell of the queue.
+
+    Groups the done records by (scenario, method) — whatever seed set
+    each scenario ended up with, fixed or adaptively extended — and
+    reads the results back through the executor, so a drained queue
+    reports without a single new simulation.  Pass ``done_records`` if
+    the caller already read them (the CLI shares one scan between the
+    header counts and the report).
+    """
+    executor = executor if executor is not None else get_default_executor()
+    if executor.store is None:
+        raise ValueError(
+            "queue_report needs an executor with a result store — the "
+            "report reads completed results back, it must not simulate"
+        )
+    spec = queue.spec
+    if done_records is None:
+        done_records = queue.done_records()
+    seeds_by_cell: dict[tuple[str, str], list[int]] = {}
+    for record in done_records:
+        if record.get("state") not in ("simulated", "store_hit"):
+            continue
+        cell = (record["scenario"], record["method"])
+        seeds_by_cell.setdefault(cell, []).append(int(record["seed"]))
+
+    # Refuse a store that doesn't hold the done work: silently
+    # re-simulating a completed grid inside a *report* command (a
+    # typo'd --cache-dir) would be minutes-to-hours of surprise work.
+    missing = 0
+    for (scenario, method), seeds in seeds_by_cell.items():
+        config = queue.config_for(scenario)
+        missing += sum(
+            1
+            for seed in set(seeds)
+            if not executor.store.contains(config, method, seed)
+        )
+    if missing:
+        raise ValueError(
+            f"{missing} completed jobs are absent from the store at "
+            f"{executor.store.root}; point --cache-dir at the store the "
+            "workers actually wrote to"
+        )
+
+    summaries: list[ScenarioMethodSummary] = []
+    for scenario in spec.scenarios:
+        config = queue.config_for(scenario)
+        for method in spec.methods:
+            seeds = sorted(set(seeds_by_cell.get((scenario, method), [])))
+            if not seeds:
+                continue
+            results = executor.run(
+                [SimulationJob(config, method, seed) for seed in seeds]
+            )
+            summaries.append(
+                summarize_cell(
+                    scenario,
+                    MethodAverages(method=method, results=tuple(results)),
+                )
+            )
+    return summaries

@@ -1,0 +1,684 @@
+"""Durable, file-backed work queue for sweep jobs.
+
+A queue directory turns a :class:`~repro.sweeps.spec.SweepSpec` into
+per-job files that any number of worker daemons — on one machine or on
+several sharing the directory over NFS/rsync — drain concurrently with
+no coordinator process.  Everything is plain files and two primitives
+the platform already makes atomic:
+
+* **atomic write** (tempfile + ``os.replace``) for every record, so a
+  crashed writer never leaves a half-written file; and
+* **atomic rename** for state transitions, so exactly one worker wins a
+  claim race and a loser simply moves on to the next ticket.
+
+Layout under the queue root::
+
+    queue.json            immutable queue description (spec, adaptive)
+    jobs/<id>.json        immutable job records (scenario, method, seed)
+    pending/<id>          claim tickets; present ⇔ job is up for grabs
+    leases/<id>@<owner>   a claimed ticket, renamed here by the winner
+    done/<id>.json        completion records written by ``ack``
+    heartbeats/<owner>.json   per-worker liveness: an absolute deadline
+
+The lease protocol:
+
+1. ``claim(owner, ttl)`` first writes the owner's heartbeat (deadline =
+   now + ttl), *then* renames ``pending/<id>`` →  ``leases/<id>@<owner>``.
+   The rename is the commit point: exactly one rename on one source
+   succeeds, and because the heartbeat already exists the new lease is
+   never observed without a live deadline.
+2. Workers renew the heartbeat periodically (one file per owner renews
+   every lease that owner holds).
+3. ``requeue_expired()`` — run opportunistically by every worker —
+   renames leases whose owner's heartbeat deadline has passed (or whose
+   heartbeat is missing) back into ``pending/``, bumping the ticket's
+   ``attempts`` counter first.  A killed worker therefore loses
+   nothing: its leases reappear for the survivors.
+4. ``ack(lease, ...)`` writes ``done/<id>.json`` and then unlinks the
+   lease.  If a worker dies between those two steps the scavenger sees
+   the done record and discards the stale lease instead of requeueing.
+
+Execution is therefore *at least once*: a job can run twice when a
+worker is presumed dead but actually finished (or when a requeued
+ticket races a slow owner).  That is safe by construction — results go
+to the content-addressed :class:`~repro.experiments.store.ResultStore`,
+where the second execution is a store hit (or an idempotent overwrite
+of identical bytes), never a duplicate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import re
+import tempfile
+import time
+from pathlib import Path
+
+from repro.experiments.store import _atomic_write_bytes, cache_key
+from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import ENGINE_VERSION
+from repro.sweeps.spec import SweepJob, SweepSpec
+
+__all__ = [
+    "Lease",
+    "QueueCounts",
+    "QueueJob",
+    "WorkQueue",
+    "job_id",
+    "sanitize_owner",
+]
+
+#: Bump when the on-disk queue layout changes incompatibly.
+QUEUE_FORMAT = 1
+
+#: How many times a job may be attempted (claims after requeues and
+#: failures) before it is parked as a ``done/`` error record instead of
+#: being retried — a poison job must not crash-loop the fleet forever.
+DEFAULT_MAX_ATTEMPTS = 3
+
+#: Separates the job id from the owner id in lease file names; both
+#: sides are sanitised so the partition is unambiguous.
+_LEASE_SEPARATOR = "@"
+
+_SAFE_COMPONENT = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+def _sanitize(component: str) -> str:
+    """A filename- and separator-safe version of an id component."""
+    safe = _SAFE_COMPONENT.sub("-", component)
+    if not safe:
+        raise ValueError(f"unusable id component {component!r}")
+    return safe
+
+
+#: Public alias: callers that record an owner id anywhere (manifests,
+#: reports) must store the same sanitised form the queue files use.
+sanitize_owner = _sanitize
+
+
+def _live_entries(directory: Path) -> list[Path]:
+    """Directory entries that are real queue records.
+
+    ``_atomic_write_bytes`` stages dot-prefixed temp files in the same
+    directory before the ``os.replace``; a concurrent reader must never
+    treat one as a ticket/lease (claiming a half-written ticket or
+    "scavenging" an attempts-bump temp would corrupt the protocol).
+    """
+    if not directory.is_dir():
+        return []
+    return sorted(
+        path
+        for path in directory.iterdir()
+        if not path.name.startswith(".")
+    )
+
+
+def job_id(scenario: str, method: str, seed: int) -> str:
+    """Deterministic, filename-safe id of one sweep cell.
+
+    Every controller replica derives the same id for the same cell, so
+    concurrent enqueue attempts (two drained workers both extending a
+    scenario) deduplicate on the job file instead of double-queueing.
+    """
+    return f"{_sanitize(scenario)}--{_sanitize(method)}--s{int(seed)}"
+
+
+@dataclasses.dataclass(frozen=True)
+class QueueJob:
+    """One immutable queued unit of work."""
+
+    id: str
+    scenario: str
+    method: str
+    seed: int
+    key: str  # the result-store cache key this job will produce
+
+
+@dataclasses.dataclass(frozen=True)
+class Lease:
+    """A claimed job: proof that ``owner`` won the ticket rename."""
+
+    job: QueueJob
+    owner: str
+    path: Path
+
+
+@dataclasses.dataclass(frozen=True)
+class QueueCounts:
+    """Point-in-time queue depth."""
+
+    jobs: int
+    pending: int
+    leased: int
+    done: int
+
+    @property
+    def drained(self) -> bool:
+        """No work outstanding (pending and leased both empty)."""
+        return self.pending == 0 and self.leased == 0
+
+
+def _read_json(path: Path) -> dict | None:
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    return payload if isinstance(payload, dict) else None
+
+
+def _write_json(path: Path, payload: dict) -> None:
+    _atomic_write_bytes(
+        path, json.dumps(payload, sort_keys=True, indent=1).encode("utf-8")
+    )
+
+
+def _create_json_exclusive(path: Path, payload: dict) -> bool:
+    """Atomically create ``path`` only if it does not exist yet.
+
+    Write-to-temp + ``os.link`` gives both atomicity (the linked file
+    is complete) and exclusivity (link fails if the name exists) —
+    ``os.replace`` would clobber and ``O_EXCL`` alone is not atomic.
+    Returns False when the path already existed.
+    """
+    data = json.dumps(payload, sort_keys=True, indent=1).encode("utf-8")
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=f".{path.name}.")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+        try:
+            os.link(tmp, path)
+        except FileExistsError:
+            return False
+        return True
+    finally:
+        try:
+            os.unlink(tmp)
+        except OSError:  # pragma: no cover - already gone
+            pass
+
+
+class WorkQueue:
+    """A durable queue of sweep jobs under one directory.
+
+    Open an existing queue with ``WorkQueue(root)``; create one with
+    :meth:`WorkQueue.init`.  All mutating operations are safe to run
+    concurrently from any number of processes sharing the directory.
+    """
+
+    def __init__(
+        self, root: Path | str, _allow_unready: bool = False
+    ) -> None:
+        self.root = Path(root)
+        payload = _read_json(self._queue_file)
+        if payload is None:
+            raise FileNotFoundError(
+                f"no queue at {self.root} (run 'repro queue init' first)"
+            )
+        if payload.get("format") != QUEUE_FORMAT:
+            raise ValueError(
+                f"queue {self.root} has format {payload.get('format')!r}; "
+                f"this build reads format {QUEUE_FORMAT}"
+            )
+        if not payload.get("ready", False) and not _allow_unready:
+            # init marks the queue ready only after the full grid is
+            # enqueued; without the gate a crash mid-init would leave a
+            # partial grid indistinguishable from a drained sweep.
+            raise ValueError(
+                f"queue {self.root} was never fully initialised "
+                "(init crashed mid-enqueue?); delete the directory and "
+                "re-run 'repro queue init'"
+            )
+        self._payload = payload
+        self._spec = SweepSpec(**payload["spec"])
+        self._configs: dict[str, SimulationConfig] | None = None
+
+    # -- creation -----------------------------------------------------
+
+    @classmethod
+    def init(
+        cls,
+        root: Path | str,
+        spec: SweepSpec,
+        adaptive: dict | None = None,
+    ) -> "WorkQueue":
+        """Create a queue directory and enqueue the spec's full grid.
+
+        ``adaptive`` is the optional payload of an
+        :class:`~repro.scheduler.adaptive.AdaptiveConfig`; it is stored
+        verbatim so every worker derives the same controller.
+        """
+        root = Path(root)
+        queue_file = root / "queue.json"
+        if queue_file.exists():
+            raise FileExistsError(
+                f"queue already initialised at {root}; "
+                "point init at a fresh directory"
+            )
+        root.mkdir(parents=True, exist_ok=True)
+        for name in ("jobs", "pending", "leases", "done", "heartbeats"):
+            (root / name).mkdir(exist_ok=True)
+        payload = {
+            "format": QUEUE_FORMAT,
+            "name": spec.name,
+            "spec": spec.payload(),
+            "spec_hash": spec.spec_hash(),
+            "engine_version": ENGINE_VERSION,
+            "adaptive": adaptive,
+            "ready": False,
+        }
+        _write_json(queue_file, payload)
+        queue = cls(root, _allow_unready=True)
+        queue.enqueue(spec.expand())
+        # The ready flip is the init commit point: workers refuse a
+        # queue whose grid might be partial.
+        payload["ready"] = True
+        _write_json(queue_file, payload)
+        queue._payload = payload
+        return queue
+
+    # -- paths --------------------------------------------------------
+
+    @property
+    def _queue_file(self) -> Path:
+        return self.root / "queue.json"
+
+    @property
+    def jobs_dir(self) -> Path:
+        return self.root / "jobs"
+
+    @property
+    def pending_dir(self) -> Path:
+        return self.root / "pending"
+
+    @property
+    def leases_dir(self) -> Path:
+        return self.root / "leases"
+
+    @property
+    def done_dir(self) -> Path:
+        return self.root / "done"
+
+    @property
+    def heartbeats_dir(self) -> Path:
+        return self.root / "heartbeats"
+
+    # -- identity -----------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self._payload["name"]
+
+    @property
+    def spec(self) -> SweepSpec:
+        return self._spec
+
+    @property
+    def spec_hash(self) -> str:
+        return self._payload["spec_hash"]
+
+    @property
+    def adaptive_payload(self) -> dict | None:
+        return self._payload.get("adaptive")
+
+    def config_for(self, scenario: str) -> SimulationConfig:
+        """The fully built config of one catalog scenario at the
+        queue's scale (memoised; identical on every worker)."""
+        if self._configs is None:
+            from repro.sweeps.scenarios import scenario_catalog
+
+            catalog = scenario_catalog(self._spec.scale)
+            self._configs = {
+                name: entry.config for name, entry in catalog.items()
+            }
+        return self._configs[scenario]
+
+    # -- enqueue ------------------------------------------------------
+
+    def enqueue(self, sweep_jobs: list[SweepJob]) -> int:
+        """Add jobs, skipping ids with live state (ticket, lease, or
+        done record); returns how many were actually added.
+
+        Deduping on the *live* state rather than the job record makes
+        enqueue both idempotent under replica races (controllers that
+        derive the same extension add each job once) and self-repairing
+        after a crash between the job-record write and the ticket write
+        — the next replica recreates the missing ticket (the job-record
+        rewrite is an identical-bytes no-op).  The residual race — two
+        processes both passing the check — at worst re-creates a ticket
+        for a job another worker is already running, which the
+        at-least-once contract absorbs.
+        """
+        leased_ids = {
+            path.name.partition(_LEASE_SEPARATOR)[0]
+            for path in _live_entries(self.leases_dir)
+        }
+        added = 0
+        for sweep_job in sweep_jobs:
+            identifier = job_id(
+                sweep_job.scenario, sweep_job.method, sweep_job.seed
+            )
+            if (
+                (self.pending_dir / identifier).exists()
+                or identifier in leased_ids
+                or (self.done_dir / f"{identifier}.json").exists()
+            ):
+                continue
+            record = QueueJob(
+                id=identifier,
+                scenario=sweep_job.scenario,
+                method=sweep_job.method,
+                seed=sweep_job.seed,
+                key=cache_key(
+                    self.config_for(sweep_job.scenario),
+                    sweep_job.method,
+                    sweep_job.seed,
+                ),
+            )
+            # Job record first, then the ticket: a ticket never exists
+            # without its (immutable) description.
+            _write_json(
+                self.jobs_dir / f"{identifier}.json",
+                dataclasses.asdict(record),
+            )
+            _write_json(self.pending_dir / identifier, {"attempts": 0})
+            added += 1
+        return added
+
+    # -- leasing ------------------------------------------------------
+
+    def heartbeat(
+        self, owner: str, ttl: float, now: float | None = None
+    ) -> None:
+        """Publish/renew ``owner``'s liveness deadline (now + ttl)."""
+        now = time.time() if now is None else now
+        # Record the sanitised owner: it's the form the lease filenames
+        # carry, so liveness lookups join on one spelling.
+        owner = _sanitize(owner)
+        _write_json(
+            self.heartbeats_dir / f"{owner}.json",
+            {
+                "owner": owner,
+                "deadline": now + float(ttl),
+                "pid": os.getpid(),
+            },
+        )
+
+    def retire(self, owner: str) -> None:
+        """Remove ``owner``'s heartbeat — call on clean worker exit.
+
+        Without this, status reports the exited worker as alive (and
+        the ETA divides by it) until the stale deadline lapses.  Any
+        lease the owner somehow still held simply expires immediately,
+        which is exactly what a scavenger should see.
+        """
+        (
+            self.heartbeats_dir / f"{_sanitize(owner)}.json"
+        ).unlink(missing_ok=True)
+
+    def claim(
+        self,
+        owner: str,
+        ttl: float,
+        now: float | None = None,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    ) -> Lease | None:
+        """Try to lease one pending job; ``None`` when nothing pending.
+
+        The heartbeat is written *before* the ticket rename so a fresh
+        lease is never observable without a live deadline.
+        """
+        owner = _sanitize(owner)
+        tickets = _live_entries(self.pending_dir)
+        if not tickets:
+            # Nothing to claim: skip the heartbeat write.  An idle
+            # worker polls claim() twice a second, and the heartbeater
+            # thread already renews at ttl/3 — the protocol only needs
+            # a live deadline before a rename is attempted.
+            return None
+        self.heartbeat(owner, ttl, now)
+        for ticket in tickets:
+            target = self.leases_dir / (
+                f"{ticket.name}{_LEASE_SEPARATOR}{owner}"
+            )
+            try:
+                os.rename(ticket, target)
+            except FileNotFoundError:
+                continue  # another worker won this ticket
+            record = _read_json(self.jobs_dir / f"{ticket.name}.json")
+            if record is None:
+                # Unreadable job record.  On a shared filesystem this
+                # can be transient (NFS attribute caching, a momentary
+                # EIO), so retry with the attempts budget rather than
+                # condemning the cell outright.
+                self._retry_or_park(
+                    target,
+                    ticket.name,
+                    owner,
+                    "unreadable job record",
+                    max_attempts,
+                )
+                continue
+            job = QueueJob(
+                id=record["id"],
+                scenario=record["scenario"],
+                method=record["method"],
+                seed=int(record["seed"]),
+                key=record["key"],
+            )
+            # Re-publish the heartbeat now that the rename has landed:
+            # an exiting same-owner session may have retired the
+            # pre-rename heartbeat in the window before our rename, and
+            # a lease must never sit without a live deadline.
+            self.heartbeat(owner, ttl, now)
+            return Lease(job=job, owner=owner, path=target)
+        return None
+
+    def _retry_or_park(
+        self,
+        lease_path: Path,
+        identifier: str,
+        owner: str,
+        error: str,
+        max_attempts: int,
+    ) -> str:
+        """Requeue a failed lease, or park it as an error record once
+        its attempts budget is spent.  Returns ``requeued`` / ``error``.
+        """
+        ticket = _read_json(lease_path)
+        if ticket is None:
+            if not lease_path.exists():
+                # The lease is already gone — scavenged by
+                # requeue_expired (our heartbeat lapsed mid-execution)
+                # or acked elsewhere.  Recreating it here would inject
+                # a phantom ticket and reset the attempts counter;
+                # whoever took it owns it now.
+                return "gone"
+            # Present but transiently unreadable (NFS attribute cache,
+            # momentary EIO): deciding now would reset the attempts
+            # counter to 1 and un-bound the retry budget.  Leave the
+            # lease alone; the next scavenger pass retries the read.
+            return "skipped"
+        if (self.done_dir / f"{identifier}.json").exists():
+            # An ack landed between the caller's checks and our read:
+            # done wins.  Requeueing now would resurrect a ticket for
+            # finished work (and our rewrite would recreate the lease
+            # file ack just unlinked).
+            lease_path.unlink(missing_ok=True)
+            return "gone"
+        attempts = int(ticket.get("attempts", 0)) + 1
+        if attempts >= max_attempts:
+            # Exclusive create: a concurrent ack may have landed a real
+            # completion between the caller's checks and here, and an
+            # error verdict must never clobber a real result (ack's
+            # overwrite in the other direction is intentional).
+            created = _create_json_exclusive(
+                self.done_dir / f"{identifier}.json",
+                {
+                    "id": identifier,
+                    "state": "error",
+                    "error": error,
+                    "owner": owner,
+                    "attempts": attempts,
+                },
+            )
+            lease_path.unlink(missing_ok=True)
+            return "error" if created else "gone"
+        _write_json(lease_path, {"attempts": attempts})
+        try:
+            os.rename(lease_path, self.pending_dir / identifier)
+        except FileNotFoundError:
+            pass  # a concurrent scavenger already returned it
+        return "requeued"
+
+    def fail(
+        self,
+        lease: Lease,
+        error: str,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    ) -> str:
+        """Record a failed execution: requeue within the attempts
+        budget, park as a ``done/`` error record beyond it.
+
+        Returns ``requeued`` or ``error``.  Either way the worker moves
+        on — a poison job must never crash-loop the fleet.
+        """
+        return self._retry_or_park(
+            lease.path, lease.job.id, lease.owner, error, max_attempts
+        )
+
+    def ack(
+        self,
+        lease: Lease,
+        state: str,
+        duration_s: float | None = None,
+    ) -> None:
+        """Record completion and release the lease.
+
+        ``state`` is ``simulated`` or ``store_hit`` (the executor's
+        ground truth), matching the sweep-manifest vocabulary.
+        """
+        _write_json(
+            self.done_dir / f"{lease.job.id}.json",
+            {
+                **dataclasses.asdict(lease.job),
+                "owner": lease.owner,
+                "state": state,
+                "duration_s": duration_s,
+            },
+        )
+        # Done record first, lease unlink second: a crash in between
+        # leaves a stale lease the scavenger discards (done wins),
+        # never a lost result.
+        lease.path.unlink(missing_ok=True)
+
+    def requeue_expired(
+        self,
+        now: float | None = None,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    ) -> list[str]:
+        """Return expired leases to ``pending/``; returns their ids.
+
+        A lease is expired when its owner's heartbeat deadline has
+        passed or the heartbeat file is missing/unreadable.  Leases
+        whose job already has a done record are discarded instead.
+        Expiry consumes the same attempts budget as execution failures
+        — a job that kills its worker outright (OOM, power loss) parks
+        as an error record after ``max_attempts`` rather than
+        crash-looping the fleet forever.  (If the presumed-dead owner
+        does finish, its ``ack`` overwrites the error record: a real
+        result always wins.)
+        """
+        now = time.time() if now is None else now
+        requeued: list[str] = []
+        for lease_path in _live_entries(self.leases_dir):
+            identifier, sep, owner = lease_path.name.partition(
+                _LEASE_SEPARATOR
+            )
+            if not sep:
+                continue  # not a lease file
+            if (self.done_dir / f"{identifier}.json").exists():
+                lease_path.unlink(missing_ok=True)
+                continue
+            heartbeat = _read_json(self.heartbeats_dir / f"{owner}.json")
+            deadline = (
+                float(heartbeat["deadline"])
+                if heartbeat and "deadline" in heartbeat
+                else float("-inf")
+            )
+            if deadline >= now:
+                continue
+            outcome = self._retry_or_park(
+                lease_path,
+                identifier,
+                owner,
+                f"lease expired (worker {owner} presumed dead)",
+                max_attempts,
+            )
+            if outcome == "requeued":
+                requeued.append(identifier)
+        return requeued
+
+    # -- introspection ------------------------------------------------
+
+    def jobs(self) -> list[QueueJob]:
+        """Every job ever enqueued, sorted by id."""
+        records = []
+        for path in sorted(self.jobs_dir.glob("*.json")):
+            record = _read_json(path)
+            if record is None:
+                continue
+            records.append(
+                QueueJob(
+                    id=record["id"],
+                    scenario=record["scenario"],
+                    method=record["method"],
+                    seed=int(record["seed"]),
+                    key=record["key"],
+                )
+            )
+        return records
+
+    def done_records(self) -> list[dict]:
+        """Every completion record, sorted by job id."""
+        records = []
+        for path in sorted(self.done_dir.glob("*.json")):
+            record = _read_json(path)
+            if record is not None:
+                records.append(record)
+        return records
+
+    def heartbeats(self) -> list[dict]:
+        """Every worker heartbeat on record, sorted by owner."""
+        records = []
+        for path in sorted(self.heartbeats_dir.glob("*.json")):
+            record = _read_json(path)
+            if record is not None:
+                records.append(record)
+        return records
+
+    def lease_owners(self) -> dict[str, int]:
+        """owner → number of leases currently held."""
+        owners: dict[str, int] = {}
+        for lease_path in _live_entries(self.leases_dir):
+            _, sep, owner = lease_path.name.partition(_LEASE_SEPARATOR)
+            if sep:
+                owners[owner] = owners.get(owner, 0) + 1
+        return owners
+
+    def counts(self) -> QueueCounts:
+        return QueueCounts(
+            jobs=sum(1 for _ in self.jobs_dir.glob("*.json")),
+            pending=len(_live_entries(self.pending_dir)),
+            leased=len(_live_entries(self.leases_dir)),
+            done=sum(1 for _ in self.done_dir.glob("*.json")),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        counts = self.counts()
+        return (
+            f"WorkQueue(root={str(self.root)!r}, name={self.name!r}, "
+            f"pending={counts.pending}, leased={counts.leased}, "
+            f"done={counts.done})"
+        )

@@ -1,0 +1,350 @@
+"""The worker daemon: lease → simulate → ack, until drained or told to
+stop.
+
+``QueueWorker.run`` is the whole daemon: it scavenges expired leases,
+claims one job at a time, routes it through the configured
+:class:`~repro.experiments.executor.ExperimentExecutor` (so a job whose
+result already sits in the shared :class:`ResultStore` is a store hit,
+not a re-simulation), acks it, and repeats.  A background thread renews
+the worker's heartbeat for the whole session, so a lease never expires
+under a live worker no matter how long one simulation takes.
+
+When the queue looks empty the worker first gives the adaptive
+controller (if the queue was initialised with one) a chance to extend
+scenarios whose confidence intervals are still wide; only when the
+queue is drained *and* the controller declines does the worker exit —
+unless ``wait=True`` keeps it polling as a standing daemon.
+
+On exit the worker writes a *worker manifest* into the store's
+``manifests/`` directory — same format, vocabulary, and identity
+scheme as the static-shard manifests of
+:class:`~repro.sweeps.runner.SweepRunner`, with worker identity in
+place of shard coordinates — so ``repro sweep status`` and the
+aggregation layer treat queue-produced stores exactly like shard
+produced ones.
+
+SIGTERM/SIGINT (when handlers are installed, as the CLI does) request a
+graceful drain: the in-flight job finishes and is acked, the manifest
+is written, and the loop exits.  A worker killed harder than that loses
+only its leases, which the TTL scavenger returns to the queue.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import signal
+import socket
+import threading
+import time
+import uuid
+from pathlib import Path
+
+from repro.experiments.executor import (
+    ExperimentExecutor,
+    SimulationJob,
+    get_default_executor,
+)
+from repro.scheduler.adaptive import AdaptiveController
+from repro.scheduler.queue import (
+    DEFAULT_MAX_ATTEMPTS,
+    WorkQueue,
+    sanitize_owner,
+)
+from repro.simulation.engine import ENGINE_VERSION
+from repro.sweeps.runner import environment_hash, write_manifest
+
+__all__ = ["QueueWorker", "WorkerReport", "default_owner_id"]
+
+#: Default lease TTL in seconds.  Generous relative to the heartbeat
+#: interval (ttl / 3), so only a genuinely dead worker expires.
+DEFAULT_TTL = 60.0
+
+
+def default_owner_id() -> str:
+    """A process-unique worker id: host, pid, and a random tail."""
+    return f"{socket.gethostname()}-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkerReport:
+    """What one worker session did.
+
+    ``failed`` counts executions that raised; each such job was either
+    requeued for another attempt or — once its attempts budget ran out
+    — parked as a ``done/`` error record, never crash-looped.
+    """
+
+    owner: str
+    processed: int
+    simulated: int
+    store_hits: int
+    failed: int
+    requeued: int
+    manifest_path: Path | None
+    stopped_by_signal: bool
+
+
+class _Heartbeater(threading.Thread):
+    """Renews one owner's heartbeat every ``ttl / 3`` seconds."""
+
+    def __init__(self, queue: WorkQueue, owner: str, ttl: float) -> None:
+        super().__init__(daemon=True, name=f"heartbeat-{owner}")
+        self._queue = queue
+        self._owner = owner
+        self._ttl = ttl
+        # NB: not "_stop" — threading.Thread uses that name internally.
+        self._halt = threading.Event()
+
+    def run(self) -> None:
+        while not self._halt.wait(self._ttl / 3.0):
+            try:
+                self._queue.heartbeat(self._owner, self._ttl)
+            except OSError:  # pragma: no cover - transient FS hiccup
+                pass
+
+    def stop(self) -> None:
+        self._halt.set()
+
+
+class QueueWorker:
+    """Drains a :class:`WorkQueue` through an experiment executor.
+
+    Parameters
+    ----------
+    queue:
+        The queue to drain.
+    executor:
+        Executor to run jobs through; ``None`` uses the process-wide
+        default.  Must have a store — the queue's dedupe and resume
+        guarantees live there.
+    owner:
+        Worker id recorded in leases, heartbeats, and the manifest;
+        defaults to :func:`default_owner_id`.
+    ttl:
+        Lease time-to-live in seconds; the heartbeat renews at
+        ``ttl / 3``.
+    poll_interval:
+        Sleep between queue checks while other workers still hold
+        leases (their completion may unlock adaptive extensions).
+    max_jobs:
+        Stop after processing this many jobs (``None`` = unbounded).
+    wait:
+        Keep polling after the queue drains instead of exiting —
+        standing-daemon mode for long-lived shared queues.
+    max_attempts:
+        Attempts budget per job (claims after requeues/failures)
+        before it is parked as an error record instead of retried.
+    """
+
+    def __init__(
+        self,
+        queue: WorkQueue,
+        executor: ExperimentExecutor | None = None,
+        owner: str | None = None,
+        ttl: float = DEFAULT_TTL,
+        poll_interval: float = 0.5,
+        max_jobs: int | None = None,
+        wait: bool = False,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    ) -> None:
+        self.queue = queue
+        self._executor = executor
+        # One owner spelling everywhere: leases, heartbeats, done
+        # records, and the manifest filename all use the sanitised id.
+        self.owner = sanitize_owner(
+            owner if owner is not None else default_owner_id()
+        )
+        if ttl <= 0:
+            raise ValueError(f"ttl must be positive, got {ttl}")
+        self.ttl = float(ttl)
+        self.poll_interval = float(poll_interval)
+        self.max_jobs = max_jobs
+        self.wait = wait
+        if max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {max_attempts}"
+            )
+        self.max_attempts = int(max_attempts)
+        self._stop_requested = False
+
+    @property
+    def executor(self) -> ExperimentExecutor:
+        return (
+            self._executor
+            if self._executor is not None
+            else get_default_executor()
+        )
+
+    def request_stop(self) -> None:
+        """Ask the loop to drain gracefully after the in-flight job."""
+        self._stop_requested = True
+
+    # -- the daemon loop ----------------------------------------------
+
+    def run(self, install_signal_handlers: bool = False) -> WorkerReport:
+        """Drain the queue; returns a report of this session's work."""
+        executor = self.executor
+        if executor.store is None:
+            raise ValueError(
+                "queue workers need an executor with a result store "
+                "(pass --cache-dir or set $REPRO_CACHE_DIR): the store "
+                "is what makes at-least-once execution safe"
+            )
+        controller: AdaptiveController | None = None
+        if self.queue.adaptive_payload is not None:
+            controller = AdaptiveController(self.queue, executor.store)
+
+        previous_handlers: list[tuple[int, object]] = []
+        if install_signal_handlers:
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                previous_handlers.append(
+                    (signum, signal.getsignal(signum))
+                )
+                signal.signal(
+                    signum, lambda *_: self.request_stop()
+                )
+
+        heartbeater = _Heartbeater(self.queue, self.owner, self.ttl)
+        self.queue.heartbeat(self.owner, self.ttl)
+        heartbeater.start()
+        entries: list[dict] = []
+        requeued = 0
+        failed = 0
+        try:
+            while not self._stop_requested:
+                if (
+                    self.max_jobs is not None
+                    and len(entries) + failed >= self.max_jobs
+                ):
+                    # Failed attempts count against the session budget
+                    # too: a cron-bounded session must not turn one
+                    # poison job into max_attempts extra simulations.
+                    break
+                requeued += len(
+                    self.queue.requeue_expired(
+                        max_attempts=self.max_attempts
+                    )
+                )
+                lease = self.queue.claim(
+                    self.owner, self.ttl, max_attempts=self.max_attempts
+                )
+                if lease is None:
+                    if controller is not None:
+                        decisions = controller.step()
+                        if controller.enqueued(decisions):
+                            continue
+                    if self.queue.counts().drained and not self.wait:
+                        break
+                    # Someone else's leases (or wait mode): their
+                    # completion may unlock adaptive extensions, so
+                    # poll rather than exit.
+                    time.sleep(self.poll_interval)
+                    continue
+                job = lease.job
+                started = time.monotonic()
+                try:
+                    [(_, store_hit)] = executor.run_detailed(
+                        [
+                            SimulationJob(
+                                self.queue.config_for(job.scenario),
+                                job.method,
+                                job.seed,
+                            )
+                        ]
+                    )
+                except Exception as error:  # noqa: BLE001 - poison job
+                    # A job whose execution raises (corrupt store read,
+                    # engine assertion, dead pool child) must not kill
+                    # the worker: requeue it within its attempts budget
+                    # or park it as an error record, then move on.
+                    failed += 1
+                    self.queue.fail(
+                        lease,
+                        f"{type(error).__name__}: {error}",
+                        max_attempts=self.max_attempts,
+                    )
+                    continue
+                state = "store_hit" if store_hit else "simulated"
+                self.queue.ack(
+                    lease, state, duration_s=time.monotonic() - started
+                )
+                entries.append(
+                    {
+                        "scenario": job.scenario,
+                        "method": job.method,
+                        "seed": job.seed,
+                        "key": job.key,
+                        "state": state,
+                    }
+                )
+        finally:
+            heartbeater.stop()
+            heartbeater.join(timeout=5.0)
+            # Retire the heartbeat so status stops counting this
+            # worker as alive the moment the session ends.  A
+            # concurrent session sharing our --owner may be
+            # mid-simulation; if one holds a lease after the unlink we
+            # lost that race — restore the liveness immediately (its
+            # own heartbeater keeps renewing from there).  A claim that
+            # lands after this re-check writes its own fresh heartbeat,
+            # so no interleaving leaves a live lease uncovered.
+            self.queue.retire(self.owner)
+            if self.queue.lease_owners().get(self.owner):
+                self.queue.heartbeat(self.owner, self.ttl)
+            for signum, handler in previous_handlers:
+                signal.signal(signum, handler)
+
+        manifest_path = (
+            write_worker_manifest(
+                executor.store.root,
+                self.queue,
+                self.owner,
+                entries,
+                session=uuid.uuid4().hex[:8],
+            )
+            if entries
+            else None
+        )
+        return WorkerReport(
+            owner=self.owner,
+            processed=len(entries),
+            simulated=sum(
+                1 for e in entries if e["state"] == "simulated"
+            ),
+            store_hits=sum(
+                1 for e in entries if e["state"] == "store_hit"
+            ),
+            failed=failed,
+            requeued=requeued,
+            manifest_path=manifest_path,
+            stopped_by_signal=self._stop_requested,
+        )
+
+
+def write_worker_manifest(
+    store_root: Path,
+    queue: WorkQueue,
+    owner: str,
+    entries: list[dict],
+    session: str = "0",
+) -> Path:
+    """Record one worker session in the store's manifest directory.
+
+    Routed through the sweep layer's single manifest writer, with
+    ``worker``/``queue`` fields in place of shard coordinates —
+    ``repro sweep status`` reads both kinds with one parser.
+    ``session`` keeps the filename unique per worker *session*: a cron
+    job re-running ``queue work`` under a fixed ``--owner`` must append
+    a new manifest, not overwrite the last one.
+    """
+    owner = sanitize_owner(owner)
+    spec = queue.spec
+    return write_manifest(
+        store_root,
+        spec,
+        environment_hash(spec),
+        {"worker": owner, "queue": str(queue.root)},
+        f"worker-{owner}.{sanitize_owner(session)}",
+        entries,
+    )

@@ -23,8 +23,10 @@ CLI surface: ``python -m repro sweep run|status|merge|report``.
 from repro.sweeps.aggregate import (
     MergeReport,
     ScenarioMethodSummary,
+    ci_halfwidth,
     format_sweep_table,
     merge_stores,
+    summarize_cell,
     sweep_summary,
 )
 from repro.sweeps.runner import (
@@ -32,6 +34,7 @@ from repro.sweeps.runner import (
     SweepRunner,
     load_manifests,
     manifest_directory,
+    manifest_status,
 )
 from repro.sweeps.scenarios import (
     SCALES,
@@ -51,10 +54,13 @@ __all__ = [
     "SweepRunner",
     "SweepSpec",
     "available_scenarios",
+    "ci_halfwidth",
     "format_sweep_table",
     "load_manifests",
     "manifest_directory",
+    "manifest_status",
     "merge_stores",
     "scenario_catalog",
+    "summarize_cell",
     "sweep_summary",
 ]

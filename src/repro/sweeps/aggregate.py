@@ -21,7 +21,9 @@ Two halves:
 from __future__ import annotations
 
 import dataclasses
+import math
 import shutil
+import warnings
 from collections.abc import Sequence
 from pathlib import Path
 
@@ -36,13 +38,38 @@ from repro.sweeps.spec import SweepSpec
 __all__ = [
     "MergeReport",
     "ScenarioMethodSummary",
+    "ci_halfwidth",
     "format_sweep_table",
     "merge_stores",
+    "summarize_cell",
     "sweep_summary",
 ]
 
 #: The quantiles summary rows report across the repetition seeds.
 SUMMARY_QUANTILES = (0.5, 0.9)
+
+#: Normal-approximation z for the 95 % confidence intervals the summary
+#: (and the adaptive seeding controller) report.
+_CI_Z = 1.96
+
+
+def ci_halfwidth(values: Sequence[float]) -> float:
+    """95 % confidence-interval half-width of a mean across seeds.
+
+    Normal approximation: ``z * s / sqrt(n)`` with the sample standard
+    deviation (``ddof=1``).  NaN inputs are dropped; with fewer than
+    two usable values the half-width is *undefined* and NaN is
+    returned — callers must treat that as "no statement", not as zero
+    (a single seed is never evidence of convergence).
+    """
+    usable = np.asarray(
+        [v for v in values if not math.isnan(v)], dtype=float
+    )
+    if usable.size < 2:
+        return float("nan")
+    return float(
+        _CI_Z * usable.std(ddof=1) / math.sqrt(usable.size)
+    )
 
 
 @dataclasses.dataclass(frozen=True)
@@ -135,7 +162,9 @@ class ScenarioMethodSummary:
     Response-time quantiles are over the per-seed post-warmup means;
     departure fractions are across-seed means (in [0, 1]); satisfaction
     is the across-seed mean of the final provider intention-based
-    satisfaction sample.
+    satisfaction sample.  ``response_time_ci_halfwidth`` is the 95 % CI
+    half-width across seeds — NaN (rendered ``--``) when fewer than two
+    seeds make it undefined.
     """
 
     scenario: str
@@ -143,35 +172,51 @@ class ScenarioMethodSummary:
     seeds: int
     response_time_mean: float
     response_time_quantiles: dict[float, float]
+    response_time_ci_halfwidth: float
     provider_departure_fraction: float
     consumer_departure_fraction: float
     provider_satisfaction: float
 
 
-def _summarize(
+def summarize_cell(
     scenario: str, averages: MethodAverages
 ) -> ScenarioMethodSummary:
+    """Distributional summary of one (scenario, method) cell.
+
+    Single-seed cells are first-class: quantiles degenerate to the one
+    value, the CI half-width is NaN (undefined, not zero), and no
+    runtime warnings escape — an all-NaN metric (e.g. a run with no
+    post-warmup queries) is an expected outcome, not an accident.
+    """
     per_seed = np.asarray(
         [r.response_time_post_warmup for r in averages.results]
     )
-    with np.errstate(invalid="ignore"):
+    with np.errstate(invalid="ignore"), warnings.catch_warnings():
+        warnings.filterwarnings(
+            "ignore", "All-NaN slice encountered", RuntimeWarning
+        )
+        warnings.filterwarnings(
+            "ignore", "Mean of empty slice", RuntimeWarning
+        )
         quantiles = {
             q: float(np.nanquantile(per_seed, q)) for q in SUMMARY_QUANTILES
         }
-    final_satisfaction = float(
-        np.nanmean(
-            [
-                r.series("provider_intention_satisfaction_mean")[-1]
-                for r in averages.results
-            ]
+        final_satisfaction = float(
+            np.nanmean(
+                [
+                    r.series("provider_intention_satisfaction_mean")[-1]
+                    for r in averages.results
+                ]
+            )
         )
-    )
+        response_time_mean = averages.response_time()
     return ScenarioMethodSummary(
         scenario=scenario,
         method=averages.method,
         seeds=len(averages.results),
-        response_time_mean=averages.response_time(),
+        response_time_mean=response_time_mean,
         response_time_quantiles=quantiles,
+        response_time_ci_halfwidth=ci_halfwidth(per_seed.tolist()),
         provider_departure_fraction=averages.provider_departure_fraction(),
         consumer_departure_fraction=averages.consumer_departure_fraction(),
         provider_satisfaction=final_satisfaction,
@@ -207,18 +252,23 @@ def sweep_summary(
                 method=method,
                 results=tuple(by_cell[(scenario, method)]),
             )
-            summaries.append(_summarize(scenario, averages))
+            summaries.append(summarize_cell(scenario, averages))
     return summaries
 
 
 def format_sweep_table(summaries: Sequence[ScenarioMethodSummary]) -> str:
-    """Fixed-width table: one row per (scenario, method)."""
+    """Fixed-width table: one row per (scenario, method).
+
+    The CI column prints ``--`` when the half-width is undefined (a
+    single-seed cell), never ``nan``.
+    """
     quantile_headers = [
         f"rt_p{int(round(q * 100)):02d}(s)" for q in SUMMARY_QUANTILES
     ]
     header = (
         f"{'scenario':<30} {'method':<10} {'seeds':>5} {'rt_mean(s)':>10} "
         + " ".join(f"{h:>10}" for h in quantile_headers)
+        + f" {'rt_ci95(s)':>10}"
         + f" {'prov_dep%':>9} {'cons_dep%':>9} {'prov_sat':>8}"
     )
     lines = ["# sweep summary (means and quantiles across seeds)", header]
@@ -227,9 +277,12 @@ def format_sweep_table(summaries: Sequence[ScenarioMethodSummary]) -> str:
             f"{row.response_time_quantiles[q]:>10.2f}"
             for q in SUMMARY_QUANTILES
         )
+        ci = row.response_time_ci_halfwidth
+        ci_cell = f"{'--':>10}" if math.isnan(ci) else f"{ci:>10.2f}"
         lines.append(
             f"{row.scenario:<30} {row.method:<10} {row.seeds:>5} "
             f"{row.response_time_mean:>10.2f} {quantile_cells} "
+            f"{ci_cell} "
             f"{100.0 * row.provider_departure_fraction:>9.1f} "
             f"{100.0 * row.consumer_departure_fraction:>9.1f} "
             f"{row.provider_satisfaction:>8.3f}"

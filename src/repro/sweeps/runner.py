@@ -37,11 +37,14 @@ from repro.sweeps.spec import SweepSpec
 
 __all__ = [
     "MANIFEST_DIR_NAME",
+    "MANIFEST_FORMAT",
     "ShardReport",
     "SweepRunner",
     "environment_hash",
     "load_manifests",
     "manifest_directory",
+    "manifest_status",
+    "write_manifest",
 ]
 
 
@@ -68,8 +71,9 @@ def environment_hash(
 #: only globs top-level files, so manifests never collide with entries.
 MANIFEST_DIR_NAME = "manifests"
 
-#: Bump when the manifest JSON schema changes incompatibly.
-_MANIFEST_FORMAT = 1
+#: Bump when the manifest JSON schema changes incompatibly.  Shared
+#: with the scheduler's worker manifests, which use the same format.
+MANIFEST_FORMAT = 1
 
 
 def manifest_directory(store_root: Path | str) -> Path:
@@ -184,28 +188,49 @@ class SweepRunner:
         shard_count: int,
         entries: list[dict],
     ) -> Path:
-        directory = manifest_directory(store_root)
-        directory.mkdir(parents=True, exist_ok=True)
-        manifest = {
-            "format": _MANIFEST_FORMAT,
-            "sweep": spec.name,
-            "spec": spec.payload(),
-            "spec_hash": spec.spec_hash(),
-            "environment_hash": env_hash,
-            "engine_version": ENGINE_VERSION,
-            "shard_index": shard_index,
-            "shard_count": shard_count,
-            "completed": True,
-            "jobs": entries,
-        }
-        path = directory / (
-            f"{spec.spec_hash()}.{env_hash}"
-            f".shard{shard_index:04d}of{shard_count:04d}.json"
+        return write_manifest(
+            store_root,
+            spec,
+            env_hash,
+            {"shard_index": shard_index, "shard_count": shard_count},
+            f"shard{shard_index:04d}of{shard_count:04d}",
+            entries,
         )
-        _atomic_write_bytes(
-            path, json.dumps(manifest, sort_keys=True, indent=1).encode("utf-8")
-        )
-        return path
+
+
+def write_manifest(
+    store_root: Path,
+    spec: SweepSpec,
+    env_hash: str,
+    identity: dict,
+    name_suffix: str,
+    entries: list[dict],
+) -> Path:
+    """The one manifest writer: schema, filename scheme, atomic write.
+
+    Shard manifests pass shard coordinates in ``identity``; the
+    scheduler's worker manifests pass ``worker``/``queue`` fields.
+    Sharing the writer is what keeps the two manifest kinds one format
+    — a schema change lands in both or neither.
+    """
+    directory = manifest_directory(store_root)
+    directory.mkdir(parents=True, exist_ok=True)
+    manifest = {
+        "format": MANIFEST_FORMAT,
+        "sweep": spec.name,
+        "spec": spec.payload(),
+        "spec_hash": spec.spec_hash(),
+        "environment_hash": env_hash,
+        "engine_version": ENGINE_VERSION,
+        "completed": True,
+        "jobs": entries,
+        **identity,
+    }
+    path = directory / f"{spec.spec_hash()}.{env_hash}.{name_suffix}.json"
+    _atomic_write_bytes(
+        path, json.dumps(manifest, sort_keys=True, indent=1).encode("utf-8")
+    )
+    return path
 
 
 def load_manifests(store_root: Path | str) -> list[dict]:
@@ -225,8 +250,39 @@ def load_manifests(store_root: Path | str) -> list[dict]:
             continue
         if not isinstance(manifest, dict) or "jobs" not in manifest:
             continue
-        if manifest.get("format") != _MANIFEST_FORMAT:
+        if manifest.get("format") != MANIFEST_FORMAT:
             continue
         manifest["path"] = str(path)
         manifests.append(manifest)
     return manifests
+
+
+def manifest_status(manifests: list[dict]) -> list[dict]:
+    """Per-manifest counts as plain JSON-ready rows.
+
+    The single parser behind both ``repro sweep status`` (table and
+    ``--json``) and the scheduler's monitor, so the CLI, CI assertions,
+    and the queue tooling all read one schema.  ``shard_index`` /
+    ``shard_count`` are ``None`` for worker manifests (which carry
+    ``worker`` instead), and vice versa.
+    """
+    rows = []
+    for manifest in manifests:
+        states = [job["state"] for job in manifest["jobs"]]
+        engine = manifest.get("engine_version")
+        rows.append(
+            {
+                "sweep": manifest.get("sweep"),
+                "spec_hash": manifest.get("spec_hash"),
+                "shard_index": manifest.get("shard_index"),
+                "shard_count": manifest.get("shard_count"),
+                "worker": manifest.get("worker"),
+                "jobs": len(states),
+                "simulated": states.count("simulated"),
+                "store_hits": states.count("store_hit"),
+                "engine_version": engine,
+                "stale": engine != ENGINE_VERSION,
+                "path": manifest.get("path"),
+            }
+        )
+    return rows

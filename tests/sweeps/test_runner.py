@@ -270,3 +270,100 @@ class TestMergeAndReport:
         table = format_sweep_table(summaries)
         assert "rt_p50(s)" in table and "rt_p90(s)" in table
         assert "flash_crowd" in table
+
+
+class TestManifestStatus:
+    def test_shared_parser_counts_shard_manifests(self, tmp_path):
+        from repro.sweeps.runner import manifest_status
+
+        runner = SweepRunner(executor_for(tmp_path))
+        runner.run_shard(spec(), 1, 2, base=fast_base())
+        [row] = manifest_status(load_manifests(tmp_path))
+        assert row["sweep"] == "unit"
+        assert row["spec_hash"] == spec().spec_hash()
+        assert row["shard_index"] == 1
+        assert row["shard_count"] == 2
+        assert row["worker"] is None
+        assert row["jobs"] == 4
+        assert row["simulated"] == 4
+        assert row["store_hits"] == 0
+        assert row["engine_version"] == ENGINE_VERSION
+        assert not row["stale"]
+        assert row["path"].endswith(".json")
+
+    def test_stale_engine_is_flagged(self, tmp_path):
+        from repro.sweeps.runner import manifest_status
+
+        runner = SweepRunner(executor_for(tmp_path))
+        report = runner.run_shard(spec(), 0, 2, base=fast_base())
+        manifest = json.loads(report.manifest_path.read_text())
+        manifest["engine_version"] = "0-ancient"
+        report.manifest_path.write_text(json.dumps(manifest))
+        [row] = manifest_status(load_manifests(tmp_path))
+        assert row["stale"]
+
+
+class TestSingleSeedSummary:
+    def test_single_seed_reports_without_warnings(self, tmp_path):
+        """Satellite: one seed ⇒ p50/p90 defined, CI undefined (not
+        NaN-printed, not crashed), and zero runtime warnings."""
+        import math
+        import warnings
+
+        single = SweepSpec(
+            name="single",
+            scenarios=("captive_fixed_80",),
+            methods=("capacity",),
+            seeds=(1,),
+            scale="tiny",
+        )
+        executor = executor_for(tmp_path)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            [row] = sweep_summary(single, executor=executor, base=fast_base())
+            table = format_sweep_table([row])
+        assert row.seeds == 1
+        assert row.response_time_quantiles[0.5] == pytest.approx(
+            row.response_time_mean
+        )
+        assert row.response_time_quantiles[0.9] == pytest.approx(
+            row.response_time_mean
+        )
+        assert math.isnan(row.response_time_ci_halfwidth)
+        assert "--" in table
+        assert "nan" not in table
+
+    def test_multi_seed_ci_is_defined(self, tmp_path):
+        import math
+
+        executor = executor_for(tmp_path)
+        summaries = sweep_summary(spec(), executor=executor, base=fast_base())
+        for row in summaries:
+            assert row.seeds == 2
+            assert not math.isnan(row.response_time_ci_halfwidth)
+            assert row.response_time_ci_halfwidth >= 0.0
+        assert "rt_ci95(s)" in format_sweep_table(summaries)
+
+
+class TestCiHalfwidth:
+    def test_known_value(self):
+        from repro.sweeps.aggregate import ci_halfwidth
+
+        # std(ddof=1) of (1, 3) is sqrt(2); 1.96 * sqrt(2) / sqrt(2).
+        assert ci_halfwidth([1.0, 3.0]) == pytest.approx(1.96)
+
+    def test_undefined_below_two_usable_values(self):
+        import math
+
+        from repro.sweeps.aggregate import ci_halfwidth
+
+        assert math.isnan(ci_halfwidth([]))
+        assert math.isnan(ci_halfwidth([2.5]))
+        assert math.isnan(ci_halfwidth([2.5, float("nan")]))
+
+    def test_nan_values_are_dropped(self):
+        from repro.sweeps.aggregate import ci_halfwidth
+
+        assert ci_halfwidth(
+            [1.0, 3.0, float("nan")]
+        ) == pytest.approx(1.96)

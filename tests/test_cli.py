@@ -230,3 +230,193 @@ class TestSweepCommands:
             capsys, "sweep", "status", "--cache-dir", str(tmp_path)
         )
         assert "no sweep manifests" in out
+
+
+class TestQueueParser:
+    def test_init_defaults(self):
+        args = build_parser().parse_args(
+            ["queue", "init", "--queue-dir", "q"]
+        )
+        assert args.queue_command == "init"
+        assert not args.adaptive
+        assert args.ci_threshold == 0.5
+        assert args.max_seeds == len(PAPER_SEEDS)
+        assert args.seed_batch == 2
+
+    def test_work_defaults(self):
+        args = build_parser().parse_args(
+            ["queue", "work", "--queue-dir", "q"]
+        )
+        assert args.ttl == 60.0
+        assert args.poll == 0.5
+        assert args.max_jobs is None
+        assert not args.wait
+        assert args.owner is None
+
+    def test_queue_dir_is_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["queue", "work"])
+
+    @pytest.mark.parametrize(
+        "flags",
+        [
+            ["queue", "work", "--queue-dir", "q", "--ttl", "0"],
+            ["queue", "work", "--queue-dir", "q", "--ttl", "-5"],
+            ["queue", "work", "--queue-dir", "q", "--max-jobs", "0"],
+            ["queue", "init", "--queue-dir", "q", "--ci-threshold", "-1"],
+            ["queue", "init", "--queue-dir", "q", "--seed-batch", "0"],
+        ],
+    )
+    def test_rejects_non_positive_knobs(self, flags):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(flags)
+
+    def test_sweep_status_json_flag(self):
+        args = build_parser().parse_args(["sweep", "status", "--json"])
+        assert args.json
+
+
+QUEUE_SPEC_FLAGS = [
+    "--scenarios",
+    "captive_fixed_80",
+    "--methods",
+    "sqlb",
+    "capacity",
+    "--seeds",
+    "1",
+    "--scale",
+    "tiny",
+    "--name",
+    "queue-e2e",
+]
+
+
+class TestQueueCommands:
+    def _run(self, capsys, *argv: str) -> str:
+        assert main(list(argv)) == 0
+        return capsys.readouterr().out
+
+    def test_work_requires_a_store(self, tmp_path, capsys):
+        queue_dir = str(tmp_path / "q")
+        self._run(
+            capsys, "queue", "init", "--queue-dir", queue_dir,
+            *QUEUE_SPEC_FLAGS,
+        )
+        with pytest.raises(SystemExit, match="cache-dir"):
+            main(
+                ["queue", "work", "--queue-dir", queue_dir, "--no-cache"]
+            )
+
+    def test_commands_reject_a_missing_queue(self, tmp_path):
+        for command in (
+            ["queue", "status", "--queue-dir", str(tmp_path / "none")],
+            ["queue", "report", "--queue-dir", str(tmp_path / "none"),
+             "--cache-dir", str(tmp_path / "store")],
+        ):
+            with pytest.raises(SystemExit, match="queue init"):
+                main(command)
+
+    def test_report_requires_a_store(self, tmp_path):
+        with pytest.raises(SystemExit, match="no-cache"):
+            main(
+                ["queue", "report", "--queue-dir", str(tmp_path / "q"),
+                 "--no-cache"]
+            )
+        with pytest.raises(SystemExit, match="cache-dir"):
+            main(
+                ["queue", "report", "--queue-dir", str(tmp_path / "q")]
+            )
+
+    def test_init_refuses_a_second_init(self, tmp_path, capsys):
+        queue_dir = str(tmp_path / "q")
+        self._run(
+            capsys, "queue", "init", "--queue-dir", queue_dir,
+            *QUEUE_SPEC_FLAGS,
+        )
+        with pytest.raises(SystemExit, match="already initialised"):
+            main(
+                ["queue", "init", "--queue-dir", queue_dir,
+                 *QUEUE_SPEC_FLAGS]
+            )
+
+    @pytest.mark.parametrize("max_seeds", ["2", "3"])
+    def test_adaptive_max_seeds_needs_headroom(self, tmp_path, max_seeds):
+        """Below *or equal to* the initial seed count, adaptive seeding
+        could never add a seed — init must refuse, not no-op."""
+        with pytest.raises(SystemExit, match="headroom"):
+            main(
+                ["queue", "init", "--queue-dir", str(tmp_path / "q"),
+                 "--scenarios", "captive_fixed_80", "--methods", "sqlb",
+                 "--seeds", "1", "2", "3", "--scale", "tiny",
+                 "--adaptive", "--max-seeds", max_seeds]
+            )
+
+    def test_init_work_status_report_round_trip(self, tmp_path, capsys):
+        """End-to-end: init, drain with two sequential bounded workers,
+        JSON status, report — and the queue-produced store satisfies the
+        static sweep report byte-identically."""
+        import json as jsonlib
+
+        queue_dir = str(tmp_path / "q")
+        store = str(tmp_path / "store")
+
+        out = self._run(
+            capsys, "queue", "init", "--queue-dir", queue_dir,
+            *QUEUE_SPEC_FLAGS,
+        )
+        assert "jobs enqueued: 2" in out
+
+        first = self._run(
+            capsys, "queue", "work", "--queue-dir", queue_dir,
+            "--cache-dir", store, "--max-jobs", "1", "--owner", "one",
+        )
+        assert "processed: 1" in first
+        second = self._run(
+            capsys, "queue", "work", "--queue-dir", queue_dir,
+            "--cache-dir", store, "--owner", "two",
+        )
+        assert "processed: 1" in second
+
+        status = jsonlib.loads(
+            self._run(
+                capsys, "queue", "status", "--queue-dir", queue_dir,
+                "--cache-dir", store, "--json",
+            )
+        )
+        assert status["drained"]
+        assert status["counts"]["done"] == 2
+        assert sum(m["jobs"] for m in status["manifests"]) == 2
+
+        report = self._run(
+            capsys, "queue", "report", "--queue-dir", queue_dir,
+            "--cache-dir", store,
+        )
+        assert "queue-e2e" in report
+        assert "captive_fixed_80" in report
+
+        # The store the queue produced answers the static sweep report
+        # with zero new simulations and identical bytes.
+        queue_sweep_report = self._run(
+            capsys, "sweep", "report", *QUEUE_SPEC_FLAGS,
+            "--cache-dir", store,
+        )
+        reference = str(tmp_path / "reference")
+        self._run(
+            capsys, "sweep", "run", *QUEUE_SPEC_FLAGS,
+            "--cache-dir", reference,
+        )
+        reference_report = self._run(
+            capsys, "sweep", "report", *QUEUE_SPEC_FLAGS,
+            "--cache-dir", reference,
+        )
+        assert queue_sweep_report == reference_report
+
+        # sweep status --json over the queue store: the shared parser
+        # sees the two worker manifests.
+        sweep_status = jsonlib.loads(
+            self._run(
+                capsys, "sweep", "status", "--cache-dir", store, "--json"
+            )
+        )
+        workers = {m["worker"] for m in sweep_status["manifests"]}
+        assert workers == {"one", "two"}
