@@ -38,6 +38,15 @@ from repro.experiments.harness import (
     run_method_family,
     run_repeated,
 )
+from repro.analysis import (
+    FIGURE_CATALOG,
+    available_metrics,
+    cell_band,
+    cells_from_store,
+    compare_stores,
+    get_metric,
+    render_catalog,
+)
 from repro.experiments.store import ResultStore, cache_key
 from repro.sweeps import (
     Scenario,
@@ -81,6 +90,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "DEFAULT_SEEDS",
+    "FIGURE_CATALOG",
     "PAPER_METHODS",
     "PAPER_SEEDS",
     "AllocationMethod",
@@ -105,14 +115,19 @@ __all__ = [
     "SweepSpec",
     "WorkloadSpec",
     "allocate_query",
+    "available_metrics",
     "available_scenarios",
     "build_method",
     "cache_key",
+    "cell_band",
+    "cells_from_store",
+    "compare_stores",
     "configure_default_executor",
     "consumer_intention",
     "fairness",
     "format_sweep_table",
     "get_default_executor",
+    "get_metric",
     "mean",
     "merge_stores",
     "min_max_ratio",
@@ -120,6 +135,7 @@ __all__ = [
     "paper_config",
     "provider_intention",
     "provider_score",
+    "render_catalog",
     "run_method_family",
     "run_repeated",
     "run_simulation",

@@ -1,0 +1,93 @@
+"""Read-side analysis: stores → series bands, figures, verdicts.
+
+The write side of the system (executor, sweep shards, queue workers)
+fills content-addressed result stores and leaves manifests describing
+what was run.  This package is the matching read side — it never
+simulates anything:
+
+* :mod:`repro.analysis.metrics` — the scalar-metric registry: one
+  name → one number per run, with the worsening direction attached.
+  Shared by summaries, figures, comparison, and the adaptive seeding
+  controller (``--ci-metric``).
+* :mod:`repro.analysis.series` — per-(scenario, method, seed) series
+  extraction through the manifest contract, aligned on the sample
+  grid and aggregated across seeds into mean/p50/p90 bands with 95 %
+  CI half-widths.
+* :mod:`repro.analysis.figures` — the declarative paper-figure
+  catalog, rendered to byte-stable JSON data exports always, and to
+  SVG/PNG when the optional matplotlib backend is installed.
+* :mod:`repro.analysis.compare` — cell-by-cell comparison of two
+  stores with per-metric thresholds and a machine-readable regression
+  verdict (non-zero CLI exit on regression).
+
+CLI surface: ``python -m repro analyze series|figures|compare``, plus
+``repro queue report --figures`` for partially drained queues.
+"""
+
+from repro.analysis.compare import (
+    DEFAULT_COMPARE_METRICS,
+    DEFAULT_THRESHOLD,
+    CellVerdict,
+    CompareReport,
+    compare_stores,
+    format_compare_table,
+)
+from repro.analysis.figures import (
+    FIGURE_CATALOG,
+    FigureSpec,
+    RenderReport,
+    available_figures,
+    figure_payload,
+    matplotlib_available,
+    payload_bytes,
+    render_catalog,
+)
+from repro.analysis.metrics import (
+    SCALAR_METRICS,
+    ScalarMetric,
+    available_metrics,
+    get_metric,
+)
+from repro.analysis.series import (
+    CellRuns,
+    SeriesBand,
+    aggregate_band,
+    band_payload,
+    cell_band,
+    cell_scalars,
+    cells_from_store,
+    extract_cell_series,
+    format_band_table,
+    jsonable,
+)
+
+__all__ = [
+    "DEFAULT_COMPARE_METRICS",
+    "DEFAULT_THRESHOLD",
+    "FIGURE_CATALOG",
+    "SCALAR_METRICS",
+    "CellRuns",
+    "CellVerdict",
+    "CompareReport",
+    "FigureSpec",
+    "RenderReport",
+    "ScalarMetric",
+    "SeriesBand",
+    "aggregate_band",
+    "available_figures",
+    "available_metrics",
+    "band_payload",
+    "cell_band",
+    "cell_scalars",
+    "cells_from_store",
+    "compare_stores",
+    "extract_cell_series",
+    "figure_payload",
+    "format_band_table",
+    "format_compare_table",
+    "get_metric",
+    "jsonable",
+    "matplotlib_available",
+    "payload_bytes",
+    "render_catalog",
+]

@@ -1,0 +1,162 @@
+"""The scalar-metric registry: one name → one number per run.
+
+Every read-side consumer of a result store — sweep summaries, the
+figure catalog's bar/delta figures, cross-store comparison verdicts,
+and the adaptive seeding controller — needs the same small family of
+"one scalar per (config, method, seed) run" extractions: post-warmup
+response time, departure fractions, final satisfaction.  Before this
+module each consumer hand-rolled its own, which is how the adaptive
+controller ended up hard-wired to response time.  The registry does the
+extraction once, with the *direction* (is a larger value better or
+worse?) attached, so comparison and convergence logic never have to
+guess which way a delta points.
+
+Registered metrics are pure functions of a
+:class:`~repro.simulation.engine.SimulationResult`; NaN is a legal
+return (e.g. response time of a run with no post-warmup queries) and
+every consumer must treat it as "no statement".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from collections.abc import Callable
+
+from repro.simulation.engine import SimulationResult
+
+__all__ = [
+    "SCALAR_METRICS",
+    "ScalarMetric",
+    "available_metrics",
+    "get_metric",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class ScalarMetric:
+    """One registered per-run scalar.
+
+    ``higher_is_better`` orients regression checks and convergence
+    reporting: response time worsens upward, satisfaction worsens
+    downward.  ``unit`` is display-only.
+    """
+
+    name: str
+    label: str
+    unit: str
+    higher_is_better: bool
+    extract: Callable[[SimulationResult], float]
+
+    def worsening(self, before: float, after: float) -> float:
+        """Signed worsening of ``after`` relative to ``before``.
+
+        Positive means ``after`` is worse, negative better, in the
+        metric's own units; NaN when either side is NaN.
+        """
+        if math.isnan(before) or math.isnan(after):
+            return float("nan")
+        delta = after - before
+        return -delta if self.higher_is_better else delta
+
+
+def _final_series_sample(name: str) -> Callable[[SimulationResult], float]:
+    def extract(result: SimulationResult) -> float:
+        return float(result.series(name)[-1])
+
+    return extract
+
+
+def _combined_departure_fraction(result: SimulationResult) -> float:
+    """Distinct departed participants over the initial population."""
+    initial = (result.initial_providers or result.config.n_providers) + (
+        result.initial_consumers or result.config.n_consumers
+    )
+    departed = {(d.kind, d.index) for d in result.departures}
+    if not departed:
+        return 0.0
+    return len(departed) / initial
+
+
+def _registry() -> dict[str, ScalarMetric]:
+    metrics = [
+        ScalarMetric(
+            name="response_time_post_warmup",
+            label="response time (post-warmup mean)",
+            unit="s",
+            higher_is_better=False,
+            extract=lambda r: float(r.response_time_post_warmup),
+        ),
+        ScalarMetric(
+            name="response_time_mean",
+            label="response time (whole-run mean)",
+            unit="s",
+            higher_is_better=False,
+            extract=lambda r: float(r.response_time_mean),
+        ),
+        ScalarMetric(
+            name="provider_departure_fraction",
+            label="provider departures / initial providers",
+            unit="fraction",
+            higher_is_better=False,
+            extract=lambda r: float(r.provider_departure_fraction()),
+        ),
+        ScalarMetric(
+            name="consumer_departure_fraction",
+            label="consumer departures / initial consumers",
+            unit="fraction",
+            higher_is_better=False,
+            extract=lambda r: float(r.consumer_departure_fraction()),
+        ),
+        ScalarMetric(
+            name="departure_fraction",
+            label="all departures / initial population",
+            unit="fraction",
+            higher_is_better=False,
+            extract=_combined_departure_fraction,
+        ),
+        ScalarMetric(
+            name="provider_satisfaction",
+            label="final provider satisfaction (intentions)",
+            unit="score",
+            higher_is_better=True,
+            extract=_final_series_sample(
+                "provider_intention_satisfaction_mean"
+            ),
+        ),
+        ScalarMetric(
+            name="consumer_satisfaction",
+            label="final consumer satisfaction",
+            unit="score",
+            higher_is_better=True,
+            extract=_final_series_sample("consumer_satisfaction_mean"),
+        ),
+        ScalarMetric(
+            name="utilization_mean",
+            label="final mean provider utilization",
+            unit="fraction",
+            higher_is_better=True,
+            extract=_final_series_sample("utilization_mean"),
+        ),
+    ]
+    return {metric.name: metric for metric in metrics}
+
+
+#: Every registered metric, keyed by name.  Treat as read-only.
+SCALAR_METRICS: dict[str, ScalarMetric] = _registry()
+
+
+def available_metrics() -> tuple[str, ...]:
+    """Registered metric names, in registration order."""
+    return tuple(SCALAR_METRICS)
+
+
+def get_metric(name: str) -> ScalarMetric:
+    """Look a metric up by name; unknown names fail loudly."""
+    try:
+        return SCALAR_METRICS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown metric {name!r}; available: "
+            f"{', '.join(available_metrics())}"
+        ) from None

@@ -22,18 +22,35 @@ Four subcommands::
         the per-(scenario, method) summary table with means and
         quantiles across seeds.
 
-    python -m repro queue init|work|status|report
+    python -m repro queue init|work|status|report|retry|gc
         The dynamic counterpart to static shards: ``init`` turns a sweep
         grid into a durable file-backed work queue, ``work`` runs a
         worker daemon that leases jobs (TTL heartbeats; expired leases
         are requeued, so killed workers lose nothing) until the queue
         drains, ``status`` reports depth/liveness/ETA (``--json`` for
         machines), and ``report`` summarises whatever has completed so
-        far.  ``init --adaptive`` enables per-scenario adaptive seeding:
-        seeds are added in batches until the 95 % CI half-width of the
-        post-warmup response time falls under ``--ci-threshold`` (capped
-        at ``--max-seeds``).  Point any number of ``work`` processes —
-        same machine or a shared directory — at one queue.
+        far (``--figures`` renders the analysis figure catalog from the
+        completed cells, even mid-drain).  ``init --adaptive`` enables
+        per-scenario adaptive seeding: seeds are added in batches until
+        the 95 % CI half-width of ``--ci-metric`` (default: post-warmup
+        response time) falls under ``--ci-threshold`` (capped at
+        ``--max-seeds``).  ``work --expiry-clock mtime`` judges lease
+        expiry by heartbeat-file mtimes against the shared filesystem's
+        clock (skew-immune; no NTP requirement).  ``retry`` requeues
+        error-parked jobs with a fresh attempts budget; ``gc`` lists
+        orphaned atomic-write temp files and stale heartbeats
+        (``--prune`` removes them).  Point any number of ``work``
+        processes — same machine or a shared directory — at one queue.
+
+    python -m repro analyze series|figures|compare
+        The read side: turn result stores into paper artifacts with
+        zero new simulations.  ``series`` prints one named sampled
+        series aggregated across seeds (mean/p50/p90 and 95 % CI bands;
+        ``--json`` for the full-resolution payload), ``figures``
+        renders the declarative figure catalog (JSON data exports
+        always; SVG/PNG when matplotlib is installed), and ``compare``
+        diffs two stores cell by cell with per-metric thresholds,
+        exiting non-zero on any regression.
 
     python -m repro perf [--quick] [--out PATH] [--check BASELINE]
         Time the engine's standard workload matrix (captive + autonomous,
@@ -59,8 +76,23 @@ import argparse
 import json
 import os
 from collections import Counter
+from pathlib import Path
 
 from repro.allocation.registry import PAPER_METHODS, available_methods
+from repro.analysis import (
+    DEFAULT_COMPARE_METRICS,
+    DEFAULT_THRESHOLD,
+    available_figures,
+    available_metrics,
+    band_payload,
+    cell_band,
+    cells_from_store,
+    compare_stores,
+    format_band_table,
+    format_compare_table,
+    render_catalog,
+)
+from repro.experiments.store import ResultStore
 from repro.experiments.executor import (
     CACHE_DIR_ENV,
     configure_default_executor,
@@ -100,10 +132,12 @@ from repro.simulation.config import (
     scaled_config,
 )
 from repro.scheduler import (
+    EXPIRY_CLOCKS,
     AdaptiveConfig,
     QueueWorker,
     WorkQueue,
     format_queue_status,
+    queue_cells,
     queue_report,
     queue_status,
 )
@@ -115,6 +149,7 @@ from repro.sweeps import (
     available_scenarios,
     format_sweep_table,
     load_manifests,
+    manifest_directory,
     manifest_status,
     merge_stores,
     sweep_summary,
@@ -394,6 +429,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=2,
         help="adaptive: seeds added per extension (default 2)",
     )
+    queue_init.add_argument(
+        "--ci-metric",
+        choices=available_metrics(),
+        default="response_time_post_warmup",
+        metavar="METRIC",
+        help="adaptive: registry metric whose CI drives convergence "
+        f"(default response_time_post_warmup; available: "
+        f"{', '.join(available_metrics())})",
+    )
 
     queue_work = queue_sub.add_parser(
         "work", help="run one worker daemon until the queue drains"
@@ -437,6 +481,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="attempts per job before it is parked as an error record "
         "instead of retried (default 3)",
     )
+    queue_work.add_argument(
+        "--expiry-clock",
+        choices=EXPIRY_CLOCKS,
+        default="wall",
+        help="how lease expiry is judged: 'wall' compares recorded "
+        "deadlines against this box's clock (multi-box fleets need "
+        "NTP); 'mtime' derives deadlines from heartbeat-file mtimes "
+        "and 'now' from the shared filesystem's clock (skew-immune)",
+    )
 
     queue_status_cmd = queue_sub.add_parser(
         "status", help="queue depth, worker liveness, and ETA"
@@ -455,6 +508,220 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_queue_dir(queue_report_cmd)
     add_cache_options(queue_report_cmd)
+    queue_report_cmd.add_argument(
+        "--figures",
+        action="store_true",
+        help="also render the analysis figure catalog from the "
+        "completed cells (works on a partially drained queue)",
+    )
+    queue_report_cmd.add_argument(
+        "--figures-out",
+        default=None,
+        metavar="DIR",
+        help="where --figures writes (default: <store>/figures)",
+    )
+    queue_report_cmd.add_argument(
+        "--formats",
+        nargs="+",
+        choices=("json", "svg", "png"),
+        default=["json", "svg"],
+        help="--figures output formats (default: json svg; image "
+        "formats are skipped with a note when matplotlib is missing)",
+    )
+
+    queue_retry = queue_sub.add_parser(
+        "retry",
+        help="requeue error-parked jobs with a fresh attempts budget",
+    )
+    add_queue_dir(queue_retry)
+    queue_retry.add_argument(
+        "--ids",
+        nargs="+",
+        default=None,
+        metavar="JOB_ID",
+        help="retry only these job ids (default: every error park)",
+    )
+    queue_retry.add_argument(
+        "--list",
+        action="store_true",
+        help="list error-parked jobs without requeueing anything",
+    )
+    queue_retry.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable retry report",
+    )
+
+    queue_gc = queue_sub.add_parser(
+        "gc",
+        help="find orphaned temp files and stale heartbeats "
+        "(--prune removes them)",
+    )
+    add_queue_dir(queue_gc)
+    add_cache_options(queue_gc)
+    queue_gc.add_argument(
+        "--prune",
+        action="store_true",
+        help="remove what gc finds (default: list only)",
+    )
+    queue_gc.add_argument(
+        "--temp-age",
+        type=positive_float,
+        default=3600.0,
+        metavar="SECONDS",
+        help="only count temp files older than this (default 3600; "
+        "younger ones may belong to a live writer)",
+    )
+    queue_gc.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable gc report",
+    )
+
+    def add_store_option(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--store",
+            default=None,
+            help="result-store directory to analyze "
+            "(defaults to $REPRO_CACHE_DIR when set)",
+        )
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="read-side analysis: series bands, paper figures, and "
+        "cross-store regression verdicts (never simulates)",
+    )
+    analyze_sub = analyze.add_subparsers(
+        dest="analyze_command", required=True
+    )
+
+    analyze_series = analyze_sub.add_parser(
+        "series",
+        help="one sampled series aggregated across seeds, per cell",
+    )
+    add_store_option(analyze_series)
+    analyze_series.add_argument(
+        "--series",
+        required=True,
+        metavar="NAME",
+        help="sampled series name (e.g. response_time_mean, "
+        "provider_intention_satisfaction_mean)",
+    )
+    analyze_series.add_argument(
+        "--scenarios",
+        nargs="+",
+        default=None,
+        metavar="SCENARIO",
+        help="restrict to these scenarios (default: all in the store)",
+    )
+    analyze_series.add_argument(
+        "--methods",
+        nargs="+",
+        default=None,
+        metavar="METHOD",
+        help="restrict to these methods (default: all in the store)",
+    )
+    analyze_series.add_argument(
+        "--max-rows",
+        type=positive_int,
+        default=24,
+        help="table subsample size per cell (default 24; --json is "
+        "always full resolution)",
+    )
+    analyze_series.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full-resolution band payloads",
+    )
+
+    analyze_figures = analyze_sub.add_parser(
+        "figures", help="render the paper-figure catalog from a store"
+    )
+    add_store_option(analyze_figures)
+    analyze_figures.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="output directory (default: <store>/figures)",
+    )
+    analyze_figures.add_argument(
+        "--formats",
+        nargs="+",
+        choices=("json", "svg", "png"),
+        default=["json", "svg"],
+        help="output formats (default: json svg; image formats are "
+        "skipped with a note when matplotlib is missing)",
+    )
+    analyze_figures.add_argument(
+        "--only",
+        nargs="+",
+        choices=available_figures(),
+        default=None,
+        metavar="FIGURE",
+        help="render only these catalog figures "
+        f"(available: {', '.join(available_figures())})",
+    )
+
+    def threshold_value(text: str) -> tuple[str, float]:
+        metric, sep, value = text.partition("=")
+        if not sep or metric not in available_metrics():
+            raise argparse.ArgumentTypeError(
+                f"thresholds look like METRIC=FRACTION with METRIC "
+                f"one of {', '.join(available_metrics())}; got {text!r}"
+            )
+        try:
+            fraction = float(value)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"threshold value must be a number, got {value!r}"
+            ) from None
+        if fraction < 0:
+            raise argparse.ArgumentTypeError(
+                f"threshold must be >= 0, got {fraction}"
+            )
+        return metric, fraction
+
+    analyze_compare = analyze_sub.add_parser(
+        "compare",
+        help="diff two stores cell by cell; exit 1 on any regression",
+    )
+    analyze_compare.add_argument(
+        "store_a", help="baseline result-store directory"
+    )
+    analyze_compare.add_argument(
+        "store_b", help="candidate result-store directory"
+    )
+    analyze_compare.add_argument(
+        "--metrics",
+        nargs="+",
+        choices=available_metrics(),
+        default=list(DEFAULT_COMPARE_METRICS),
+        metavar="METRIC",
+        help="registry metrics to compare "
+        f"(default: {', '.join(DEFAULT_COMPARE_METRICS)})",
+    )
+    analyze_compare.add_argument(
+        "--threshold",
+        type=threshold_value,
+        action="append",
+        default=None,
+        metavar="METRIC=FRACTION",
+        help="per-metric relative-worsening gate (repeatable; e.g. "
+        "--threshold response_time_post_warmup=0.3)",
+    )
+    analyze_compare.add_argument(
+        "--default-threshold",
+        type=positive_float,
+        default=DEFAULT_THRESHOLD,
+        metavar="FRACTION",
+        help="gate for metrics without an explicit --threshold "
+        f"(default {DEFAULT_THRESHOLD})",
+    )
+    analyze_compare.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable verdict payload",
+    )
 
     perf = sub.add_parser(
         "perf",
@@ -716,6 +983,7 @@ def _cmd_queue_init(args: argparse.Namespace) -> str:
             ci_threshold=args.ci_threshold,
             max_seeds=args.max_seeds,
             seed_batch=args.seed_batch,
+            metric=args.ci_metric,
         ).payload()
         if args.max_seeds <= len(spec.seeds):
             # Equal is as useless as below: every scenario starts
@@ -738,7 +1006,8 @@ def _cmd_queue_init(args: argparse.Namespace) -> str:
     ]
     if adaptive is not None:
         lines.append(
-            f"adaptive seeding: ci_threshold={args.ci_threshold}s "
+            f"adaptive seeding: metric={args.ci_metric} "
+            f"ci_threshold={args.ci_threshold} "
             f"max_seeds={args.max_seeds} seed_batch={args.seed_batch}"
         )
     lines.append(
@@ -771,6 +1040,7 @@ def _cmd_queue_work(args: argparse.Namespace) -> str:
         max_jobs=args.max_jobs,
         wait=args.wait,
         max_attempts=args.max_attempts,
+        expiry_clock=args.expiry_clock,
     )
     report = worker.run(install_signal_handlers=True)
     lines = [
@@ -800,7 +1070,7 @@ def _cmd_queue_status(args: argparse.Namespace) -> str:
 def _cmd_queue_report(args: argparse.Namespace) -> str:
     # queue report promises zero new simulations; without the shared
     # store it would silently re-simulate every completed cell.
-    _require_cache_dir(args, "queue report")
+    cache_dir = _require_cache_dir(args, "queue report")
     queue = _open_queue(args)
     records = queue.done_records()
     try:
@@ -820,8 +1090,118 @@ def _cmd_queue_report(args: argparse.Namespace) -> str:
         + (f"   errors: {errors}" if errors else "")
     )
     if not summaries:
-        return header + "\nno completed cells yet"
-    return header + "\n" + format_sweep_table(summaries)
+        body = header + "\nno completed cells yet"
+    else:
+        body = header + "\n" + format_sweep_table(summaries)
+    if not args.figures:
+        return body
+    # Figures over the queue's *done records*, not the manifests:
+    # manifests appear only when a worker session ends, so this is
+    # what makes figure rendering work mid-drain.
+    out_dir = args.figures_out or str(Path(cache_dir) / "figures")
+    report = render_catalog(
+        cache_dir,
+        out_dir,
+        formats=tuple(dict.fromkeys(args.formats)),
+        cells=queue_cells(queue, records),
+    )
+    lines = [body, f"figures: {len(report.written)} files in {out_dir}"]
+    lines.extend(f"figures skipped: {note}" for note in report.skipped)
+    return "\n".join(lines)
+
+
+def _cmd_queue_retry(args: argparse.Namespace) -> str:
+    queue = _open_queue(args)
+    if args.list:
+        records = queue.error_records()
+        payload = {
+            "errors": records,
+            "stranded": queue.stranded_jobs(),
+        }
+        if args.json:
+            return json.dumps(payload, sort_keys=True, indent=1)
+        if not records and not payload["stranded"]:
+            return "no error-parked or stranded jobs"
+        lines = [f"{'job id':<50} {'attempts':>8}  error"]
+        for record in records:
+            lines.append(
+                f"{record.get('id', '?'):<50} "
+                f"{record.get('attempts', '?'):>8}  "
+                f"{record.get('error', '?')}"
+            )
+        for identifier in payload["stranded"]:
+            lines.append(f"{identifier:<50} {'-':>8}  stranded (no state)")
+        return "\n".join(lines)
+    report = queue.retry_errors(ids=args.ids)
+    if args.json:
+        return json.dumps(
+            {
+                "requeued": list(report.requeued),
+                "reticketed": list(report.reticketed),
+                "skipped": [
+                    {"id": identifier, "reason": reason}
+                    for identifier, reason in report.skipped
+                ],
+            },
+            sort_keys=True,
+            indent=1,
+        )
+    lines = [
+        f"requeued {len(report.requeued)} error-parked job(s) with a "
+        "fresh attempts budget"
+    ]
+    lines.extend(f"  {identifier}" for identifier in report.requeued)
+    if report.reticketed:
+        lines.append(
+            f"re-ticketed {len(report.reticketed)} stranded job(s)"
+        )
+        lines.extend(f"  {identifier}" for identifier in report.reticketed)
+    for identifier, reason in report.skipped:
+        lines.append(f"skipped {identifier}: {reason}")
+    return "\n".join(lines)
+
+
+def _cmd_queue_gc(args: argparse.Namespace) -> str:
+    queue = _open_queue(args)
+    extra_roots: list[str] = []
+    cache_dir = _resolve_cache_dir(args)
+    if cache_dir is not None:
+        extra_roots.append(cache_dir)
+        extra_roots.append(str(manifest_directory(cache_dir)))
+    report = queue.gc(
+        prune=args.prune,
+        temp_age=args.temp_age,
+        extra_roots=tuple(extra_roots),
+    )
+    if args.json:
+        return json.dumps(
+            {
+                "temp_files": [str(p) for p in report.temp_files],
+                "stale_heartbeats": list(report.stale_heartbeats),
+                "stranded_jobs": list(report.stranded_jobs),
+                "pruned": report.pruned,
+            },
+            sort_keys=True,
+            indent=1,
+        )
+    verb = "removed" if args.prune else "found"
+    lines = [
+        f"{verb} {len(report.temp_files)} orphaned temp file(s), "
+        f"{len(report.stale_heartbeats)} stale heartbeat(s)"
+    ]
+    lines.extend(f"  temp: {path}" for path in report.temp_files)
+    lines.extend(
+        f"  heartbeat: {owner}" for owner in report.stale_heartbeats
+    )
+    if report.stranded_jobs:
+        lines.append(
+            f"{len(report.stranded_jobs)} stranded job(s) — re-ticket "
+            "with 'repro queue retry':"
+        )
+        lines.extend(f"  {identifier}" for identifier in report.stranded_jobs)
+    if report.clean:
+        lines.append("queue directory is clean")
+    return "\n".join(lines)
 
 
 def _cmd_queue(args: argparse.Namespace) -> str:
@@ -835,8 +1215,158 @@ def _cmd_queue(args: argparse.Namespace) -> str:
     if args.queue_command == "report":
         _configure_executor(args)
         return _cmd_queue_report(args)
+    if args.queue_command == "retry":
+        return _cmd_queue_retry(args)
+    if args.queue_command == "gc":
+        return _cmd_queue_gc(args)
     raise AssertionError(
         f"unhandled queue command {args.queue_command!r}"
+    )  # pragma: no cover
+
+
+def _resolve_store(args: argparse.Namespace, command: str) -> str:
+    """The store an analyze command reads: --store, else the cache env.
+
+    Analysis is read-only by contract, so a missing directory is a
+    user error to refuse loudly — there is nothing sensible to create.
+    """
+    store = args.store or os.environ.get(CACHE_DIR_ENV) or None
+    if store is None:
+        raise SystemExit(
+            f"repro: error: {command} needs --store or $REPRO_CACHE_DIR"
+        )
+    if not Path(store).is_dir():
+        raise SystemExit(
+            f"repro: error: no result store at {store}"
+        )
+    return store
+
+
+def _cmd_analyze_series(args: argparse.Namespace) -> str:
+    store_root = _resolve_store(args, "analyze series")
+    try:
+        cells, stale = cells_from_store(store_root)
+    except ValueError as error:
+        raise SystemExit(f"repro: error: {error}") from None
+    if args.scenarios is not None:
+        cells = [c for c in cells if c.scenario in set(args.scenarios)]
+    if args.methods is not None:
+        cells = [c for c in cells if c.method in set(args.methods)]
+    if not cells:
+        raise SystemExit(
+            f"repro: error: no matching cells under {store_root} "
+            "(no manifests, or the filters excluded everything)"
+        )
+    store = ResultStore(store_root)
+    try:
+        bands = [cell_band(store, cell, args.series) for cell in cells]
+    except KeyError as error:
+        # A typo'd --series must not masquerade as missing store data.
+        raise SystemExit(f"repro: error: {error.args[0]}") from None
+    if args.json:
+        return json.dumps(
+            {
+                "series": args.series,
+                "stale_manifests": stale,
+                "cells": [band_payload(band) for band in bands],
+            },
+            sort_keys=True,
+            indent=1,
+            allow_nan=False,
+        )
+    blocks = [
+        format_band_table(band, max_rows=args.max_rows) for band in bands
+    ]
+    if stale:
+        blocks.append(
+            f"({stale} stale manifest(s) skipped: results written "
+            "under a different engine version)"
+        )
+    return "\n\n".join(blocks)
+
+
+def _cmd_analyze_figures(args: argparse.Namespace) -> str:
+    store_root = _resolve_store(args, "analyze figures")
+    out_dir = args.out or str(Path(store_root) / "figures")
+    try:
+        report = render_catalog(
+            store_root,
+            out_dir,
+            formats=tuple(dict.fromkeys(args.formats)),
+            only=tuple(args.only) if args.only else None,
+        )
+    except ValueError as error:
+        raise SystemExit(f"repro: error: {error}") from None
+    lines = [f"rendered {len(report.written)} file(s) into {out_dir}"]
+    lines.extend(f"  {path}" for path in report.written)
+    lines.extend(f"skipped: {note}" for note in report.skipped)
+    if report.stale_manifests:
+        lines.append(
+            f"({report.stale_manifests} stale manifest(s) skipped)"
+        )
+    if not report.written:
+        raise SystemExit(
+            "\n".join(lines)
+            + "\nrepro: error: nothing could be rendered"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_analyze_compare(args: argparse.Namespace) -> str:
+    for root in (args.store_a, args.store_b):
+        if not Path(root).is_dir():
+            raise SystemExit(f"repro: error: no result store at {root}")
+    thresholds = dict(args.threshold) if args.threshold else None
+    try:
+        report = compare_stores(
+            args.store_a,
+            args.store_b,
+            metrics=tuple(dict.fromkeys(args.metrics)),
+            thresholds=thresholds,
+            default_threshold=args.default_threshold,
+        )
+    except ValueError as error:
+        raise SystemExit(f"repro: error: {error}") from None
+    # A gate that found nothing to compare must fail, not pass: "OK
+    # over zero cells" is exactly what a typo'd store path, a store
+    # with no manifests, or two stores swept with disjoint seed sets
+    # (every verdict incomparable) would silently produce.
+    if not report.verdicts:
+        raise SystemExit(
+            "repro: error: the stores share no comparable cells "
+            f"({len(report.only_in_a)} cell(s) only in A, "
+            f"{len(report.only_in_b)} only in B); are both paths "
+            "manifested result stores for the same sweep?"
+        )
+    if all(v.status == "incomparable" for v in report.verdicts):
+        raise SystemExit(
+            "repro: error: every shared cell is incomparable (no "
+            "paired non-NaN seeds); were the stores swept with "
+            "disjoint seed sets?"
+        )
+    if args.json:
+        output = json.dumps(
+            report.payload(), sort_keys=True, indent=1, allow_nan=False
+        )
+    else:
+        output = format_compare_table(report)
+    if not report.ok:
+        # The verdict must reach both humans and scripts: print the
+        # table/payload, then fail the process.
+        print(output)
+        raise SystemExit(1)
+    return output
+
+
+def _cmd_analyze(args: argparse.Namespace) -> str:
+    if args.analyze_command == "series":
+        return _cmd_analyze_series(args)
+    if args.analyze_command == "figures":
+        return _cmd_analyze_figures(args)
+    if args.analyze_command == "compare":
+        return _cmd_analyze_compare(args)
+    raise AssertionError(
+        f"unhandled analyze command {args.analyze_command!r}"
     )  # pragma: no cover
 
 
@@ -931,6 +1461,8 @@ def main(argv: list[str] | None = None) -> int:
         print(_cmd_sweep(args))
     elif args.command == "queue":
         print(_cmd_queue(args))
+    elif args.command == "analyze":
+        print(_cmd_analyze(args))
     elif args.command == "perf":
         print(_cmd_perf(args))
     return 0

@@ -45,7 +45,7 @@ from repro.simulation.departures import DepartureRecord
 from repro.simulation.engine import ENGINE_VERSION, SimulationResult
 from repro.simulation.stats import TimeSeriesCollector
 
-__all__ = ["ResultStore", "cache_key"]
+__all__ = ["ResultStore", "StoredSeries", "cache_key"]
 
 #: Bump when the *serialization format* (not the simulation semantics)
 #: changes incompatibly; part of every cache key.
@@ -86,6 +86,26 @@ def cache_key(config: SimulationConfig, method: str, seed: int) -> str:
     }
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclasses.dataclass(frozen=True)
+class StoredSeries:
+    """The sampled-series slice of one cached run.
+
+    The read-side analysis layer wants *only* the time axis and a few
+    named series per run — rebuilding a full
+    :class:`~repro.simulation.engine.SimulationResult` (departure
+    records, final arrays, metadata) for every (seed × figure) read
+    would be pure waste.  This is that cheap view: the ``.npz`` payload
+    alone, optionally restricted to requested names.
+    """
+
+    times: np.ndarray
+    series: dict[str, np.ndarray]
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(self.series)
 
 
 def _atomic_write_bytes(path: Path, data: bytes) -> None:
@@ -187,6 +207,65 @@ class ResultStore:
             return None
         self.hits += 1
         return result
+
+    def load_series(
+        self,
+        config: SimulationConfig,
+        method: str,
+        seed: int,
+        names: tuple[str, ...] | None = None,
+    ) -> StoredSeries | None:
+        """The sampled series of one cached run, or None on a miss.
+
+        Reads only the ``.npz`` payload — no metadata parse, no result
+        reconstruction — so aggregating many seeds over one named
+        series (the analysis layer's band extraction) costs one archive
+        open per run.  ``names`` restricts which series are
+        materialised (None = all).
+
+        An unreadable or schema-mismatched entry is a miss (None), but
+        a *readable* entry that lacks a requested name raises
+        ``KeyError``: every run of one engine version samples the same
+        series catalogue, so an absent name is a caller typo — and
+        reporting it as "missing data" would send the user chasing a
+        store problem that does not exist.
+        """
+        key = cache_key(config, method, seed)
+        try:
+            archive = np.load(self._npz_path(key))
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        with archive:
+            if "times" not in archive.files:
+                self.misses += 1
+                return None
+            available = {
+                name.removeprefix("series__")
+                for name in archive.files
+                if name.startswith("series__")
+            }
+            if names is None:
+                wanted: tuple[str, ...] = tuple(sorted(available))
+            else:
+                unknown = [n for n in names if n not in available]
+                if unknown:
+                    raise KeyError(
+                        f"unknown series {sorted(unknown)}; this run "
+                        f"sampled: {', '.join(sorted(available))}"
+                    )
+                wanted = tuple(names)
+            try:
+                times = archive["times"].copy()
+                series = {
+                    name: archive[f"series__{name}"].copy()
+                    for name in wanted
+                }
+            except (OSError, ValueError):  # pragma: no cover - torn npz
+                self.misses += 1
+                return None
+        self.hits += 1
+        return StoredSeries(times=times, series=series)
 
     def put(self, result: SimulationResult, method: str | None = None) -> str:
         """Persist one completed result; returns its cache key.

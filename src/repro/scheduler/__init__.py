@@ -37,13 +37,17 @@ from repro.scheduler.adaptive import (
 )
 from repro.scheduler.monitor import (
     format_queue_status,
+    queue_cells,
     queue_report,
     queue_status,
 )
 from repro.scheduler.queue import (
+    EXPIRY_CLOCKS,
+    GcReport,
     Lease,
     QueueCounts,
     QueueJob,
+    RetryReport,
     WorkQueue,
     job_id,
 )
@@ -58,16 +62,20 @@ __all__ = [
     "AdaptiveConfig",
     "AdaptiveController",
     "AdaptiveDecision",
+    "EXPIRY_CLOCKS",
+    "GcReport",
     "Lease",
     "QueueCounts",
     "QueueJob",
     "QueueWorker",
+    "RetryReport",
     "WorkQueue",
     "WorkerReport",
     "default_owner_id",
     "extension_seeds",
     "format_queue_status",
     "job_id",
+    "queue_cells",
     "queue_report",
     "queue_status",
     "write_worker_manifest",

@@ -28,6 +28,7 @@ from __future__ import annotations
 import dataclasses
 import math
 
+from repro.analysis.metrics import available_metrics, get_metric
 from repro.experiments.executor import SimulationJob
 from repro.experiments.store import ResultStore
 from repro.scheduler.queue import WorkQueue, job_id
@@ -68,10 +69,13 @@ def extension_seeds(
 class AdaptiveConfig:
     """Adaptive-seeding policy, stored verbatim in ``queue.json``.
 
-    ``ci_threshold`` is the absolute 95 % CI half-width (seconds of
-    post-warmup response time) below which a scenario counts as
-    converged; ``seed_batch`` seeds are added per extension;
-    ``max_seeds`` caps the total seeds a scenario may ever issue.
+    ``ci_threshold`` is the absolute 95 % CI half-width (in the
+    metric's own units) below which a scenario counts as converged;
+    ``seed_batch`` seeds are added per extension; ``max_seeds`` caps
+    the total seeds a scenario may ever issue.  ``metric`` is any name
+    from the :mod:`~repro.analysis.metrics` registry (the CLI's
+    ``--ci-metric``); the default — the paper's headline post-warmup
+    response time — is unchanged from before the registry existed.
     """
 
     ci_threshold: float
@@ -90,10 +94,10 @@ class AdaptiveConfig:
             raise ValueError(
                 f"seed_batch must be >= 1, got {self.seed_batch}"
             )
-        if self.metric != "response_time_post_warmup":
+        if self.metric not in available_metrics():
             raise ValueError(
-                "only the response_time_post_warmup metric is supported, "
-                f"got {self.metric!r}"
+                f"unknown convergence metric {self.metric!r}; "
+                f"available: {', '.join(available_metrics())}"
             )
 
     def payload(self) -> dict:
@@ -137,6 +141,7 @@ class AdaptiveController:
         self.queue = queue
         self.store = store
         self.config = AdaptiveConfig.from_payload(payload)
+        self._metric = get_metric(self.config.metric)
         # Converged/capped are terminal: no replica will ever extend
         # such a scenario again, so cache the verdict and spare the
         # idle-poll loop the per-(method, seed) store reads.
@@ -191,8 +196,10 @@ class AdaptiveController:
     def _halfwidth(self, scenario: str, seeds: tuple[int, ...]) -> float:
         """Worst (largest) per-method CI half-width across ``seeds``.
 
-        NaN when any method has fewer than two readable results — an
-        undefined CI always counts as "not yet converged".
+        The metric is the configured registry metric (post-warmup
+        response time unless ``--ci-metric`` chose another).  NaN when
+        any method has fewer than two readable results — an undefined
+        CI always counts as "not yet converged".
         """
         config = self.queue.config_for(scenario)
         worst = float("-inf")
@@ -201,7 +208,7 @@ class AdaptiveController:
             for seed in seeds:
                 result = self.store.get(config, method, seed)
                 if result is not None:
-                    values.append(result.response_time_post_warmup)
+                    values.append(self._metric.extract(result))
             width = ci_halfwidth(values)
             if math.isnan(width):
                 return float("nan")

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import time
 
+from repro.analysis.series import CellRuns
 from repro.experiments.executor import (
     ExperimentExecutor,
     SimulationJob,
@@ -34,7 +35,45 @@ from repro.sweeps.aggregate import (
 )
 from repro.sweeps.runner import load_manifests, manifest_status
 
-__all__ = ["format_queue_status", "queue_report", "queue_status"]
+__all__ = [
+    "format_queue_status",
+    "queue_cells",
+    "queue_report",
+    "queue_status",
+]
+
+
+def queue_cells(
+    queue: WorkQueue, done_records: list[dict] | None = None
+) -> list[CellRuns]:
+    """The *completed* cells of a queue, as analysis-layer cell runs.
+
+    The figure catalog normally discovers cells through store
+    manifests, but a live queue's manifests only appear when workers
+    exit — the authoritative record of what is done *right now* is the
+    queue's done directory.  This adapter lets ``queue report
+    --figures`` render a partially drained (or adaptively extended)
+    queue: one cell per (scenario, method) holding exactly the seeds
+    with a successful completion record.
+    """
+    if done_records is None:
+        done_records = queue.done_records()
+    seeds_by_cell: dict[tuple[str, str], set[int]] = {}
+    for record in done_records:
+        if record.get("state") not in ("simulated", "store_hit"):
+            continue
+        seeds_by_cell.setdefault(
+            (record["scenario"], record["method"]), set()
+        ).add(int(record["seed"]))
+    return [
+        CellRuns(
+            scenario=scenario,
+            method=method,
+            config=queue.config_for(scenario),
+            seeds=tuple(sorted(seeds)),
+        )
+        for (scenario, method), seeds in sorted(seeds_by_cell.items())
+    ]
 
 
 def queue_status(
@@ -188,26 +227,23 @@ def queue_report(
             "report reads completed results back, it must not simulate"
         )
     spec = queue.spec
-    if done_records is None:
-        done_records = queue.done_records()
-    seeds_by_cell: dict[tuple[str, str], list[int]] = {}
-    for record in done_records:
-        if record.get("state") not in ("simulated", "store_hit"):
-            continue
-        cell = (record["scenario"], record["method"])
-        seeds_by_cell.setdefault(cell, []).append(int(record["seed"]))
+    # One grouping of done records for the summary table and the
+    # figure path alike (queue_cells is the single owner of "which
+    # cells count as completed").
+    cells = {
+        (cell.scenario, cell.method): cell
+        for cell in queue_cells(queue, done_records)
+    }
 
     # Refuse a store that doesn't hold the done work: silently
     # re-simulating a completed grid inside a *report* command (a
     # typo'd --cache-dir) would be minutes-to-hours of surprise work.
-    missing = 0
-    for (scenario, method), seeds in seeds_by_cell.items():
-        config = queue.config_for(scenario)
-        missing += sum(
-            1
-            for seed in set(seeds)
-            if not executor.store.contains(config, method, seed)
-        )
+    missing = sum(
+        1
+        for cell in cells.values()
+        for seed in cell.seeds
+        if not executor.store.contains(cell.config, cell.method, seed)
+    )
     if missing:
         raise ValueError(
             f"{missing} completed jobs are absent from the store at "
@@ -217,13 +253,15 @@ def queue_report(
 
     summaries: list[ScenarioMethodSummary] = []
     for scenario in spec.scenarios:
-        config = queue.config_for(scenario)
         for method in spec.methods:
-            seeds = sorted(set(seeds_by_cell.get((scenario, method), [])))
-            if not seeds:
+            cell = cells.get((scenario, method))
+            if cell is None:
                 continue
             results = executor.run(
-                [SimulationJob(config, method, seed) for seed in seeds]
+                [
+                    SimulationJob(cell.config, method, seed)
+                    for seed in cell.seeds
+                ]
             )
             summaries.append(
                 summarize_cell(

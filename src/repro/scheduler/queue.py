@@ -62,9 +62,12 @@ from repro.simulation.engine import ENGINE_VERSION
 from repro.sweeps.spec import SweepJob, SweepSpec
 
 __all__ = [
+    "EXPIRY_CLOCKS",
+    "GcReport",
     "Lease",
     "QueueCounts",
     "QueueJob",
+    "RetryReport",
     "WorkQueue",
     "job_id",
     "sanitize_owner",
@@ -72,6 +75,15 @@ __all__ = [
 
 #: Bump when the on-disk queue layout changes incompatibly.
 QUEUE_FORMAT = 1
+
+#: How lease expiry derives "now" and the deadline.  ``wall`` compares
+#: the heartbeat's recorded absolute deadline against the scavenger's
+#: wall clock (multi-box queues need NTP).  ``mtime`` is skew-immune:
+#: the deadline is the heartbeat *file's* mtime plus the recorded TTL,
+#: and "now" is the shared filesystem's own clock (probed by writing a
+#: scratch file) — one clock, the file server's, no matter how many
+#: boxes share the queue.
+EXPIRY_CLOCKS = ("wall", "mtime")
 
 #: How many times a job may be attempted (claims after requeues and
 #: failures) before it is parked as a ``done/`` error record instead of
@@ -143,6 +155,47 @@ class Lease:
     job: QueueJob
     owner: str
     path: Path
+
+
+@dataclasses.dataclass(frozen=True)
+class RetryReport:
+    """What one :meth:`WorkQueue.retry_errors` pass did.
+
+    ``requeued`` are error-parked jobs returned to ``pending/`` with a
+    fresh attempts budget; ``reticketed`` are stranded jobs (a job
+    record with no ticket, lease, or done record — the footprint of a
+    crash between an enqueue's two writes or between a retry's two
+    steps) whose tickets were recreated; ``skipped`` are ids that could
+    not be retried, with reasons.
+    """
+
+    requeued: tuple[str, ...]
+    reticketed: tuple[str, ...]
+    skipped: tuple[tuple[str, str], ...]
+
+
+@dataclasses.dataclass(frozen=True)
+class GcReport:
+    """What :meth:`WorkQueue.gc` found (and, with ``prune``, removed).
+
+    ``temp_files`` are orphaned atomic-write temporaries (dot-prefixed
+    stage files older than the age threshold — a crashed writer's
+    litter, invisible to queue scans but disk-visible forever);
+    ``stale_heartbeats`` are heartbeats of owners far past their
+    deadline holding no leases; ``stranded_jobs`` are job ids with no
+    live state (fix with ``retry``, not ``gc``).
+    """
+
+    temp_files: tuple[Path, ...]
+    stale_heartbeats: tuple[str, ...]
+    stranded_jobs: tuple[str, ...]
+    pruned: bool
+
+    @property
+    def clean(self) -> bool:
+        return not (
+            self.temp_files or self.stale_heartbeats or self.stranded_jobs
+        )
 
 
 @dataclasses.dataclass(frozen=True)
@@ -233,6 +286,9 @@ class WorkQueue:
         self._payload = payload
         self._spec = SweepSpec(**payload["spec"])
         self._configs: dict[str, SimulationConfig] | None = None
+        # (monotonic at probe, filesystem now at probe) — see
+        # _filesystem_now_cached.
+        self._clock_probe: tuple[float, float] | None = None
 
     # -- creation -----------------------------------------------------
 
@@ -394,13 +450,16 @@ class WorkQueue:
         """Publish/renew ``owner``'s liveness deadline (now + ttl)."""
         now = time.time() if now is None else now
         # Record the sanitised owner: it's the form the lease filenames
-        # carry, so liveness lookups join on one spelling.
+        # carry, so liveness lookups join on one spelling.  The TTL is
+        # recorded alongside the absolute deadline so mtime-clock
+        # scavengers can derive a deadline from the file's own mtime.
         owner = _sanitize(owner)
         _write_json(
             self.heartbeats_dir / f"{owner}.json",
             {
                 "owner": owner,
                 "deadline": now + float(ttl),
+                "ttl": float(ttl),
                 "pid": os.getpid(),
             },
         )
@@ -573,10 +632,72 @@ class WorkQueue:
         # never a lost result.
         lease.path.unlink(missing_ok=True)
 
+    def filesystem_now(self) -> float:
+        """The shared filesystem's idea of "now".
+
+        Writes a scratch file under the queue root and reads back its
+        mtime — on NFS that timestamp comes from the file *server*, so
+        every scavenger probing it sees one clock regardless of local
+        skew.  The scratch name is dot-prefixed, so queue scans ignore
+        it even if a crash leaks one (``gc --prune`` sweeps those up).
+        """
+        fd, tmp = tempfile.mkstemp(dir=self.root, prefix=".clockprobe.")
+        try:
+            os.fsync(fd)  # force the server-side timestamp (portable)
+            return os.fstat(fd).st_mtime
+        finally:
+            os.close(fd)
+            try:
+                os.unlink(tmp)
+            except OSError:  # pragma: no cover - already gone
+                pass
+
+    #: How long a filesystem clock probe stays fresh.  Between probes
+    #: the cached value is extrapolated with the local *monotonic*
+    #: clock (skew-free by definition), so the only drift is rate
+    #: drift over a few seconds — negligible against lease TTLs.
+    _CLOCK_PROBE_REFRESH = 15.0
+
+    def _filesystem_now_cached(self) -> float:
+        """`filesystem_now`, amortised for tight scavenging loops.
+
+        A waiting worker scavenges twice a second for a whole drain
+        tail; probing the file server on every pass (create + fsync +
+        unlink) would turn an idle fleet into real server load.
+        """
+        mono = time.monotonic()
+        if (
+            self._clock_probe is None
+            or mono - self._clock_probe[0] > self._CLOCK_PROBE_REFRESH
+        ):
+            self._clock_probe = (mono, self.filesystem_now())
+        probed_mono, probed_fs = self._clock_probe
+        return probed_fs + (mono - probed_mono)
+
+    def _heartbeat_deadline(self, owner: str, clock: str) -> float:
+        """The instant ``owner``'s liveness lapses, under either clock.
+
+        ``-inf`` (immediately expired) when the heartbeat is missing or
+        unreadable.  Under ``mtime`` the deadline is the heartbeat
+        file's mtime plus its recorded TTL; a pre-TTL-field heartbeat
+        (none are written anymore) degrades to its wall deadline.
+        """
+        path = self.heartbeats_dir / f"{owner}.json"
+        heartbeat = _read_json(path)
+        if not heartbeat or "deadline" not in heartbeat:
+            return float("-inf")
+        if clock == "mtime" and "ttl" in heartbeat:
+            try:
+                return path.stat().st_mtime + float(heartbeat["ttl"])
+            except OSError:
+                return float("-inf")
+        return float(heartbeat["deadline"])
+
     def requeue_expired(
         self,
         now: float | None = None,
         max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        clock: str = "wall",
     ) -> list[str]:
         """Return expired leases to ``pending/``; returns their ids.
 
@@ -589,10 +710,34 @@ class WorkQueue:
         crash-looping the fleet forever.  (If the presumed-dead owner
         does finish, its ``ack`` overwrites the error record: a real
         result always wins.)
+
+        ``clock`` picks how expiry is judged (see
+        :data:`EXPIRY_CLOCKS`): ``wall`` uses recorded absolute
+        deadlines against this process's clock; ``mtime`` derives both
+        the deadline (heartbeat mtime + TTL) and "now"
+        (:meth:`filesystem_now`, unless an explicit ``now`` is passed)
+        from the shared filesystem, so multi-box queues need no NTP.
         """
-        now = time.time() if now is None else now
+        if clock not in EXPIRY_CLOCKS:
+            raise ValueError(
+                f"unknown expiry clock {clock!r}; "
+                f"available: {', '.join(EXPIRY_CLOCKS)}"
+            )
+        leases = _live_entries(self.leases_dir)
+        if not leases:
+            # Nothing to judge: skip the clock probe.  Idle waiting
+            # workers call this twice a second, and under the mtime
+            # clock each probe is a create+sync+unlink round trip
+            # against the shared file server.
+            return []
+        if now is None:
+            now = (
+                self._filesystem_now_cached()
+                if clock == "mtime"
+                else time.time()
+            )
         requeued: list[str] = []
-        for lease_path in _live_entries(self.leases_dir):
+        for lease_path in leases:
             identifier, sep, owner = lease_path.name.partition(
                 _LEASE_SEPARATOR
             )
@@ -601,12 +746,7 @@ class WorkQueue:
             if (self.done_dir / f"{identifier}.json").exists():
                 lease_path.unlink(missing_ok=True)
                 continue
-            heartbeat = _read_json(self.heartbeats_dir / f"{owner}.json")
-            deadline = (
-                float(heartbeat["deadline"])
-                if heartbeat and "deadline" in heartbeat
-                else float("-inf")
-            )
+            deadline = self._heartbeat_deadline(owner, clock)
             if deadline >= now:
                 continue
             outcome = self._retry_or_park(
@@ -648,6 +788,174 @@ class WorkQueue:
             if record is not None:
                 records.append(record)
         return records
+
+    def error_records(self) -> list[dict]:
+        """Done records that are error parks, sorted by job id."""
+        return [
+            record
+            for record in self.done_records()
+            if record.get("state") == "error"
+        ]
+
+    def _live_ids(self) -> set[str]:
+        """Ids with any live state: ticket, lease, or done record."""
+        return (
+            {path.name for path in _live_entries(self.pending_dir)}
+            | {
+                path.name.partition(_LEASE_SEPARATOR)[0]
+                for path in _live_entries(self.leases_dir)
+            }
+            | {path.stem for path in self.done_dir.glob("*.json")}
+        )
+
+    def stranded_jobs(self) -> list[str]:
+        """Job ids with no live state at all.
+
+        The footprint of a crash between an enqueue's job-record write
+        and its ticket write (or between a retry's done-unlink and
+        ticket write): the job exists but nothing will ever run it.
+        The adaptive controller re-enqueues these itself; non-adaptive
+        queues repair them through :meth:`retry_errors`.
+        """
+        live = self._live_ids()
+        return sorted(
+            path.stem
+            for path in self.jobs_dir.glob("*.json")
+            if path.stem not in live
+        )
+
+    def retry_errors(self, ids: list[str] | None = None) -> RetryReport:
+        """Requeue error-parked jobs with a fresh attempts budget.
+
+        ``ids`` restricts the pass to specific job ids (default: every
+        error record).  For each, the error record is unlinked *first*
+        and the fresh ticket written second — the opposite order would
+        let a scavenger see (lease, done-error) and discard a freshly
+        claimed lease under the "done wins" rule.  A crash in between
+        leaves the job stranded, which the same pass repairs next time
+        (stranded jobs are re-ticketed here too).
+
+        Unknown ids and records that are not error parks are skipped
+        with a reason, never touched.
+        """
+        wanted = None if ids is None else set(ids)
+        errors = {record["id"]: record for record in self.error_records()}
+        # One stranded listing for both the skip filter and the
+        # re-ticket pass: requeueing an error park only *adds* live
+        # state, so the set cannot grow in between, and a job must
+        # never be reported skipped and re-ticketed at once.
+        stranded = set(self.stranded_jobs())
+        requeued: list[str] = []
+        skipped: list[tuple[str, str]] = []
+        if wanted is not None:
+            for identifier in sorted(wanted - set(errors) - stranded):
+                if (self.done_dir / f"{identifier}.json").exists():
+                    skipped.append(
+                        (identifier, "done record is not an error park")
+                    )
+                else:
+                    skipped.append((identifier, "no error record"))
+        for identifier in sorted(errors):
+            if wanted is not None and identifier not in wanted:
+                continue
+            if _read_json(self.jobs_dir / f"{identifier}.json") is None:
+                # Without a readable job record a recreated ticket
+                # could never be claimed into a runnable job.
+                skipped.append((identifier, "unreadable job record"))
+                continue
+            (self.done_dir / f"{identifier}.json").unlink(missing_ok=True)
+            _write_json(self.pending_dir / identifier, {"attempts": 0})
+            requeued.append(identifier)
+        reticketed: list[str] = []
+        for identifier in sorted(stranded):
+            if wanted is not None and identifier not in wanted:
+                continue
+            _write_json(self.pending_dir / identifier, {"attempts": 0})
+            reticketed.append(identifier)
+        return RetryReport(
+            requeued=tuple(requeued),
+            reticketed=tuple(reticketed),
+            skipped=tuple(skipped),
+        )
+
+    def gc(
+        self,
+        prune: bool = False,
+        now: float | None = None,
+        temp_age: float = 3600.0,
+        extra_roots: tuple[Path | str, ...] = (),
+        heartbeat_grace: float = 3600.0,
+    ) -> GcReport:
+        """Find (and with ``prune``, remove) queue-directory litter.
+
+        Orphaned atomic-write temporaries are dot-prefixed files older
+        than ``temp_age`` seconds (younger ones may belong to a live
+        writer and are left alone) in the queue directories and any
+        ``extra_roots`` (the CLI passes the result store and its
+        manifest directory).  Heartbeats are stale once their *file*
+        has not been touched for ``heartbeat_grace`` seconds past the
+        recorded TTL *and* the owner holds no leases — a crashed
+        worker's last sign of life that would otherwise sit in
+        ``status`` output forever.  Stranded jobs are reported for
+        ``retry`` but never pruned: deleting state is not how a queue
+        repairs itself.
+
+        All ages are judged against the shared filesystem's clock
+        (:meth:`filesystem_now`) and file mtimes — both stamped by the
+        file server — so a skewed gc box can neither prune a live
+        writer's seconds-old temp nor overlook a long-dead worker's
+        heartbeat.  ``now`` overrides the probe (tests).
+        """
+        now = self.filesystem_now() if now is None else now
+        directories = [
+            self.root,
+            self.jobs_dir,
+            self.pending_dir,
+            self.leases_dir,
+            self.done_dir,
+            self.heartbeats_dir,
+            *(Path(root) for root in extra_roots),
+        ]
+        temp_files: list[Path] = []
+        for directory in directories:
+            if not directory.is_dir():
+                continue
+            for path in sorted(directory.iterdir()):
+                if not path.name.startswith(".") or not path.is_file():
+                    continue
+                try:
+                    age = now - path.stat().st_mtime
+                except OSError:
+                    continue
+                if age >= temp_age:
+                    temp_files.append(path)
+        lease_owners = self.lease_owners()
+        stale_heartbeats: list[str] = []
+        for heartbeat in self.heartbeats():
+            owner = heartbeat.get("owner")
+            if not owner or lease_owners.get(owner):
+                continue
+            path = self.heartbeats_dir / f"{owner}.json"
+            try:
+                age = now - path.stat().st_mtime
+            except OSError:
+                continue
+            ttl = float(heartbeat.get("ttl", 0.0))
+            if age > ttl + heartbeat_grace:
+                stale_heartbeats.append(owner)
+        if prune:
+            for path in temp_files:
+                path.unlink(missing_ok=True)
+            for owner in stale_heartbeats:
+                (
+                    self.heartbeats_dir / f"{owner}.json"
+                ).unlink(missing_ok=True)
+        return GcReport(
+            temp_files=tuple(temp_files),
+            stale_heartbeats=tuple(stale_heartbeats),
+            stranded_jobs=tuple(self.stranded_jobs()),
+            pruned=prune,
+        )
 
     def heartbeats(self) -> list[dict]:
         """Every worker heartbeat on record, sorted by owner."""

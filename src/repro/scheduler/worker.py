@@ -48,6 +48,7 @@ from repro.experiments.executor import (
 from repro.scheduler.adaptive import AdaptiveController
 from repro.scheduler.queue import (
     DEFAULT_MAX_ATTEMPTS,
+    EXPIRY_CLOCKS,
     WorkQueue,
     sanitize_owner,
 )
@@ -135,6 +136,12 @@ class QueueWorker:
     max_attempts:
         Attempts budget per job (claims after requeues/failures)
         before it is parked as an error record instead of retried.
+    expiry_clock:
+        How this worker's scavenging passes judge lease expiry:
+        ``wall`` (recorded deadlines vs. this box's clock — needs NTP
+        across a multi-box fleet) or ``mtime`` (heartbeat-file mtimes
+        vs. the shared filesystem's clock — skew-immune; see
+        :data:`~repro.scheduler.queue.EXPIRY_CLOCKS`).
     """
 
     def __init__(
@@ -147,6 +154,7 @@ class QueueWorker:
         max_jobs: int | None = None,
         wait: bool = False,
         max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        expiry_clock: str = "wall",
     ) -> None:
         self.queue = queue
         self._executor = executor
@@ -166,6 +174,12 @@ class QueueWorker:
                 f"max_attempts must be >= 1, got {max_attempts}"
             )
         self.max_attempts = int(max_attempts)
+        if expiry_clock not in EXPIRY_CLOCKS:
+            raise ValueError(
+                f"unknown expiry clock {expiry_clock!r}; "
+                f"available: {', '.join(EXPIRY_CLOCKS)}"
+            )
+        self.expiry_clock = expiry_clock
         self._stop_requested = False
 
     @property
@@ -223,7 +237,8 @@ class QueueWorker:
                     break
                 requeued += len(
                     self.queue.requeue_expired(
-                        max_attempts=self.max_attempts
+                        max_attempts=self.max_attempts,
+                        clock=self.expiry_clock,
                     )
                 )
                 lease = self.queue.claim(

@@ -36,8 +36,10 @@ from repro.sweeps.runner import SweepRunner, manifest_directory
 from repro.sweeps.spec import SweepSpec
 
 __all__ = [
+    "CI_Z",
     "MergeReport",
     "ScenarioMethodSummary",
+    "SUMMARY_QUANTILES",
     "ci_halfwidth",
     "format_sweep_table",
     "merge_stores",
@@ -46,11 +48,18 @@ __all__ = [
 ]
 
 #: The quantiles summary rows report across the repetition seeds.
+#: Shared with the analysis layer's per-sample series bands, so a
+#: band's p50/p90 and a summary row's p50/p90 always mean the same
+#: thing.
 SUMMARY_QUANTILES = (0.5, 0.9)
 
-#: Normal-approximation z for the 95 % confidence intervals the summary
-#: (and the adaptive seeding controller) report.
-_CI_Z = 1.96
+#: Normal-approximation z for the 95 % confidence intervals the
+#: summary, the adaptive seeding controller, and the analysis layer's
+#: series bands all report.  One constant, one definition of "CI".
+CI_Z = 1.96
+
+# Backwards-compatible private alias (pre-analysis-subsystem name).
+_CI_Z = CI_Z
 
 
 def ci_halfwidth(values: Sequence[float]) -> float:
@@ -68,7 +77,7 @@ def ci_halfwidth(values: Sequence[float]) -> float:
     if usable.size < 2:
         return float("nan")
     return float(
-        _CI_Z * usable.std(ddof=1) / math.sqrt(usable.size)
+        CI_Z * usable.std(ddof=1) / math.sqrt(usable.size)
     )
 
 

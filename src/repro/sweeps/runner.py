@@ -42,6 +42,7 @@ __all__ = [
     "SweepRunner",
     "environment_hash",
     "load_manifests",
+    "manifest_cells",
     "manifest_directory",
     "manifest_status",
     "write_manifest",
@@ -255,6 +256,61 @@ def load_manifests(store_root: Path | str) -> list[dict]:
         manifest["path"] = str(path)
         manifests.append(manifest)
     return manifests
+
+
+def manifest_cells(
+    manifests: list[dict],
+) -> tuple[list[dict], int]:
+    """The sweep cells a set of manifests declares: the read contract.
+
+    Manifests — shard and worker manifests alike — are the *only*
+    record of which (scenario, method, seed) triples a store was
+    populated with, so everything that reads a store without a spec in
+    hand (the analysis layer's series extraction, figure rendering,
+    cross-store comparison) goes through this function, exactly as all
+    status reporting goes through :func:`manifest_status`.
+
+    Returns ``(rows, stale)``: one row per (scenario, method) cell with
+    its deduplicated sorted ``seeds`` and the distinct spec payloads
+    (by ``spec_hash``) that declared it, plus how many manifests were
+    skipped as *stale* — written under a different engine version,
+    whose results are unreachable under current store keys and must
+    not be reported as "missing" cells.
+    """
+    stale = 0
+    cells: dict[tuple[str, str], dict] = {}
+    for manifest in manifests:
+        if manifest.get("engine_version") != ENGINE_VERSION:
+            stale += 1
+            continue
+        spec_payload = manifest.get("spec")
+        spec_hash = manifest.get("spec_hash")
+        for job in manifest["jobs"]:
+            cell = cells.setdefault(
+                (job["scenario"], job["method"]),
+                {
+                    "scenario": job["scenario"],
+                    "method": job["method"],
+                    "seeds": set(),
+                    "specs": {},
+                },
+            )
+            cell["seeds"].add(int(job["seed"]))
+            if spec_payload is not None:
+                cell["specs"].setdefault(spec_hash, spec_payload)
+    rows = []
+    for _, cell in sorted(cells.items()):
+        rows.append(
+            {
+                "scenario": cell["scenario"],
+                "method": cell["method"],
+                "seeds": tuple(sorted(cell["seeds"])),
+                "specs": [
+                    cell["specs"][key] for key in sorted(cell["specs"])
+                ],
+            }
+        )
+    return rows, stale
 
 
 def manifest_status(manifests: list[dict]) -> list[dict]:

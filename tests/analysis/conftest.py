@@ -1,0 +1,48 @@
+"""Shared fixtures: one warm sweep store for the whole analysis suite.
+
+The analysis layer is read-only by contract, so every test can share a
+single store populated once — the suite then exercises manifests, series
+extraction, figures, and comparison against identical bytes, which is
+exactly the regime the determinism guarantees are about.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.executor import ExperimentExecutor
+from repro.experiments.store import ResultStore
+from repro.sweeps.runner import SweepRunner
+from repro.sweeps.spec import SweepSpec
+
+#: The grid the shared store holds: two scenarios (one autonomous, so
+#: departure metrics have non-trivial values) at two seeds.
+STORE_SPEC = SweepSpec(
+    name="analysis-unit",
+    scenarios=("captive_fixed_80", "autonomous_full"),
+    methods=("sqlb", "capacity"),
+    seeds=(1, 2),
+    scale="tiny",
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class WarmStore:
+    root: object  # Path
+    executor: ExperimentExecutor
+    spec: SweepSpec
+
+    @property
+    def store(self) -> ResultStore:
+        return self.executor.store
+
+
+@pytest.fixture(scope="session")
+def warm_store(tmp_path_factory) -> WarmStore:
+    root = tmp_path_factory.mktemp("analysis") / "store"
+    executor = ExperimentExecutor(workers=1, store=ResultStore(root))
+    report = SweepRunner(executor).run_shard(STORE_SPEC)
+    assert report.jobs == 8
+    return WarmStore(root=root, executor=executor, spec=STORE_SPEC)

@@ -1,0 +1,189 @@
+"""Tests for the figure catalog: payloads, determinism, rendering."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.figures import (
+    FIGURE_CATALOG,
+    available_figures,
+    figure_payload,
+    matplotlib_available,
+    method_color,
+    method_order,
+    payload_bytes,
+    render_catalog,
+)
+from repro.analysis.series import cells_from_store
+
+
+def catalog_spec(name):
+    return next(spec for spec in FIGURE_CATALOG if spec.name == name)
+
+
+class TestMethodColors:
+    def test_paper_methods_take_the_first_slots(self):
+        ordered = method_order(["capacity", "mariposa", "sqlb"])
+        assert ordered[0] == "sqlb"  # paper registry order, not alpha
+
+    def test_color_follows_the_method_name_globally(self):
+        """The same method is the same colour regardless of which
+        subset of methods a figure or a store happens to show."""
+        from repro.allocation.registry import available_methods
+
+        colors = {m: method_color(m) for m in available_methods()}
+        # Distinct slots for the paper's three methods.
+        paper_colors = [colors["sqlb"], colors["capacity"], colors["mariposa"]]
+        assert len(set(paper_colors)) == 3
+        # Global: a second lookup — any context — returns the same hex.
+        assert method_color("capacity") == colors["capacity"]
+        # An unregistered method degrades to a stable fallback slot.
+        assert method_color("hand-built") == method_color("hand-built")
+
+
+class TestPayloads:
+    def test_series_payload_shape(self, warm_store):
+        cells, _ = cells_from_store(warm_store.root)
+        payload = figure_payload(
+            warm_store.store, catalog_spec("response_time"), cells
+        )
+        assert payload["kind"] == "series"
+        assert set(payload["scenarios"]) == set(
+            warm_store.spec.scenarios
+        )
+        body = payload["scenarios"]["captive_fixed_80"]
+        assert body["method_order"] == ["sqlb", "capacity"]
+        for method in body["method_order"]:
+            band = body["methods"][method]
+            assert (
+                len(band["mean"])
+                == len(band["p50"])
+                == len(band["p90"])
+                == len(band["ci_halfwidth"])
+                == len(body["times"])
+            )
+            assert band["seeds"] == list(warm_store.spec.seeds)
+        assert payload["missing"] == []
+
+    def test_payload_is_strict_json_with_null_for_nan(self, warm_store):
+        cells, _ = cells_from_store(warm_store.root)
+        for spec in FIGURE_CATALOG:
+            payload = figure_payload(warm_store.store, spec, cells)
+            text = payload_bytes(payload)  # allow_nan=False inside
+            assert json.loads(text.decode()) == payload
+
+    def test_departures_payload_reports_fractions(self, warm_store):
+        cells, _ = cells_from_store(warm_store.root)
+        payload = figure_payload(
+            warm_store.store, catalog_spec("departures"), cells
+        )
+        body = payload["scenarios"]["autonomous_full"]
+        for method in body["method_order"]:
+            for kind in ("provider", "consumer"):
+                entry = body["methods"][method][kind]
+                assert 0.0 <= entry["mean"] <= 1.0
+                assert set(entry["per_seed"]) == {
+                    str(s) for s in warm_store.spec.seeds
+                }
+
+    def test_delta_payload_uses_first_method_as_baseline(
+        self, warm_store
+    ):
+        cells, _ = cells_from_store(warm_store.root)
+        payload = figure_payload(
+            warm_store.store,
+            catalog_spec("response_time_delta"),
+            cells,
+        )
+        for scenario, body in payload["scenarios"].items():
+            assert body["baseline"] == "sqlb"
+            assert "sqlb" not in body["methods"]
+            for entry in body["methods"].values():
+                assert entry["delta"] == pytest.approx(
+                    entry["mean"] - entry["baseline_mean"]
+                )
+
+
+class TestRenderCatalog:
+    def test_json_exports_are_byte_identical_across_runs(
+        self, warm_store, tmp_path
+    ):
+        first = render_catalog(
+            warm_store.root, tmp_path / "a", formats=("json",)
+        )
+        second = render_catalog(
+            warm_store.root, tmp_path / "b", formats=("json",)
+        )
+        assert [p.name for p in first.written] == [
+            p.name for p in second.written
+        ]
+        assert len(first.written) == len(FIGURE_CATALOG)
+        for left, right in zip(first.written, second.written):
+            assert left.read_bytes() == right.read_bytes(), left.name
+
+    def test_only_filter_and_unknown_figures(self, warm_store, tmp_path):
+        report = render_catalog(
+            warm_store.root,
+            tmp_path / "one",
+            formats=("json",),
+            only=("response_time",),
+        )
+        assert [p.name for p in report.written] == ["response_time.json"]
+        with pytest.raises(ValueError, match="unknown figures"):
+            render_catalog(
+                warm_store.root,
+                tmp_path / "bad",
+                only=("figure_9z",),
+            )
+
+    def test_unknown_format_is_refused(self, warm_store, tmp_path):
+        with pytest.raises(ValueError, match="unknown figure formats"):
+            render_catalog(
+                warm_store.root, tmp_path / "f", formats=("pdf",)
+            )
+
+    def test_image_formats_degrade_without_matplotlib(
+        self, warm_store, tmp_path
+    ):
+        report = render_catalog(
+            warm_store.root, tmp_path / "imgs", formats=("json", "svg")
+        )
+        json_files = [
+            p for p in report.written if p.suffix == ".json"
+        ]
+        assert len(json_files) == len(FIGURE_CATALOG)
+        if matplotlib_available():
+            svg_files = [
+                p for p in report.written if p.suffix == ".svg"
+            ]
+            assert len(svg_files) == len(FIGURE_CATALOG)
+            assert not report.skipped
+        else:
+            assert any("matplotlib" in note for note in report.skipped)
+            assert all(p.suffix == ".json" for p in report.written)
+
+    @pytest.mark.skipif(
+        not matplotlib_available(), reason="matplotlib not installed"
+    )
+    def test_svg_rendering_is_deterministic(self, warm_store, tmp_path):
+        first = render_catalog(
+            warm_store.root,
+            tmp_path / "svg-a",
+            formats=("svg",),
+            only=("response_time",),
+        )
+        second = render_catalog(
+            warm_store.root,
+            tmp_path / "svg-b",
+            formats=("svg",),
+            only=("response_time",),
+        )
+        assert (
+            first.written[0].read_bytes()
+            == second.written[0].read_bytes()
+        )
+
+    def test_catalog_names_are_unique(self):
+        assert len(set(available_figures())) == len(FIGURE_CATALOG)

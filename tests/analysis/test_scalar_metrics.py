@@ -1,0 +1,101 @@
+"""Tests for the scalar-metric registry."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.metrics import (
+    SCALAR_METRICS,
+    available_metrics,
+    get_metric,
+)
+from repro.experiments.harness import run_repeated
+from repro.simulation.config import DepartureRules, tiny_config
+
+
+@pytest.fixture(scope="module")
+def autonomous_result():
+    config = tiny_config().with_departures(DepartureRules.autonomous(True))
+    [result] = run_repeated(config, "sqlb", seeds=(3,))
+    return result
+
+
+class TestRegistry:
+    def test_lookup_matches_catalog(self):
+        for name in available_metrics():
+            assert get_metric(name).name == name
+
+    def test_unknown_metric_fails_loudly(self):
+        with pytest.raises(ValueError, match="unknown metric"):
+            get_metric("queries_per_fortnight")
+
+    def test_registry_is_name_keyed(self):
+        assert set(SCALAR_METRICS) == set(available_metrics())
+
+    def test_directions_are_declared(self):
+        assert not get_metric("response_time_post_warmup").higher_is_better
+        assert get_metric("provider_satisfaction").higher_is_better
+
+
+class TestExtraction:
+    def test_response_time_matches_result_attribute(
+        self, autonomous_result
+    ):
+        metric = get_metric("response_time_post_warmup")
+        assert metric.extract(autonomous_result) == (
+            autonomous_result.response_time_post_warmup
+        )
+
+    def test_departure_fractions_match_result_methods(
+        self, autonomous_result
+    ):
+        assert get_metric("provider_departure_fraction").extract(
+            autonomous_result
+        ) == autonomous_result.provider_departure_fraction()
+        assert get_metric("consumer_departure_fraction").extract(
+            autonomous_result
+        ) == autonomous_result.consumer_departure_fraction()
+
+    def test_combined_departure_fraction_counts_distinct_participants(
+        self, autonomous_result
+    ):
+        value = get_metric("departure_fraction").extract(autonomous_result)
+        departed = {
+            (d.kind, d.index) for d in autonomous_result.departures
+        }
+        initial = (
+            autonomous_result.initial_providers
+            + autonomous_result.initial_consumers
+        )
+        assert value == (len(departed) / initial if departed else 0.0)
+        assert 0.0 <= value <= 1.0
+
+    def test_satisfaction_metrics_read_the_final_sample(
+        self, autonomous_result
+    ):
+        assert get_metric("provider_satisfaction").extract(
+            autonomous_result
+        ) == float(
+            autonomous_result.series(
+                "provider_intention_satisfaction_mean"
+            )[-1]
+        )
+
+
+class TestWorsening:
+    def test_lower_is_better_worsens_upward(self):
+        metric = get_metric("response_time_post_warmup")
+        assert metric.worsening(10.0, 13.0) == pytest.approx(3.0)
+        assert metric.worsening(10.0, 8.0) == pytest.approx(-2.0)
+
+    def test_higher_is_better_worsens_downward(self):
+        metric = get_metric("provider_satisfaction")
+        assert metric.worsening(0.8, 0.6) == pytest.approx(0.2)
+        assert metric.worsening(0.6, 0.8) == pytest.approx(-0.2)
+
+    def test_nan_propagates(self):
+        metric = get_metric("response_time_post_warmup")
+        assert math.isnan(metric.worsening(float("nan"), 1.0))
+        assert math.isnan(metric.worsening(1.0, float("nan")))

@@ -302,3 +302,47 @@ class TestErrorParkedScenario:
         controller._issued_seeds = _boom
         [cached] = controller.step()
         assert cached == decision
+
+
+class TestCiMetricRegistry:
+    def test_any_registry_metric_is_accepted(self):
+        from repro.analysis.metrics import available_metrics
+
+        for name in available_metrics():
+            config = AdaptiveConfig(
+                ci_threshold=0.1, max_seeds=4, metric=name
+            )
+            assert AdaptiveConfig.from_payload(config.payload()) == config
+
+    def test_unknown_metric_names_the_registry(self):
+        with pytest.raises(ValueError, match="available:"):
+            AdaptiveConfig(
+                ci_threshold=0.1, max_seeds=4, metric="wall_clock"
+            )
+
+    def test_departure_fraction_drives_convergence(self, tmp_path):
+        """Captive runs have zero departures at every seed, so the
+        departure-fraction CI is exactly 0 and the first complete
+        batch converges — while response time would still be wide."""
+        queue = WorkQueue.init(
+            tmp_path / "q",
+            spec(),
+            adaptive=AdaptiveConfig(
+                ci_threshold=0.0,
+                max_seeds=6,
+                metric="departure_fraction",
+            ).payload(),
+        )
+        executor = executor_for(tmp_path / "store")
+        QueueWorker(queue, executor=executor, owner="w", ttl=TTL).run()
+        assert queue.counts().drained
+
+        controller = AdaptiveController(queue, executor.store)
+        [decision] = controller.step()
+        assert decision.action == "converged"
+        assert decision.halfwidth == 0.0
+        assert decision.seeds_done == spec().seeds
+
+    def test_default_metric_is_the_papers_headline(self):
+        config = AdaptiveConfig(ci_threshold=0.1, max_seeds=4)
+        assert config.metric == "response_time_post_warmup"

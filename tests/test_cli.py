@@ -420,3 +420,219 @@ class TestQueueCommands:
         )
         workers = {m["worker"] for m in sweep_status["manifests"]}
         assert workers == {"one", "two"}
+
+
+class TestAnalyzeParser:
+    def test_series_requires_a_name(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["analyze", "series"])
+
+    def test_figures_defaults(self):
+        args = build_parser().parse_args(["analyze", "figures"])
+        assert args.analyze_command == "figures"
+        assert args.formats == ["json", "svg"]
+        assert args.only is None
+
+    def test_figures_rejects_unknown_format(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["analyze", "figures", "--formats", "pdf"]
+            )
+
+    def test_compare_threshold_syntax(self):
+        args = build_parser().parse_args(
+            [
+                "analyze", "compare", "a", "b",
+                "--threshold", "response_time_post_warmup=0.5",
+            ]
+        )
+        assert args.threshold == [("response_time_post_warmup", 0.5)]
+        for bad in ("qps=0.5", "response_time_post_warmup", "x=-1"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(
+                    ["analyze", "compare", "a", "b", "--threshold", bad]
+                )
+
+    def test_queue_init_accepts_ci_metric(self):
+        args = build_parser().parse_args(
+            [
+                "queue", "init", "--queue-dir", "q", "--adaptive",
+                "--ci-metric", "departure_fraction",
+            ]
+        )
+        assert args.ci_metric == "departure_fraction"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                [
+                    "queue", "init", "--queue-dir", "q",
+                    "--ci-metric", "wall_clock",
+                ]
+            )
+
+    def test_queue_work_accepts_expiry_clock(self):
+        args = build_parser().parse_args(
+            [
+                "queue", "work", "--queue-dir", "q",
+                "--expiry-clock", "mtime",
+            ]
+        )
+        assert args.expiry_clock == "mtime"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                [
+                    "queue", "work", "--queue-dir", "q",
+                    "--expiry-clock", "sundial",
+                ]
+            )
+
+
+class TestAnalyzeCommands:
+    def _run(self, capsys, *argv: str) -> str:
+        assert main(list(argv)) == 0
+        return capsys.readouterr().out
+
+    @pytest.fixture
+    def store(self, tmp_path, capsys) -> str:
+        store = str(tmp_path / "store")
+        self._run(
+            capsys, "sweep", "run", *QUEUE_SPEC_FLAGS,
+            "--cache-dir", store,
+        )
+        return store
+
+    def test_analyze_requires_a_store(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        with pytest.raises(SystemExit, match="store"):
+            main(["analyze", "series", "--series", "response_time_mean"])
+        with pytest.raises(SystemExit, match="no result store"):
+            main(
+                [
+                    "analyze", "figures",
+                    "--store", str(tmp_path / "nope"),
+                ]
+            )
+
+    def test_series_table_and_json(self, store, capsys):
+        table = self._run(
+            capsys, "analyze", "series", "--store", store,
+            "--series", "response_time_mean", "--methods", "sqlb",
+        )
+        assert "captive_fixed_80 / sqlb / response_time_mean" in table
+        import json as jsonlib
+
+        payload = jsonlib.loads(
+            self._run(
+                capsys, "analyze", "series", "--store", store,
+                "--series", "response_time_mean", "--json",
+            )
+        )
+        assert payload["series"] == "response_time_mean"
+        assert {cell["method"] for cell in payload["cells"]} == {
+            "sqlb", "capacity",
+        }
+
+    def test_series_refuses_an_empty_filter(self, store):
+        with pytest.raises(SystemExit, match="no matching cells"):
+            main(
+                [
+                    "analyze", "series", "--store", store,
+                    "--series", "response_time_mean",
+                    "--scenarios", "diurnal",
+                ]
+            )
+
+    def test_figures_renders_the_catalog(self, store, tmp_path, capsys):
+        out = str(tmp_path / "figs")
+        output = self._run(
+            capsys, "analyze", "figures", "--store", store,
+            "--out", out, "--formats", "json",
+        )
+        assert "rendered 7 file(s)" in output
+        from pathlib import Path as PathLib
+
+        assert (PathLib(out) / "response_time.json").is_file()
+
+    def test_queue_report_figures_mid_drain(self, tmp_path, capsys):
+        """--figures must work on a partially drained queue."""
+        queue_dir = str(tmp_path / "q")
+        store = str(tmp_path / "qstore")
+        self._run(
+            capsys, "queue", "init", "--queue-dir", queue_dir,
+            *QUEUE_SPEC_FLAGS,
+        )
+        # Drain exactly one of the two jobs: partial by construction.
+        self._run(
+            capsys, "queue", "work", "--queue-dir", queue_dir,
+            "--cache-dir", store, "--max-jobs", "1",
+        )
+        out = str(tmp_path / "partial-figs")
+        report = self._run(
+            capsys, "queue", "report", "--queue-dir", queue_dir,
+            "--cache-dir", store, "--figures",
+            "--figures-out", out, "--formats", "json",
+        )
+        assert "figures:" in report
+        from pathlib import Path as PathLib
+
+        written = sorted(p.name for p in PathLib(out).glob("*.json"))
+        # Single-method cells: the delta figure has no comparator and
+        # is skipped; the series/departure figures render.
+        assert "response_time.json" in written
+
+
+class TestQueueMaintenanceCli:
+    def _run(self, capsys, *argv: str) -> str:
+        assert main(list(argv)) == 0
+        return capsys.readouterr().out
+
+    def test_gc_and_retry_round_trip(self, tmp_path, capsys):
+        import json as jsonlib
+        import os as oslib
+        import time as timelib
+
+        queue_dir = str(tmp_path / "q")
+        self._run(
+            capsys, "queue", "init", "--queue-dir", queue_dir,
+            *QUEUE_SPEC_FLAGS,
+        )
+        # Plant an old orphaned temp file.
+        stale = tmp_path / "q" / "pending" / ".ticket.orphan"
+        stale.write_text("{}")
+        old = timelib.time() - 7200.0
+        oslib.utime(stale, (old, old))
+
+        found = jsonlib.loads(
+            self._run(
+                capsys, "queue", "gc", "--queue-dir", queue_dir,
+                "--no-cache", "--json",
+            )
+        )
+        assert found["temp_files"] == [str(stale)]
+        assert found["pruned"] is False
+
+        self._run(
+            capsys, "queue", "gc", "--queue-dir", queue_dir,
+            "--no-cache", "--prune",
+        )
+        assert not stale.exists()
+
+        # Park an error, then retry it through the CLI.
+        from repro.scheduler import WorkQueue
+
+        queue = WorkQueue(queue_dir)
+        lease = queue.claim("cli-worker", 30.0)
+        assert queue.fail(lease, "boom", max_attempts=1) == "error"
+
+        listing = self._run(
+            capsys, "queue", "retry", "--queue-dir", queue_dir,
+            "--list",
+        )
+        assert lease.job.id in listing
+        retried = jsonlib.loads(
+            self._run(
+                capsys, "queue", "retry", "--queue-dir", queue_dir,
+                "--json",
+            )
+        )
+        assert retried["requeued"] == [lease.job.id]
+        assert queue.counts().pending == 2  # both cells runnable again
