@@ -23,6 +23,8 @@ import dataclasses
 import math
 from collections.abc import Callable
 
+import numpy as np
+
 from repro.simulation.engine import SimulationResult
 
 __all__ = [
@@ -65,6 +67,47 @@ def _final_series_sample(name: str) -> Callable[[SimulationResult], float]:
         return float(result.series(name)[-1])
 
     return extract
+
+
+def _initial_providers(result: SimulationResult) -> int:
+    return result.initial_providers or result.config.n_providers
+
+
+def _provider_availability(result: SimulationResult) -> float:
+    """Mean sampled active-provider count over the initial population.
+
+    1.0 for a run that never loses capacity; outages, flapping, and
+    permanent churn all pull it down for as long as they hold providers
+    out of service.
+    """
+    series = result.series("active_providers")
+    if series.size == 0:
+        return float("nan")
+    return float(series.mean()) / _initial_providers(result)
+
+
+def _capacity_recovery_time(result: SimulationResult) -> float:
+    """Seconds from first observed capacity loss back to full strength.
+
+    0.0 when the sampled active-provider count never drops below the
+    initial population; NaN when it drops and never returns (permanent
+    churn, or an outage still open at the horizon).  Resolution is the
+    sample interval — faults are observed through the sampled series,
+    not the event log.
+    """
+    series = result.series("active_providers")
+    if series.size == 0:
+        return float("nan")
+    initial = _initial_providers(result)
+    below = np.flatnonzero(series < initial)
+    if below.size == 0:
+        return 0.0
+    drop = int(below[0])
+    recovered = np.flatnonzero(series[drop:] >= initial)
+    if recovered.size == 0:
+        return float("nan")
+    times = result.times()
+    return float(times[drop + int(recovered[0])] - times[drop])
 
 
 def _combined_departure_fraction(result: SimulationResult) -> float:
@@ -137,6 +180,20 @@ def _registry() -> dict[str, ScalarMetric]:
             unit="fraction",
             higher_is_better=True,
             extract=_final_series_sample("utilization_mean"),
+        ),
+        ScalarMetric(
+            name="provider_availability",
+            label="mean active providers / initial providers",
+            unit="fraction",
+            higher_is_better=True,
+            extract=_provider_availability,
+        ),
+        ScalarMetric(
+            name="capacity_recovery_time",
+            label="first capacity loss to full recovery",
+            unit="s",
+            higher_is_better=False,
+            extract=_capacity_recovery_time,
         ),
     ]
     return {metric.name: metric for metric in metrics}

@@ -40,7 +40,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.experiments.store import ResultStore
-from repro.simulation.config import SimulationConfig
+from repro.simulation.config import SimulationConfig, WorkloadSpec
 from repro.sweeps.aggregate import CI_Z, SUMMARY_QUANTILES
 from repro.sweeps.runner import load_manifests, manifest_cells
 from repro.sweeps.spec import SweepSpec
@@ -126,6 +126,13 @@ def cells_from_store(
     the store is ambiguous and reading it would silently mix
     environments — that is an error the caller must resolve by
     splitting the store, not a judgement call this layer may make.
+
+    A cell declared by a trace-replay manifest gets the manifest's
+    recorded ``kind="trace"`` workload grafted onto the scenario
+    config, because that is the config its results were keyed under.
+    A cell declared both with and without a trace workload (or with
+    two different ones) is ambiguous in exactly the same way as a
+    two-scale store and raises.
     """
     rows, stale = manifest_cells(load_manifests(store_root))
     configs: dict[str, SimulationConfig] = {}
@@ -153,11 +160,31 @@ def cells_from_store(
                 f"{scenario!r} without a spec payload; cannot derive "
                 "its config"
             )
+        config = configs[scenario]
+        traces = row.get("trace_workloads") or [None]
+        if any(payload is not None for payload in traces):
+            if len(traces) != 1:
+                raise ValueError(
+                    f"store {store_root} is ambiguous: cell "
+                    f"({scenario!r}, {row['method']!r}) is declared "
+                    "with conflicting trace-replay workloads (or a mix "
+                    "of replayed and live runs); analyze the replays' "
+                    "stores separately"
+                )
+            workload = dict(traces[0])
+            points = workload.get("points")
+            if points is not None:
+                workload["points"] = tuple(
+                    (float(t), float(v)) for t, v in points
+                )
+            config = dataclasses.replace(
+                config, workload=WorkloadSpec(**workload)
+            )
         cells.append(
             CellRuns(
                 scenario=scenario,
                 method=row["method"],
-                config=configs[scenario],
+                config=config,
                 seeds=row["seeds"],
             )
         )

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Four subcommands::
+Subcommands::
 
     python -m repro methods
         List the registered allocation methods.
@@ -42,6 +42,17 @@ Four subcommands::
         (``--prune`` removes them).  Point any number of ``work``
         processes — same machine or a shared directory — at one queue.
 
+    python -m repro trace record|replay
+        Paired-comparison workflows: ``record`` runs one scenario cell
+        and serialises its arrival stream (every arrival time, consumer,
+        and query class) to a portable trace file; ``replay`` feeds that
+        exact stream to the engine under any set of methods, storing the
+        results under an explicit ``kind="trace"`` workload so
+        ``analyze compare`` sees method deltas with the arrival noise
+        removed.  A replay under the recording method and seed is
+        asserted byte-identical to the recording run (non-zero exit
+        otherwise).
+
     python -m repro analyze series|figures|compare
         The read side: turn result stores into paper artifacts with
         zero new simulations.  ``series`` prints one named sampled
@@ -73,6 +84,7 @@ seed set) and ``default`` alongside explicit integers.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import os
 from collections import Counter
@@ -95,6 +107,7 @@ from repro.analysis import (
 from repro.experiments.store import ResultStore
 from repro.experiments.executor import (
     CACHE_DIR_ENV,
+    SimulationJob,
     configure_default_executor,
     get_default_executor,
     workers_from_environment,
@@ -142,6 +155,13 @@ from repro.scheduler import (
     queue_status,
 )
 from repro.simulation.engine import ENGINE_VERSION
+from repro.simulation.trace import (
+    load_trace,
+    record_trace,
+    replay_config,
+    series_fingerprint,
+    trace_digest,
+)
 from repro.sweeps import (
     SCALES,
     SweepRunner,
@@ -152,8 +172,10 @@ from repro.sweeps import (
     manifest_directory,
     manifest_status,
     merge_stores,
+    scenario_catalog,
     sweep_summary,
 )
+from repro.sweeps.runner import environment_hash, write_manifest
 
 __all__ = ["build_parser", "main"]
 
@@ -501,6 +523,15 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the machine-readable status payload",
     )
+    queue_status_cmd.add_argument(
+        "--expiry-clock",
+        choices=EXPIRY_CLOCKS,
+        default="wall",
+        help="judge worker liveness under this clock; pass the same "
+        "value the fleet's workers use so status and scavengers agree "
+        "(mtime: heartbeat-file mtimes vs. the shared filesystem's "
+        "clock, skew-immune)",
+    )
 
     queue_report_cmd = queue_sub.add_parser(
         "report",
@@ -576,6 +607,91 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="emit the machine-readable gc report",
+    )
+
+    trace = sub.add_parser(
+        "trace",
+        help="record one run's arrival stream; replay it under other "
+        "methods for paired (same-queries) comparisons",
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    trace_record = trace_sub.add_parser(
+        "record",
+        help="run one scenario cell, writing its arrival trace and "
+        "storing the recording run",
+    )
+    add_cache_options(trace_record)
+    trace_record.add_argument(
+        "--out",
+        required=True,
+        metavar="TRACE",
+        help="trace file to write",
+    )
+    trace_record.add_argument(
+        "--scenario",
+        required=True,
+        choices=available_scenarios(),
+        metavar="SCENARIO",
+        help="catalog scenario to record "
+        f"(available: {', '.join(available_scenarios())})",
+    )
+    trace_record.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default="tiny",
+        help="base environment scale (default: tiny)",
+    )
+    trace_record.add_argument(
+        "--method",
+        default="sqlb",
+        choices=available_methods(),
+        help="allocation method of the recording run (default: sqlb)",
+    )
+    trace_record.add_argument("--seed", type=int, default=0)
+
+    trace_replay = trace_sub.add_parser(
+        "replay",
+        help="replay a recorded trace under one or more methods into "
+        "a result store",
+    )
+    add_cache_options(trace_replay)
+    trace_replay.add_argument(
+        "--workers",
+        type=positive_int,
+        default=None,
+        help="process-pool size for the per-method replay jobs "
+        "(default: $REPRO_WORKERS, else 1 = serial)",
+    )
+    trace_replay.add_argument(
+        "--trace",
+        required=True,
+        metavar="TRACE",
+        help="trace file written by 'repro trace record'",
+    )
+    trace_replay.add_argument(
+        "--methods",
+        nargs="+",
+        choices=available_methods(),
+        default=list(PAPER_METHODS),
+        metavar="METHOD",
+        help="methods to replay the trace under (default: the "
+        "paper's three)",
+    )
+    trace_replay.add_argument(
+        "--scenario",
+        choices=available_scenarios(),
+        default=None,
+        metavar="SCENARIO",
+        help="catalog scenario of the replay environment (default: "
+        "the trace's recorded provenance)",
+    )
+    trace_replay.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default=None,
+        help="base environment scale (default: the trace's recorded "
+        "provenance)",
     )
 
     def add_store_option(command: argparse.ArgumentParser) -> None:
@@ -947,6 +1063,8 @@ def _cmd_sweep_status(args: argparse.Namespace) -> str:
         stale = " (stale)" if row["stale"] else ""
         if row["worker"] is not None:
             source = f"w:{row['worker'][:12]}"
+        elif row.get("trace") is not None:
+            source = f"t:{Path(row['trace']).name[:12]}"
         else:
             source = f"{row['shard_index']}/{row['shard_count']}"
         lines.append(
@@ -1018,8 +1136,12 @@ def _cmd_queue_init(args: argparse.Namespace) -> str:
 
 
 def _open_queue(args: argparse.Namespace) -> WorkQueue:
+    # Commands without an --expiry-clock flag open under the default
+    # wall clock; those with one (work, status) get a handle whose
+    # heartbeat/liveness/scavenging judgements all share that clock.
+    clock = getattr(args, "expiry_clock", "wall")
     try:
-        return WorkQueue(args.queue_dir)
+        return WorkQueue(args.queue_dir, clock=clock)
     except (FileNotFoundError, ValueError) as error:
         raise SystemExit(f"repro: error: {error}") from None
 
@@ -1221,6 +1343,183 @@ def _cmd_queue(args: argparse.Namespace) -> str:
         return _cmd_queue_gc(args)
     raise AssertionError(
         f"unhandled queue command {args.queue_command!r}"
+    )  # pragma: no cover
+
+
+def _scenario_config(scenario: str, scale: str):
+    try:
+        return scenario_catalog(scale, names=(scenario,))[scenario].config
+    except ValueError as error:
+        raise SystemExit(f"repro: error: {error}") from None
+
+
+def _workload_payload(config) -> dict:
+    """A workload spec as its manifest payload (None fields dropped)."""
+    return {
+        name: value
+        for name, value in dataclasses.asdict(config.workload).items()
+        if value is not None
+    }
+
+
+def _cmd_trace_record(args: argparse.Namespace) -> str:
+    cache_dir = _require_cache_dir(args, "trace record")
+    config = _scenario_config(args.scenario, args.scale)
+    try:
+        result = record_trace(
+            config,
+            args.method,
+            args.seed,
+            args.out,
+            scenario=args.scenario,
+            scale=args.scale,
+        )
+    except ValueError as error:
+        raise SystemExit(f"repro: error: {error}") from None
+    store = ResultStore(cache_dir)
+    key = store.put(result, method=args.method)
+    digest = trace_digest(args.out)
+    spec = SweepSpec(
+        name="trace-record",
+        scenarios=(args.scenario,),
+        methods=(args.method,),
+        seeds=(args.seed,),
+        scale=args.scale,
+    )
+    write_manifest(
+        store.root,
+        spec,
+        environment_hash(spec),
+        {"trace": str(args.out)},
+        f"trace-record.{digest[:12]}",
+        [
+            {
+                "scenario": args.scenario,
+                "method": args.method,
+                "seed": args.seed,
+                "key": key,
+                "state": "simulated",
+            }
+        ],
+    )
+    trace = load_trace(args.out)
+    return "\n".join(
+        [
+            f"trace written to {args.out}",
+            f"events: {trace.events} ({trace.issued} issued)   "
+            f"digest: {digest[:16]}…",
+            f"recording: {args.scenario} / {args.method} / seed "
+            f"{args.seed} @ {args.scale}   fingerprint: "
+            f"{trace.fingerprint[:16]}…",
+            f"store: {key}",
+            f"replay with: repro trace replay --trace {args.out} "
+            f"--cache-dir <other store>",
+        ]
+    )
+
+
+def _cmd_trace_replay(args: argparse.Namespace) -> str:
+    cache_dir = _require_cache_dir(args, "trace replay")
+    try:
+        trace = load_trace(args.trace)
+    except ValueError as error:
+        raise SystemExit(f"repro: error: {error}") from None
+    scenario = args.scenario or trace.scenario
+    scale = args.scale or trace.scale
+    if scenario is None or scale is None:
+        raise SystemExit(
+            "repro: error: the trace records no scenario/scale "
+            "provenance; pass --scenario and --scale"
+        )
+    if trace.engine_version != ENGINE_VERSION:
+        raise SystemExit(
+            f"repro: error: trace {args.trace} was recorded under "
+            f"engine version {trace.engine_version!r}; this engine is "
+            f"{ENGINE_VERSION!r} and replay would not be comparable"
+        )
+    base = _scenario_config(scenario, scale)
+    try:
+        config = replay_config(base, args.trace)
+    except ValueError as error:
+        raise SystemExit(f"repro: error: {error}") from None
+    methods = tuple(dict.fromkeys(args.methods))
+    executor = get_default_executor()
+    try:
+        detailed = executor.run_detailed(
+            [SimulationJob(config, method, trace.seed) for method in methods]
+        )
+    except ValueError as error:
+        # Population/horizon mismatch against the replay environment.
+        raise SystemExit(f"repro: error: {error}") from None
+    store = ResultStore(cache_dir)
+    spec = SweepSpec(
+        name="trace-replay",
+        scenarios=(scenario,),
+        methods=methods,
+        seeds=(trace.seed,),
+        scale=scale,
+    )
+    entries = [
+        {
+            "scenario": scenario,
+            "method": method,
+            "seed": trace.seed,
+            "key": store.key(config, method, trace.seed),
+            "state": "store_hit" if hit else "simulated",
+        }
+        for method, (_, hit) in zip(methods, detailed)
+    ]
+    manifest_path = write_manifest(
+        store.root,
+        spec,
+        environment_hash(spec),
+        {
+            "trace": str(args.trace),
+            "trace_workload": _workload_payload(config),
+        },
+        f"trace-replay.{config.workload.trace_digest[:12]}",
+        entries,
+    )
+    lines = [
+        f"replayed {args.trace}: {scenario} @ {scale}, seed "
+        f"{trace.seed}, {trace.events} events ({trace.issued} issued)"
+    ]
+    mismatch = False
+    for method, (result, hit) in zip(methods, detailed):
+        fingerprint = series_fingerprint(result)
+        state = "store hit" if hit else "simulated"
+        line = (
+            f"  {method:<10} served {result.queries_served}/"
+            f"{result.queries_issued}   fingerprint "
+            f"{fingerprint[:16]}…   {state}"
+        )
+        if method == trace.method:
+            if fingerprint == trace.fingerprint:
+                line += "   byte-identical to the recording run"
+            else:
+                line += "   MISMATCH vs. the recording run"
+                mismatch = True
+        lines.append(line)
+    lines.append(f"manifest: {manifest_path}")
+    if mismatch:
+        print("\n".join(lines))
+        raise SystemExit(
+            f"repro: error: replay under the recording method "
+            f"{trace.method!r} did not reproduce the recording run's "
+            "sampled series; the replay environment differs from the "
+            "recorded one (wrong --scenario/--scale, or a code change "
+            "that requires an ENGINE_VERSION bump)"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_trace(args: argparse.Namespace) -> str:
+    if args.trace_command == "record":
+        return _cmd_trace_record(args)
+    if args.trace_command == "replay":
+        return _cmd_trace_replay(args)
+    raise AssertionError(
+        f"unhandled trace command {args.trace_command!r}"
     )  # pragma: no cover
 
 
@@ -1461,6 +1760,9 @@ def main(argv: list[str] | None = None) -> int:
         print(_cmd_sweep(args))
     elif args.command == "queue":
         print(_cmd_queue(args))
+    elif args.command == "trace":
+        _configure_executor(args)
+        print(_cmd_trace(args))
     elif args.command == "analyze":
         print(_cmd_analyze(args))
     elif args.command == "perf":

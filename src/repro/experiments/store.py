@@ -70,6 +70,13 @@ def cache_key(config: SimulationConfig, method: str, seed: int) -> str:
     of pre-existing fixed/ramp stores valid when new optional workload
     fields are introduced.  Any future optional workload field must
     follow the same None-means-absent convention.
+
+    The opt-in top-level scenario dimensions (``faults``, ``strategic``)
+    follow the same convention: ``None`` means the feature is absent and
+    is dropped, so keys minted before those fields existed stay valid.
+    Only these named fields are dropped — other top-level ``None``
+    values (``fixed_omega``, ``fixed_provider_satisfaction``) predate
+    the convention and are serialized as ``null`` in every existing key.
     """
     config_payload = dataclasses.asdict(config)
     config_payload["workload"] = {
@@ -77,6 +84,9 @@ def cache_key(config: SimulationConfig, method: str, seed: int) -> str:
         for name, value in config_payload["workload"].items()
         if value is not None
     }
+    for name in ("faults", "strategic"):
+        if config_payload.get(name) is None:
+            config_payload.pop(name, None)
     payload = {
         "engine_version": ENGINE_VERSION,
         "format_version": _FORMAT_VERSION,

@@ -22,6 +22,7 @@ from repro.model.metrics import (
     summarize,
 )
 from repro.model.provider_profile import ProviderProfile
+from repro.model.strategic import StrategicReporting, StrategicSpec
 
 __all__ = [
     "DEFAULT_MIN_MAX_C0",
@@ -29,6 +30,8 @@ __all__ = [
     "InteractionMemory",
     "ProviderProfile",
     "RowRingLog",
+    "StrategicReporting",
+    "StrategicSpec",
     "fairness",
     "fairness_of",
     "mean",

@@ -18,8 +18,6 @@ static sweep.
 
 from __future__ import annotations
 
-import time
-
 from repro.analysis.series import CellRuns
 from repro.experiments.executor import (
     ExperimentExecutor,
@@ -90,14 +88,18 @@ def queue_status(
     job has finished).  Pass ``store_root`` to append the store's
     manifest rows (shard and worker manifests alike).
     """
-    now = time.time() if now is None else now
+    now = queue.now() if now is None else now
     counts = queue.counts()
     lease_owners = queue.lease_owners()
     workers = []
     live_workers = 0
     for heartbeat in queue.heartbeats():
         owner = heartbeat.get("owner", "?")
-        deadline = float(heartbeat.get("deadline", float("-inf")))
+        # Judge liveness by the clock the queue handle was opened with:
+        # an mtime queue measures heartbeat-file mtimes against the
+        # shared filesystem's clock, so a skewed observer box doesn't
+        # misreport a live fleet as dead (or vice versa).
+        deadline = queue.heartbeat_deadline(owner)
         alive = deadline >= now
         if alive:
             live_workers += 1

@@ -261,8 +261,22 @@ class WorkQueue:
     """
 
     def __init__(
-        self, root: Path | str, _allow_unready: bool = False
+        self,
+        root: Path | str,
+        clock: str = "wall",
+        _allow_unready: bool = False,
     ) -> None:
+        if clock not in EXPIRY_CLOCKS:
+            raise ValueError(
+                f"unknown expiry clock {clock!r}; "
+                f"available: {', '.join(EXPIRY_CLOCKS)}"
+            )
+        #: The clock this handle judges liveness with.  Everything that
+        #: derives "now" or a heartbeat deadline without an explicit
+        #: argument (heartbeat, claim, requeue_expired, status readers)
+        #: consults this — a queue opened with ``--expiry-clock mtime``
+        #: must never silently fall back to the local wall clock.
+        self.clock = clock
         self.root = Path(root)
         payload = _read_json(self._queue_file)
         if payload is None:
@@ -444,11 +458,29 @@ class WorkQueue:
 
     # -- leasing ------------------------------------------------------
 
+    def now(self) -> float:
+        """"Now" under this queue's configured expiry clock.
+
+        The filesystem's clock for ``mtime`` queues (cached probe), the
+        local wall clock otherwise.
+        """
+        return (
+            self._filesystem_now_cached()
+            if self.clock == "mtime"
+            else time.time()
+        )
+
     def heartbeat(
         self, owner: str, ttl: float, now: float | None = None
     ) -> None:
-        """Publish/renew ``owner``'s liveness deadline (now + ttl)."""
-        now = time.time() if now is None else now
+        """Publish/renew ``owner``'s liveness deadline (now + ttl).
+
+        ``now`` defaults to :meth:`now` — the configured expiry clock —
+        so the recorded absolute deadline is consistent with how an
+        ``mtime`` fleet's scavengers will judge it even if one of them
+        falls back to the wall path.
+        """
+        now = self.now() if now is None else now
         # Record the sanitised owner: it's the form the lease filenames
         # carry, so liveness lookups join on one spelling.  The TTL is
         # recorded alongside the absolute deadline so mtime-clock
@@ -693,11 +725,23 @@ class WorkQueue:
                 return float("-inf")
         return float(heartbeat["deadline"])
 
+    def heartbeat_deadline(
+        self, owner: str, clock: str | None = None
+    ) -> float:
+        """Public form of the deadline rule status readers must share.
+
+        Defaults to this queue's configured clock so monitoring judges
+        liveness exactly as the scavengers do.
+        """
+        return self._heartbeat_deadline(
+            _sanitize(owner), self.clock if clock is None else clock
+        )
+
     def requeue_expired(
         self,
         now: float | None = None,
         max_attempts: int = DEFAULT_MAX_ATTEMPTS,
-        clock: str = "wall",
+        clock: str | None = None,
     ) -> list[str]:
         """Return expired leases to ``pending/``; returns their ids.
 
@@ -717,7 +761,10 @@ class WorkQueue:
         the deadline (heartbeat mtime + TTL) and "now"
         (:meth:`filesystem_now`, unless an explicit ``now`` is passed)
         from the shared filesystem, so multi-box queues need no NTP.
+        ``None`` (default) uses the clock the queue was opened with.
         """
+        if clock is None:
+            clock = self.clock
         if clock not in EXPIRY_CLOCKS:
             raise ValueError(
                 f"unknown expiry clock {clock!r}; "

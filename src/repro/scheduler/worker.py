@@ -141,7 +141,10 @@ class QueueWorker:
         ``wall`` (recorded deadlines vs. this box's clock — needs NTP
         across a multi-box fleet) or ``mtime`` (heartbeat-file mtimes
         vs. the shared filesystem's clock — skew-immune; see
-        :data:`~repro.scheduler.queue.EXPIRY_CLOCKS`).
+        :data:`~repro.scheduler.queue.EXPIRY_CLOCKS`).  ``None``
+        (default) adopts the clock the queue handle was opened with;
+        an explicit value is pushed onto the handle so heartbeats and
+        scavenging always judge time the same way.
     """
 
     def __init__(
@@ -154,7 +157,7 @@ class QueueWorker:
         max_jobs: int | None = None,
         wait: bool = False,
         max_attempts: int = DEFAULT_MAX_ATTEMPTS,
-        expiry_clock: str = "wall",
+        expiry_clock: str | None = None,
     ) -> None:
         self.queue = queue
         self._executor = executor
@@ -174,11 +177,19 @@ class QueueWorker:
                 f"max_attempts must be >= 1, got {max_attempts}"
             )
         self.max_attempts = int(max_attempts)
-        if expiry_clock not in EXPIRY_CLOCKS:
+        if expiry_clock is None:
+            expiry_clock = queue.clock
+        elif expiry_clock not in EXPIRY_CLOCKS:
             raise ValueError(
                 f"unknown expiry clock {expiry_clock!r}; "
                 f"available: {', '.join(EXPIRY_CLOCKS)}"
             )
+        else:
+            # Align the handle: the heartbeater thread renews through
+            # queue.heartbeat(), which derives "now" from queue.clock —
+            # a worker scavenging by mtime while heartbeating by wall
+            # would mix clocks within one protocol.
+            queue.clock = expiry_clock
         self.expiry_clock = expiry_clock
         self._stop_requested = False
 

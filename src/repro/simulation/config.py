@@ -24,14 +24,19 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from repro.model.strategic import StrategicSpec
+from repro.simulation.faults import FaultSpec
+
 __all__ = [
     "CapacityClassMix",
     "ClassBand",
     "DepartureRules",
+    "FaultSpec",
     "MariposaParams",
     "PreferenceClassMix",
     "QueryClassSpec",
     "SimulationConfig",
+    "StrategicSpec",
     "WorkloadSpec",
     "paper_config",
     "scaled_config",
@@ -192,6 +197,15 @@ class WorkloadSpec:
     Workload fractions are relative to the *initial* total system
     capacity (departures do not change the demand).  ``burst`` and
     ``piecewise`` fractions may exceed 1 (overload stress).
+
+    The fifth kind, ``trace``, replays a recorded arrival stream (see
+    :mod:`repro.simulation.trace`): the engine reads every arrival time,
+    consumer, and query class from the file at ``trace_path`` instead of
+    drawing them, and ``trace_digest`` pins the exact bytes being
+    replayed.  The shape fields carry the *recorded* workload (with its
+    original kind in ``trace_base_kind``) so measurement-only reads like
+    the sampled ``workload_fraction`` series and the optimal-utilisation
+    rule still evaluate the shape the trace was produced under.
     """
 
     kind: str = "ramp"
@@ -203,27 +217,60 @@ class WorkloadSpec:
     burst_end: float | None = None
     #: ``piecewise`` only: ((relative_time, fraction), ...) breakpoints.
     points: tuple[tuple[float, float], ...] | None = None
+    #: ``trace`` only: the trace file, its SHA-256, and the recorded
+    #: workload's original kind (which the shape fields above describe).
+    trace_path: str | None = None
+    trace_digest: str | None = None
+    trace_base_kind: str | None = None
 
     def __post_init__(self) -> None:
-        if self.kind not in ("fixed", "ramp", "burst", "piecewise"):
+        if self.kind not in ("fixed", "ramp", "burst", "piecewise", "trace"):
             raise ValueError(
-                "kind must be 'fixed', 'ramp', 'burst', or 'piecewise', "
-                f"got {self.kind!r}"
+                "kind must be 'fixed', 'ramp', 'burst', 'piecewise', or "
+                f"'trace', got {self.kind!r}"
             )
-        if self.kind in ("fixed", "ramp"):
+        if self.kind == "trace":
+            self._validate_trace()
+        elif (
+            self.trace_path is not None
+            or self.trace_digest is not None
+            or self.trace_base_kind is not None
+        ):
+            raise ValueError(
+                f"trace_* parameters are only valid for kind='trace', "
+                f"not {self.kind!r}"
+            )
+        shape = self._shape_kind()
+        if shape in ("fixed", "ramp"):
             self._validate_no_extras()
             if self.start_fraction <= 0:
                 raise ValueError(
                     f"start_fraction must be positive, got {self.start_fraction}"
                 )
-            if self.kind == "fixed" and self.end_fraction != self.start_fraction:
+            if shape == "fixed" and self.end_fraction != self.start_fraction:
                 object.__setattr__(self, "end_fraction", self.start_fraction)
             if self.end_fraction < self.start_fraction:
                 raise ValueError("a ramp cannot decrease")
-        elif self.kind == "burst":
+        elif shape == "burst":
             self._validate_burst()
         else:
             self._validate_piecewise()
+
+    def _shape_kind(self) -> str:
+        """The load *shape* to evaluate: the recorded kind for traces."""
+        return self.trace_base_kind if self.kind == "trace" else self.kind
+
+    def _validate_trace(self) -> None:
+        if not self.trace_path:
+            raise ValueError("a trace workload needs trace_path")
+        if not self.trace_digest:
+            raise ValueError("a trace workload needs trace_digest")
+        if self.trace_base_kind not in ("fixed", "ramp", "burst", "piecewise"):
+            raise ValueError(
+                "trace_base_kind must name the recorded workload's kind "
+                "('fixed', 'ramp', 'burst', or 'piecewise'), "
+                f"got {self.trace_base_kind!r}"
+            )
 
     def _validate_no_extras(self) -> None:
         if (
@@ -336,16 +383,17 @@ class WorkloadSpec:
 
     def fraction_at(self, time: float, duration: float) -> float:
         """Instantaneous workload fraction at ``time`` into a run."""
-        if self.kind == "fixed":
+        shape = self._shape_kind()
+        if shape == "fixed":
             return self.start_fraction
         if duration <= 0:
             return self.start_fraction
         progress = min(max(time / duration, 0.0), 1.0)
-        if self.kind == "ramp":
+        if shape == "ramp":
             return self.start_fraction + progress * (
                 self.end_fraction - self.start_fraction
             )
-        if self.kind == "burst":
+        if shape == "burst":
             if self.burst_start <= progress < self.burst_end:
                 return self.burst_fraction
             return self.start_fraction
@@ -365,12 +413,13 @@ class WorkloadSpec:
         :meth:`SimulationConfig.peak_arrival_rate` historically did, so
         existing numerics are bit-identical.
         """
-        if self.kind in ("fixed", "ramp"):
+        shape = self._shape_kind()
+        if shape in ("fixed", "ramp"):
             return max(
                 self.fraction_at(0.0, duration),
                 self.fraction_at(duration, duration),
             )
-        if self.kind == "burst":
+        if shape == "burst":
             return max(self.start_fraction, self.burst_fraction)
         return max(value for _, value in self.points)
 
@@ -568,6 +617,13 @@ class SimulationConfig:
     sample_interval: float = 30.0
     # --- baseline knobs ----------------------------------------------
     mariposa: MariposaParams = MariposaParams()
+    # --- adversarial scenario dimensions (opt-in; None = absent) -----
+    #: Scheduled temporary capacity loss (outages / flapping).  ``None``
+    #: keeps the run bit-identical to the pre-fault engine — it is the
+    #: absence of the feature, not an empty schedule.
+    faults: FaultSpec | None = None
+    #: Providers that misreport preferences to game allocation.
+    strategic: StrategicSpec | None = None
 
     def __post_init__(self) -> None:
         if self.n_consumers <= 0 or self.n_providers <= 0:
@@ -610,6 +666,14 @@ class SimulationConfig:
             raise ValueError("invalid departure timing parameters")
         if self.sample_interval <= 0:
             raise ValueError("sample_interval must be positive")
+        if self.faults is not None and not isinstance(self.faults, FaultSpec):
+            raise TypeError(f"faults must be a FaultSpec, got {self.faults!r}")
+        if self.strategic is not None and not isinstance(
+            self.strategic, StrategicSpec
+        ):
+            raise TypeError(
+                f"strategic must be a StrategicSpec, got {self.strategic!r}"
+            )
 
     # -- derived quantities ------------------------------------------
 
@@ -645,6 +709,16 @@ class SimulationConfig:
     def with_departures(self, departures: DepartureRules) -> "SimulationConfig":
         """A copy with different autonomy rules."""
         return replace(self, departures=departures)
+
+    def with_faults(self, faults: FaultSpec | None) -> "SimulationConfig":
+        """A copy with a different fault plan (``None`` removes it)."""
+        return replace(self, faults=faults)
+
+    def with_strategic(
+        self, strategic: StrategicSpec | None
+    ) -> "SimulationConfig":
+        """A copy with different strategic misreporting (``None`` removes)."""
+        return replace(self, strategic=strategic)
 
 
 def paper_config(**overrides) -> SimulationConfig:

@@ -90,6 +90,17 @@ class DeparturePolicy:
         tripping = active & informed & punished
         if self._consumer_streak is None:
             self._consumer_streak = np.zeros(consumers.size, dtype=np.int64)
+        elif self._consumer_streak.size != consumers.size:
+            # The streaks are positional: if the pool ever resized, every
+            # index would silently point at a different consumer and the
+            # departure attribution would be garbage.  Pools never resize
+            # today (departure flips the activity mask), so this is a
+            # loud guard, not a supported path.
+            raise ValueError(
+                f"consumer streak array tracks {self._consumer_streak.size} "
+                f"consumers but the pool now holds {consumers.size}; "
+                "DeparturePolicy does not support resizing pools"
+            )
         self._consumer_streak[~tripping] = 0
         self._consumer_streak[tripping] += 1
         leavers = np.flatnonzero(
@@ -146,6 +157,16 @@ class DeparturePolicy:
             streak = self._provider_streaks.setdefault(
                 name, np.zeros(providers.size, dtype=np.int64)
             )
+            if streak.size != providers.size:
+                # Same positional-identity guard as the consumer streaks:
+                # a resized pool would mis-attribute every reason in the
+                # Table 3 breakdown.
+                raise ValueError(
+                    f"provider streak array for {name!r} tracks "
+                    f"{streak.size} providers but the pool now holds "
+                    f"{providers.size}; DeparturePolicy does not support "
+                    "resizing pools"
+                )
             tripping = active & informed & mask
             streak[~tripping] = 0
             streak[tripping] += 1

@@ -29,9 +29,11 @@ from repro.core.intentions import (
 )
 from repro.model import metrics
 from repro.model.consumer_profile import query_adequation, query_satisfaction
+from repro.model.strategic import StrategicReporting
 from repro.simulation.capacity import assign_capacities
 from repro.simulation.config import SimulationConfig
 from repro.simulation.departures import DeparturePolicy, DepartureRecord
+from repro.simulation.faults import compile_fault_events
 from repro.simulation.matchmaking import Matchmaker, UniversalMatchmaker
 from repro.simulation.participants import ConsumerPool, ProviderPool
 from repro.simulation.preferences import (
@@ -180,6 +182,10 @@ class MediatorSimulation:
     matchmaker:
         Candidate-set source; defaults to the paper's universal
         matchmaker (every provider can treat every query).
+    recorder:
+        Optional trace recorder (see :mod:`repro.simulation.trace`);
+        when set, every issued query's (time, consumer, class) is
+        recorded.  Recording observes the run without altering it.
     """
 
     def __init__(
@@ -188,6 +194,7 @@ class MediatorSimulation:
         method: AllocationMethod | str,
         seed: int = 0,
         matchmaker: Matchmaker | None = None,
+        recorder=None,
     ) -> None:
         self.config = config
         if isinstance(method, str):
@@ -195,6 +202,7 @@ class MediatorSimulation:
         self.method = method
         self.seed = int(seed)
         self._matchmaker = matchmaker or UniversalMatchmaker()
+        self._recorder = recorder
 
         rngs = RngFactory(seed)
         self._rng_environment = rngs.get("environment")
@@ -202,6 +210,30 @@ class MediatorSimulation:
         self._rng_provider_prefs = rngs.get("provider_preferences")
         self._rng_method = rngs.get("method")
         self._rng_queries = rngs.get("queries")
+        # The adversarial dimensions request their streams only when
+        # configured: an unconfigured feature must not shift the spawn
+        # order of the five streams above (bit-identity with the
+        # pre-fault engine), and both streams are consumed entirely at
+        # setup, so stream *order* between the two is immaterial.
+        self._fault_events = (
+            ()
+            if config.faults is None
+            else compile_fault_events(
+                config.faults,
+                config.duration,
+                config.n_providers,
+                rngs.get("faults"),
+            )
+        )
+        self._fault_cursor = 0
+        self._fault_down: set[int] = set()
+        self._strategic = (
+            None
+            if config.strategic is None
+            else StrategicReporting(
+                config.strategic, config.n_providers, rngs.get("strategic")
+            )
+        )
 
         # --- environment ---------------------------------------------
         self.capacity = assign_capacities(
@@ -301,6 +333,8 @@ class MediatorSimulation:
         """Execute the full horizon and return the run's results."""
         config = self.config
         self.method.reset()
+        if config.workload.kind == "trace":
+            return self._run_replay()
         # Hoist the capacity/cost constants out of the per-candidate rate
         # evaluation; the expression keeps arrival_rate_at's exact
         # left-to-right arithmetic so the thinning stream is unchanged.
@@ -327,21 +361,154 @@ class MediatorSimulation:
         next_sample = config.sample_interval
         next_check = config.warmup_time + config.departure_check_interval
         autonomy = self._autonomy_enabled()  # constant for the whole run
+        faults = bool(self._fault_events)  # likewise constant
 
         for time in arrivals:
             while next_sample <= time:
+                if faults:
+                    self._apply_faults_until(next_sample)
                 self._sample(next_sample)
                 next_sample += config.sample_interval
             while autonomy and next_check <= time:
                 self._check_departures(next_check)
                 next_check += config.departure_check_interval
+            if faults:
+                self._apply_faults_until(time)
             self._process_arrival(time)
 
         while next_sample <= config.duration:
+            if faults:
+                self._apply_faults_until(next_sample)
             self._sample(next_sample)
             next_sample += config.sample_interval
 
         return self._build_result()
+
+    def _run_replay(self) -> SimulationResult:
+        """Drive the run from a recorded trace instead of arrival RNG.
+
+        The workload and query streams are bypassed *wholesale*: every
+        arrival time, issuing consumer, and query class comes from the
+        trace file, so two replays of one trace under different methods
+        see literally the same query sequence (paired comparison with
+        zero arrival-process variance).  Arrivals recorded with the
+        skipped sentinel (class ``-1`` — the drawn consumer had departed
+        at recording time) issue nothing here either, but still advance
+        the sample/departure ladders exactly as they did while
+        recording — that is what makes a recording-method replay
+        byte-identical.
+        """
+        # Local import: trace.py imports this module for recording.
+        from repro.simulation.trace import load_trace
+
+        config = self.config
+        trace = load_trace(
+            config.workload.trace_path,
+            expected_digest=config.workload.trace_digest,
+        )
+        self._check_trace_compatible(trace)
+
+        next_sample = config.sample_interval
+        next_check = config.warmup_time + config.departure_check_interval
+        autonomy = self._autonomy_enabled()
+        faults = bool(self._fault_events)
+        active = self.consumers.active
+        create_traced = self._factory.create_traced
+
+        for time, consumer, klass in zip(
+            trace.times.tolist(),
+            trace.consumers.tolist(),
+            trace.klasses.tolist(),
+        ):
+            while next_sample <= time:
+                if faults:
+                    self._apply_faults_until(next_sample)
+                self._sample(next_sample)
+                next_sample += config.sample_interval
+            while autonomy and next_check <= time:
+                self._check_departures(next_check)
+                next_check += config.departure_check_interval
+            if faults:
+                self._apply_faults_until(time)
+            if klass < 0 or not active[consumer]:
+                # klass < 0: the arrival issued nothing at recording
+                # time (departed consumer) and issues nothing here.
+                # Inactive consumer: live at recording time but departed
+                # in *this* run's dynamics — its queries vanish exactly
+                # as they would on the live path.
+                continue
+            query = create_traced(consumer, time, klass)
+            self._dispatch(query, time)
+
+        while next_sample <= config.duration:
+            if faults:
+                self._apply_faults_until(next_sample)
+            self._sample(next_sample)
+            next_sample += config.sample_interval
+
+        return self._build_result()
+
+    def _check_trace_compatible(self, trace) -> None:
+        config = self.config
+        mismatches = []
+        if trace.n_consumers != config.n_consumers:
+            mismatches.append(
+                f"consumers {trace.n_consumers} != {config.n_consumers}"
+            )
+        if trace.n_providers != config.n_providers:
+            mismatches.append(
+                f"providers {trace.n_providers} != {config.n_providers}"
+            )
+        if trace.duration != config.duration:
+            mismatches.append(
+                f"duration {trace.duration} != {config.duration}"
+            )
+        if tuple(trace.query_costs) != tuple(config.query_classes.costs):
+            mismatches.append(
+                f"query costs {tuple(trace.query_costs)} != "
+                f"{tuple(config.query_classes.costs)}"
+            )
+        if mismatches:
+            raise ValueError(
+                "trace was recorded against a different environment: "
+                + "; ".join(mismatches)
+            )
+
+    # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+
+    def _apply_faults_until(self, time: float) -> None:
+        """Apply every compiled fault event scheduled at or before ``time``.
+
+        Events take effect at the first engine event (arrival or sample)
+        at or after their scheduled time — exact sub-interval timing is
+        below the fidelity of the simulation's sampled outputs.
+        """
+        events = self._fault_events
+        cursor = self._fault_cursor
+        while cursor < len(events) and events[cursor].time <= time:
+            self._apply_fault_event(events[cursor])
+            cursor += 1
+        self._fault_cursor = cursor
+
+    def _apply_fault_event(self, event) -> None:
+        providers = self.providers
+        if event.action == "down":
+            for index in event.providers:
+                # Permanently-departed providers stay departed; already
+                # fault-downed providers (overlapping windows) are not
+                # double-claimed, so the first recovery restores them.
+                if providers.active[index] and index not in self._fault_down:
+                    providers.deactivate(index)
+                    self._fault_down.add(index)
+        else:
+            for index in event.providers:
+                # Only providers *this* layer took down come back — an
+                # autonomy departure is never reversed by a recovery.
+                if index in self._fault_down:
+                    providers.reactivate(index)
+                    self._fault_down.discard(index)
 
     # ------------------------------------------------------------------
     # per-query processing
@@ -397,10 +564,27 @@ class MediatorSimulation:
         if not self.consumers.active[consumer]:
             # A departed consumer issues nothing; its share of the
             # arrival process vanishes with it (Section 6.3.2: fewer
-            # incoming queries after consumer departures).
+            # incoming queries after consumer departures).  The arrival
+            # itself is still recorded: replay must trigger the ladders
+            # at every arrival instant, issued or not.
+            if self._recorder is not None:
+                self._recorder.record(time, consumer, -1)
             return
         query = self._factory.create(consumer, time)
+        self._dispatch(query, time)
+
+    def _dispatch(self, query, time: float) -> None:
+        """Mediate one issued query (Algorithm 1 body).
+
+        Shared between the live path (:meth:`_process_arrival`, which
+        draws the consumer and class) and trace replay (which reads them
+        from the file).
+        """
+        config = self.config
+        consumer = query.consumer
         self._queries_issued += 1
+        if self._recorder is not None:
+            self._recorder.record(time, consumer, query.klass)
 
         candidates, capacities = self._candidate_entry(query)
         if candidates.size == 0:
@@ -412,6 +596,16 @@ class MediatorSimulation:
         provider_preferences = self.provider_prefs.draw(
             candidates, query.klass
         )
+        # Strategic providers distort what they *report*; their private
+        # satisfaction (record_proposals below) is judged against the
+        # truthful draw.  reported is provider_preferences itself when
+        # no strategic spec is configured.
+        if self._strategic is not None:
+            reported_preferences = self._strategic.report(
+                candidates, provider_preferences
+            )
+        else:
+            reported_preferences = provider_preferences
         if config.fixed_provider_satisfaction is not None:
             provider_pref_satisfaction = np.full(
                 candidates.size, config.fixed_provider_satisfaction
@@ -421,7 +615,7 @@ class MediatorSimulation:
                 candidates, "preference"
             )
         provider_intentions = provider_intention_vector(
-            provider_preferences,
+            reported_preferences,
             utilizations,
             provider_pref_satisfaction,
             epsilon=config.epsilon,
@@ -443,7 +637,7 @@ class MediatorSimulation:
             candidates=candidates,
             consumer_intentions=consumer_intentions,
             provider_intentions=provider_intentions,
-            provider_preferences=provider_preferences,
+            provider_preferences=reported_preferences,
             utilizations=utilizations,
             capacities=capacities,
             backlog_seconds=self.queues.backlog_seconds_of(candidates, time),
@@ -700,8 +894,9 @@ def run_simulation(
     method: AllocationMethod | str,
     seed: int = 0,
     matchmaker: Matchmaker | None = None,
+    recorder=None,
 ) -> SimulationResult:
     """Convenience wrapper: build and run one simulation."""
     return MediatorSimulation(
-        config, method, seed=seed, matchmaker=matchmaker
+        config, method, seed=seed, matchmaker=matchmaker, recorder=recorder
     ).run()

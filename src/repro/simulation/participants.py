@@ -237,6 +237,18 @@ class ProviderPool:
         self._active[provider] = False
         self._epoch += 1
 
+    def reactivate(self, provider: int) -> None:
+        """Return a fault-downed provider to service.
+
+        Bumps the epoch exactly as :meth:`deactivate` does, so every
+        cache keyed on it (the engine's candidate sets and their
+        identity-keyed dependents) re-derives the active set.  Only the
+        fault layer calls this — permanent autonomy departures are never
+        reversed.
+        """
+        self._active[provider] = True
+        self._epoch += 1
+
     def record_proposals(
         self,
         providers: np.ndarray,

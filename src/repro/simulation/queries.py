@@ -107,3 +107,23 @@ class QueryFactory:
         )
         self._next_id += 1
         return query
+
+    def create_traced(
+        self, consumer: int, issued_at: float, klass: int
+    ) -> Query:
+        """Issue a query with a *given* class — no RNG consumed.
+
+        The trace-replay path: the class was drawn when the trace was
+        recorded, so replay must not touch the query stream at all.
+        """
+        query = Query.__new__(Query)
+        query.__dict__.update(
+            qid=self._next_id,
+            consumer=consumer,
+            klass=klass,
+            cost_units=self._cost_list[klass],
+            n_desired=self._n_desired,
+            issued_at=issued_at,
+        )
+        self._next_id += 1
+        return query

@@ -276,6 +276,13 @@ def manifest_cells(
     skipped as *stale* — written under a different engine version,
     whose results are unreachable under current store keys and must
     not be reported as "missing" cells.
+
+    Trace-replay manifests (``repro trace replay``) carry a top-level
+    ``trace_workload`` payload — the ``kind="trace"`` workload their
+    results were keyed under.  Each row's ``trace_workloads`` lists the
+    distinct such payloads that declared the cell (``None`` for a plain
+    sweep manifest); the store reader uses it to rebuild the replay
+    config, and refuses cells with conflicting declarations.
     """
     stale = 0
     cells: dict[tuple[str, str], dict] = {}
@@ -285,6 +292,12 @@ def manifest_cells(
             continue
         spec_payload = manifest.get("spec")
         spec_hash = manifest.get("spec_hash")
+        trace_payload = manifest.get("trace_workload")
+        trace_key = (
+            None
+            if trace_payload is None
+            else json.dumps(trace_payload, sort_keys=True)
+        )
         for job in manifest["jobs"]:
             cell = cells.setdefault(
                 (job["scenario"], job["method"]),
@@ -293,11 +306,13 @@ def manifest_cells(
                     "method": job["method"],
                     "seeds": set(),
                     "specs": {},
+                    "traces": {},
                 },
             )
             cell["seeds"].add(int(job["seed"]))
             if spec_payload is not None:
                 cell["specs"].setdefault(spec_hash, spec_payload)
+            cell["traces"].setdefault(trace_key, trace_payload)
     rows = []
     for _, cell in sorted(cells.items()):
         rows.append(
@@ -307,6 +322,12 @@ def manifest_cells(
                 "seeds": tuple(sorted(cell["seeds"])),
                 "specs": [
                     cell["specs"][key] for key in sorted(cell["specs"])
+                ],
+                "trace_workloads": [
+                    cell["traces"][key]
+                    for key in sorted(
+                        cell["traces"], key=lambda k: (k is not None, k)
+                    )
                 ],
             }
         )
@@ -320,7 +341,8 @@ def manifest_status(manifests: list[dict]) -> list[dict]:
     ``--json``) and the scheduler's monitor, so the CLI, CI assertions,
     and the queue tooling all read one schema.  ``shard_index`` /
     ``shard_count`` are ``None`` for worker manifests (which carry
-    ``worker`` instead), and vice versa.
+    ``worker`` instead), and vice versa; trace record/replay manifests
+    carry ``trace`` (the trace-file path) in place of both.
     """
     rows = []
     for manifest in manifests:
@@ -333,6 +355,7 @@ def manifest_status(manifests: list[dict]) -> list[dict]:
                 "shard_index": manifest.get("shard_index"),
                 "shard_count": manifest.get("shard_count"),
                 "worker": manifest.get("worker"),
+                "trace": manifest.get("trace"),
                 "jobs": len(states),
                 "simulated": states.count("simulated"),
                 "store_hits": states.count("store_hit"),

@@ -16,6 +16,14 @@ beyond the paper's grid:
   overload (120 %) for the middle of the run, so every departure reason
   can trip; measures how much of the provider population each method
   burns through.
+* ``captive_outage`` / ``captive_flap`` — fault injection (see
+  :mod:`repro.simulation.faults`): temporary capacity loss at a steady
+  80 % workload, either one sustained outage of a quarter of the
+  providers or a subset flapping in and out of service.
+* ``autonomous_strategic`` — a quarter of the providers exaggerate the
+  preferences they report (see :mod:`repro.model.strategic`) in an
+  autonomous 80 % environment, probing how much each method's feedback
+  loop rewards misreporting.
 
 Scenario names are the unit the sweep layer shards and aggregates by:
 ``SweepSpec.scenarios`` is a tuple of catalog names, and summary tables
@@ -29,12 +37,15 @@ from dataclasses import dataclass
 
 from repro.simulation.config import (
     DepartureRules,
+    FaultSpec,
     SimulationConfig,
+    StrategicSpec,
     WorkloadSpec,
     paper_config,
     scaled_config,
     tiny_config,
 )
+from repro.simulation.faults import FlapSpec, OutageSpec
 
 __all__ = [
     "SCALES",
@@ -113,6 +124,50 @@ def _provider_churn_stress(base: SimulationConfig) -> SimulationConfig:
     )
 
 
+def _captive_outage(base: SimulationConfig) -> SimulationConfig:
+    return (
+        base.with_departures(DepartureRules.captive())
+        .with_workload(WorkloadSpec.fixed(0.80))
+        .with_faults(
+            FaultSpec(
+                outages=(OutageSpec(fraction=0.25, start=0.40, end=0.60),)
+            )
+        )
+    )
+
+
+def _captive_flap(base: SimulationConfig) -> SimulationConfig:
+    return (
+        base.with_departures(DepartureRules.captive())
+        .with_workload(WorkloadSpec.fixed(0.80))
+        .with_faults(
+            FaultSpec(
+                flaps=(
+                    FlapSpec(
+                        fraction=0.15,
+                        period=0.10,
+                        duty=0.5,
+                        start=0.30,
+                        end=0.90,
+                    ),
+                )
+            )
+        )
+    )
+
+
+def _autonomous_strategic(base: SimulationConfig) -> SimulationConfig:
+    return (
+        base.with_departures(
+            DepartureRules.autonomous(include_overutilization=True)
+        )
+        .with_workload(WorkloadSpec.fixed(0.80))
+        .with_strategic(
+            StrategicSpec(fraction=0.25, mode="exaggerate", gain=0.6)
+        )
+    )
+
+
 #: name → (description, builder applying the scenario to a base config).
 _BUILDERS: dict[
     str, tuple[str, Callable[[SimulationConfig], SimulationConfig]]
@@ -144,6 +199,18 @@ _BUILDERS: dict[
     "provider_churn_stress": (
         "autonomous overload burst (120 % mid-run): provider churn stress",
         _provider_churn_stress,
+    ),
+    "captive_outage": (
+        "25 % of providers down for the middle fifth of an 80 % run",
+        _captive_outage,
+    ),
+    "captive_flap": (
+        "15 % of providers flapping (10 % cycles) through 30-90 % of run",
+        _captive_flap,
+    ),
+    "autonomous_strategic": (
+        "autonomous 80 % run with 25 % of providers exaggerating preferences",
+        _autonomous_strategic,
     ),
 }
 

@@ -78,6 +78,44 @@ class TestCellDiscovery:
         with pytest.raises(ValueError, match="ambiguous"):
             cells_from_store(root)
 
+    def test_mixed_replay_and_live_cells_are_refused(
+        self, warm_store, tmp_path
+    ):
+        """One cell declared by both a live sweep and a trace replay is
+        ambiguous: the store keys resolve under different workloads."""
+        import shutil
+
+        root = tmp_path / "mixed"
+        shutil.copytree(warm_store.root, root)
+        spec = warm_store.spec
+        write_manifest(
+            root,
+            spec,
+            "deadbeef",
+            {
+                "trace": "some/trace.json",
+                "trace_workload": {
+                    "kind": "trace",
+                    "fraction": 0.8,
+                    "trace_path": "some/trace.json",
+                    "trace_digest": "f" * 64,
+                    "trace_base_kind": "fixed",
+                },
+            },
+            "trace-replay.ffffffffffff",
+            [
+                {
+                    "scenario": spec.scenarios[0],
+                    "method": spec.methods[0],
+                    "seed": spec.seeds[0],
+                    "key": "0" * 64,
+                    "state": "simulated",
+                }
+            ],
+        )
+        with pytest.raises(ValueError, match="trace-replay"):
+            cells_from_store(root)
+
     def test_stale_manifests_are_skipped_not_reported_missing(
         self, warm_store, tmp_path
     ):

@@ -1,0 +1,127 @@
+"""Tests for strategic (misreporting) providers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.model.strategic import StrategicReporting, StrategicSpec
+from repro.simulation.engine import run_simulation
+
+from tests.experiments.test_golden import (
+    SERIES_SHA256,
+    _series_fingerprint,
+    captive_config,
+)
+
+
+class TestSpecValidation:
+    def test_fraction_bounds(self):
+        with pytest.raises(ValueError, match="fraction"):
+            StrategicSpec(fraction=0.0)
+        with pytest.raises(ValueError, match="fraction"):
+            StrategicSpec(fraction=1.1)
+
+    def test_mode_checked(self):
+        with pytest.raises(ValueError, match="mode"):
+            StrategicSpec(mode="lie")
+
+    def test_gain_bounds(self):
+        with pytest.raises(ValueError, match="gain"):
+            StrategicSpec(gain=0.0)
+        with pytest.raises(ValueError, match="gain"):
+            StrategicSpec(gain=1.5)
+
+
+class TestMask:
+    def test_size_and_determinism(self):
+        spec = StrategicSpec(fraction=0.25)
+        first = StrategicReporting(spec, 16, np.random.default_rng(3))
+        second = StrategicReporting(spec, 16, np.random.default_rng(3))
+        assert first.strategic_mask.sum() == 4
+        np.testing.assert_array_equal(
+            first.strategic_mask, second.strategic_mask
+        )
+
+    def test_at_least_one_strategic(self):
+        spec = StrategicSpec(fraction=0.01)
+        reporting = StrategicReporting(spec, 8, np.random.default_rng(0))
+        assert reporting.strategic_mask.sum() == 1
+
+
+class TestReport:
+    def _reporting(self, mode, gain=0.5, n=4):
+        spec = StrategicSpec(fraction=0.5, mode=mode, gain=gain)
+        reporting = StrategicReporting(spec, n, np.random.default_rng(0))
+        # Pin the mask so assertions are readable.
+        reporting.strategic_mask[:] = [True, False, True, False]
+        return reporting
+
+    def test_exaggerate_moves_toward_plus_one(self):
+        reporting = self._reporting("exaggerate", gain=0.5)
+        providers = np.arange(4)
+        truthful = np.array([-1.0, -0.5, 0.0, 0.5])
+        reported = reporting.report(providers, truthful)
+        np.testing.assert_allclose(reported, [0.0, -0.5, 0.5, 0.5])
+        # The truthful input is never mutated.
+        np.testing.assert_array_equal(truthful, [-1.0, -0.5, 0.0, 0.5])
+
+    def test_understate_moves_toward_minus_one(self):
+        reporting = self._reporting("understate", gain=0.5)
+        providers = np.arange(4)
+        truthful = np.array([-1.0, -0.5, 0.0, 0.5])
+        reported = reporting.report(providers, truthful)
+        np.testing.assert_allclose(reported, [-1.0, -0.5, -0.5, 0.5])
+
+    def test_full_gain_reports_the_extreme(self):
+        reporting = self._reporting("exaggerate", gain=1.0)
+        providers = np.arange(4)
+        truthful = np.array([-0.9, -0.9, 0.3, 0.3])
+        reported = reporting.report(providers, truthful)
+        np.testing.assert_allclose(reported, [1.0, -0.9, 1.0, 0.3])
+
+    def test_no_strategic_candidates_passes_through(self):
+        reporting = self._reporting("exaggerate")
+        providers = np.array([1, 3])  # both non-strategic
+        truthful = np.array([0.2, -0.7])
+        reported = reporting.report(providers, truthful)
+        assert reported is truthful  # no copy when nothing changes
+
+    def test_report_consumes_no_rng(self):
+        rng = np.random.default_rng(11)
+        reporting = StrategicReporting(StrategicSpec(), 16, rng)
+        before = rng.bit_generator.state
+        reporting.report(np.arange(16), np.zeros(16))
+        assert rng.bit_generator.state == before
+
+    def test_identity_cache_tracks_candidate_array(self):
+        reporting = self._reporting("exaggerate")
+        first = np.arange(4)
+        reporting.report(first, np.zeros(4))
+        assert reporting._cached_providers is first
+        second = np.array([1, 3])
+        reporting.report(second, np.zeros(2))
+        assert reporting._cached_providers is second
+        np.testing.assert_array_equal(
+            reporting._cached_member, [False, False]
+        )
+
+
+class TestEngineIntegration:
+    def test_none_spec_is_bit_identical_to_baseline(self):
+        result = run_simulation(captive_config(), "sqlb", seed=5)
+        assert (
+            _series_fingerprint(result)
+            == SERIES_SHA256[("captive", "sqlb")]
+        )
+
+    def test_strategic_changes_numerics_but_not_grid(self):
+        baseline = run_simulation(captive_config(), "sqlb", seed=5)
+        config = captive_config().with_strategic(StrategicSpec())
+        distorted = run_simulation(config, "sqlb", seed=5)
+        np.testing.assert_array_equal(
+            baseline.times(), distorted.times()
+        )
+        assert _series_fingerprint(baseline) != _series_fingerprint(
+            distorted
+        )

@@ -315,3 +315,73 @@ class TestReviewHardening:
         assert queue.enqueue(spec().expand()) == 1
         assert queue.counts().pending == 4
         assert (queue.pending_dir / victim.id).exists()
+
+
+class TestClockThreading:
+    """A queue opened with ``--expiry-clock mtime`` must never silently
+    fall back to the local wall clock (the bug this class pins)."""
+
+    def test_unknown_clock_refused_at_open(self, queue):
+        with pytest.raises(ValueError, match="expiry clock"):
+            WorkQueue(queue.root, clock="sundial")
+
+    def test_explicit_unknown_clock_still_refused(self, queue):
+        with pytest.raises(ValueError, match="expiry clock"):
+            queue.requeue_expired(clock="sundial")
+
+    def test_now_follows_the_handle_clock(self, queue, tmp_path):
+        import time
+
+        assert abs(queue.now() - time.time()) < 1.0
+        mtime_queue = WorkQueue(queue.root, clock="mtime")
+        # The filesystem probe returns a real timestamp (tmpfs and
+        # local disks track wall time closely; equality is not the
+        # contract, finiteness and same-era is).
+        assert abs(mtime_queue.now() - time.time()) < 300.0
+
+    def test_heartbeat_deadline_missing_owner(self, queue):
+        assert queue.heartbeat_deadline("nobody") == float("-inf")
+
+    def test_heartbeat_deadline_wall(self, queue):
+        queue.heartbeat("w", TTL, now=1000.0)
+        assert queue.heartbeat_deadline("w") == 1000.0 + TTL
+
+    def test_mtime_queue_ignores_recorded_wall_deadlines(self, queue):
+        """Regression: an mtime-opened queue judges liveness by the
+        heartbeat *file's* freshness, so a worker whose recorded wall
+        deadline is ancient (clock skew) is still alive — and the same
+        lease under the wall clock would be scavenged."""
+        import time
+
+        lease = queue.claim("skewed", TTL, now=0.0)  # deadline = TTL
+        assert lease is not None
+        mtime_queue = WorkQueue(queue.root, clock="mtime")
+        # Default (handle) clock: the file was touched moments ago.
+        assert mtime_queue.requeue_expired() == []
+        assert mtime_queue.heartbeat_deadline("skewed") > time.time() - 60.0
+        # The recorded deadline says long-expired under the wall clock.
+        assert queue.requeue_expired() == [lease.job.id]
+
+
+class TestFreshQueueMaintenance:
+    """gc --prune and retry on an initialised-never-drained queue must
+    be clean no-ops: no pruned tickets, no requeues, exit clean."""
+
+    def test_gc_prune_is_a_noop(self, queue):
+        report = queue.gc(prune=True)
+        assert report.temp_files == ()
+        assert report.stale_heartbeats == ()
+        assert report.stranded_jobs == ()
+        assert queue.counts() == QueueCounts(
+            jobs=4, pending=4, leased=0, done=0
+        )
+
+    def test_retry_is_a_noop(self, queue):
+        report = queue.retry_errors()
+        assert report.requeued == ()
+        assert report.reticketed == ()
+        assert report.skipped == ()
+        assert queue.counts().pending == 4
+
+    def test_pending_tickets_are_not_stranded(self, queue):
+        assert queue.stranded_jobs() == []

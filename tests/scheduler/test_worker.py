@@ -33,6 +33,30 @@ def executor_for(path) -> ExperimentExecutor:
     return ExperimentExecutor(workers=1, store=ResultStore(path))
 
 
+class TestExpiryClock:
+    def test_worker_adopts_the_queue_handle_clock(self, tmp_path):
+        queue = WorkQueue(
+            WorkQueue.init(tmp_path / "q", spec()).root, clock="mtime"
+        )
+        worker = QueueWorker(queue, owner="adopter", ttl=TTL)
+        assert worker.expiry_clock == "mtime"
+
+    def test_explicit_clock_is_pushed_onto_the_handle(self, tmp_path):
+        queue = WorkQueue.init(tmp_path / "q", spec())
+        assert queue.clock == "wall"
+        worker = QueueWorker(
+            queue, owner="pusher", ttl=TTL, expiry_clock="mtime"
+        )
+        assert worker.expiry_clock == "mtime"
+        # Heartbeats and scavenging must judge time the same way.
+        assert queue.clock == "mtime"
+
+    def test_unknown_clock_refused(self, tmp_path):
+        queue = WorkQueue.init(tmp_path / "q", spec())
+        with pytest.raises(ValueError, match="expiry clock"):
+            QueueWorker(queue, owner="x", ttl=TTL, expiry_clock="sundial")
+
+
 class TestDrain:
     def test_single_worker_drains_the_queue(self, tmp_path):
         queue = WorkQueue.init(tmp_path / "q", spec())

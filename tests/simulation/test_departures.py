@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import numpy as np
+import pytest
 
 from repro.simulation.config import DepartureRules
 from repro.simulation.departures import DeparturePolicy
@@ -83,6 +84,15 @@ class TestConsumerDepartures:
         policy = make_policy(rules)
         pool = punished_consumer_pool(n=1, queries=3)  # below threshold
         assert policy.check_consumers(1.0, pool) == []
+
+    def test_resized_pool_is_rejected_loudly(self):
+        rules = DepartureRules(
+            consumers_may_leave=True, consumer_persistence=3
+        )
+        policy = make_policy(rules)
+        policy.check_consumers(1.0, punished_consumer_pool(n=2))
+        with pytest.raises(ValueError, match="resizing pools"):
+            policy.check_consumers(2.0, punished_consumer_pool(n=3))
 
 
 class TestProviderDepartures:
@@ -195,6 +205,21 @@ class TestProviderDepartures:
             5.0, pool, np.full(4, 0.01), optimal_utilization=0.8
         )
         assert all(r.reason == "dissatisfaction" for r in records)
+
+    def test_resized_pool_is_rejected_loudly(self):
+        """The lazy streak arrays are positional: a pool of a different
+        size must trip the guard, never silently mis-attribute."""
+        rules = DepartureRules(
+            provider_reasons=("overutilization",), persistence=2
+        )
+        policy = make_policy(rules)
+        pool = starved_provider_pool(n=4)
+        policy.check_providers(1.0, pool, self._utilization(), 0.8)
+        bigger = starved_provider_pool(n=5)
+        with pytest.raises(ValueError, match="resizing pools"):
+            policy.check_providers(
+                2.0, bigger, self._utilization(n=5), 0.8
+            )
 
     def test_departed_providers_not_rechecked(self):
         rules = DepartureRules(

@@ -1,0 +1,237 @@
+"""Tests for fault injection (outages, flapping) in the engine.
+
+The load-bearing invariants:
+
+* A config with ``faults=None`` draws nothing from any new RNG stream,
+  so every pre-fault run stays bit-identical (the goldens enforce the
+  same thing globally; here it is asserted against the fault path
+  specifically).
+* Every capacity change — down and up alike — goes through the pool's
+  ``deactivate``/``reactivate`` and therefore bumps the epoch the
+  candidate cache is keyed on.
+* A provider that *departed* (autonomy) is never resurrected by a
+  fault-recovery event; only providers the fault layer itself took
+  down come back.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.metrics import get_metric
+from repro.simulation.config import tiny_config
+from repro.simulation.engine import MediatorSimulation, run_simulation
+from repro.simulation.faults import (
+    FaultEvent,
+    FaultSpec,
+    FlapSpec,
+    OutageSpec,
+    compile_fault_events,
+)
+
+from tests.experiments.test_golden import (
+    SERIES_SHA256,
+    _series_fingerprint,
+    autonomous_config,
+    captive_config,
+)
+from tests.simulation.test_candidate_cache import build_sim, make_query
+
+OUTAGE = FaultSpec(
+    outages=(OutageSpec(fraction=0.25, start=0.40, end=0.60),)
+)
+
+
+class TestSpecValidation:
+    def test_outage_bounds(self):
+        with pytest.raises(ValueError, match="fraction"):
+            OutageSpec(fraction=0.0, start=0.1, end=0.2)
+        with pytest.raises(ValueError, match="fraction"):
+            OutageSpec(fraction=1.5, start=0.1, end=0.2)
+        with pytest.raises(ValueError, match="window"):
+            OutageSpec(fraction=0.5, start=0.6, end=0.6)
+        with pytest.raises(ValueError, match="window"):
+            OutageSpec(fraction=0.5, start=-0.1, end=0.5)
+
+    def test_flap_bounds(self):
+        with pytest.raises(ValueError, match="period"):
+            FlapSpec(fraction=0.5, period=0.0)
+        with pytest.raises(ValueError, match="duty"):
+            FlapSpec(fraction=0.5, period=0.2, duty=1.0)
+
+    def test_fault_spec_type_checks(self):
+        with pytest.raises(TypeError):
+            FaultSpec(outages=(FlapSpec(fraction=0.5, period=0.2),))
+        with pytest.raises(TypeError):
+            FaultSpec(flaps=(OutageSpec(fraction=0.5, start=0.1, end=0.2),))
+
+    def test_canonicalizes_to_tuples(self):
+        spec = FaultSpec(outages=[OutageSpec(0.5, 0.1, 0.2)])
+        assert isinstance(spec.outages, tuple)
+
+
+class TestCompile:
+    def test_outage_compiles_to_down_up_pair(self):
+        rng = np.random.default_rng(0)
+        events = compile_fault_events(OUTAGE, 100.0, 16, rng)
+        assert [e.action for e in events] == ["down", "up"]
+        assert events[0].time == pytest.approx(40.0)
+        assert events[1].time == pytest.approx(60.0)
+        assert events[0].providers == events[1].providers
+        assert len(events[0].providers) == 4  # 0.25 * 16
+
+    def test_compile_is_deterministic_per_seed(self):
+        first = compile_fault_events(
+            OUTAGE, 100.0, 16, np.random.default_rng(7)
+        )
+        second = compile_fault_events(
+            OUTAGE, 100.0, 16, np.random.default_rng(7)
+        )
+        assert first == second
+
+    def test_flap_cycles_cover_window(self):
+        spec = FaultSpec(
+            flaps=(
+                FlapSpec(fraction=0.25, period=0.2, duty=0.5,
+                         start=0.0, end=1.0),
+            )
+        )
+        events = compile_fault_events(
+            spec, 100.0, 16, np.random.default_rng(0)
+        )
+        downs = [e for e in events if e.action == "down"]
+        ups = [e for e in events if e.action == "up"]
+        assert len(downs) == len(ups) == 5  # 5 cycles of 20 s
+        assert [e.time for e in downs] == pytest.approx(
+            [0.0, 20.0, 40.0, 60.0, 80.0]
+        )
+        assert [e.time for e in ups] == pytest.approx(
+            [10.0, 30.0, 50.0, 70.0, 90.0]
+        )
+
+    def test_events_sorted_by_time(self):
+        spec = FaultSpec(
+            outages=(
+                OutageSpec(fraction=0.2, start=0.5, end=0.9),
+                OutageSpec(fraction=0.2, start=0.1, end=0.7),
+            )
+        )
+        events = compile_fault_events(
+            spec, 100.0, 16, np.random.default_rng(0)
+        )
+        assert [e.time for e in events] == sorted(e.time for e in events)
+
+
+class TestEngineIntegration:
+    def test_zero_faults_is_bit_identical_to_baseline(self):
+        """faults=None must not consume RNG or perturb anything."""
+        result = run_simulation(captive_config(), "sqlb", seed=5)
+        assert (
+            _series_fingerprint(result)
+            == SERIES_SHA256[("captive", "sqlb")]
+        )
+
+    def test_outage_dips_and_recovers(self):
+        config = captive_config().with_faults(OUTAGE)
+        result = run_simulation(config, "sqlb", seed=5)
+        active = result.series("active_providers")
+        assert active.min() == 12  # 16 - 4 down
+        assert active[0] == 16
+        assert active[-1] == 16  # recovered by the horizon
+
+    def test_outage_changes_numerics_but_not_grid(self):
+        baseline = run_simulation(captive_config(), "sqlb", seed=5)
+        faulted = run_simulation(
+            captive_config().with_faults(OUTAGE), "sqlb", seed=5
+        )
+        np.testing.assert_array_equal(baseline.times(), faulted.times())
+        assert _series_fingerprint(baseline) != _series_fingerprint(faulted)
+
+    def test_departed_provider_is_never_resurrected(self):
+        """A fault-up event only restores fault-downed providers."""
+        config = tiny_config(duration=60.0).with_faults(OUTAGE)
+        sim = MediatorSimulation(config, "sqlb", seed=5)
+        # Simulate an autonomy departure of a provider the outage will
+        # also take down: departures win permanently.
+        downed = sim._fault_events[0].providers
+        victim = downed[0]
+        sim.providers.deactivate(victim)
+        sim._apply_fault_event(sim._fault_events[0])
+        sim._apply_fault_event(sim._fault_events[1])
+        active = sim.providers.active
+        assert not active[victim]  # departed, not resurrected
+        for provider in downed[1:]:
+            assert active[provider]  # fault-downed ones came back
+
+    def test_fault_events_bump_pool_epoch(self):
+        config = tiny_config(duration=60.0).with_faults(OUTAGE)
+        sim = MediatorSimulation(config, "sqlb", seed=5)
+        epoch = sim.providers.epoch
+        sim._apply_fault_event(sim._fault_events[0])
+        assert sim.providers.epoch == epoch + len(
+            sim._fault_events[0].providers
+        )
+
+
+class TestCandidateCacheUnderFaults:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(st.integers(0, 15), st.booleans()),
+            max_size=30,
+        )
+    )
+    def test_cache_tracks_deactivate_and_reactivate(self, ops):
+        """Property: with up *and* down transitions interleaved, the
+        cached candidate set always equals a fresh recomputation."""
+        sim = build_sim()
+        for provider, down in ops:
+            if down:
+                sim.providers.deactivate(provider)
+            else:
+                sim.providers.reactivate(provider)
+            np.testing.assert_array_equal(
+                sim._candidates(make_query(0)),
+                np.flatnonzero(sim.providers.active),
+            )
+
+
+class TestFaultMetrics:
+    def test_availability_and_recovery_without_faults(self):
+        result = run_simulation(captive_config(), "sqlb", seed=5)
+        availability = get_metric("provider_availability").extract(result)
+        recovery = get_metric("capacity_recovery_time").extract(result)
+        assert availability == pytest.approx(1.0)
+        assert recovery == 0.0
+
+    def test_availability_and_recovery_with_outage(self):
+        config = captive_config().with_faults(OUTAGE)
+        result = run_simulation(config, "sqlb", seed=5)
+        availability = get_metric("provider_availability").extract(result)
+        recovery = get_metric("capacity_recovery_time").extract(result)
+        assert 0.9 < availability < 1.0
+        # The outage window (24 s – 36 s) covers exactly one sample of
+        # the 10 s grid (t=30); capacity is back at the next sample, so
+        # the observed recovery time is one grid step.
+        assert recovery == pytest.approx(10.0)
+
+    def test_recovery_nan_when_capacity_never_returns(self):
+        # Permanent churn: an autonomous departure removes capacity
+        # forever, so the recovery metric must report NaN, not a huge
+        # number.  (An OutageSpec cannot produce this — its recovery
+        # event lands at or before the horizon by construction.)
+        result = run_simulation(autonomous_config(), "sqlb", seed=5)
+        active = result.series("active_providers")
+        assert active.min() < active[0]  # capacity was lost...
+        assert active[-1] < active[0]  # ...and never came back
+        recovery = get_metric("capacity_recovery_time").extract(result)
+        assert np.isnan(recovery)
+
+
+def test_fault_event_is_frozen():
+    event = FaultEvent(time=1.0, action="down", providers=(0,))
+    with pytest.raises(AttributeError):
+        event.time = 2.0

@@ -21,6 +21,9 @@ EXPECTED = (
     "flash_crowd",
     "diurnal",
     "provider_churn_stress",
+    "captive_outage",
+    "captive_flap",
+    "autonomous_strategic",
 )
 
 
@@ -83,6 +86,24 @@ class TestScenarioSemantics:
         churn = catalog["provider_churn_stress"].config
         assert churn.workload.burst_fraction == pytest.approx(1.20)
         assert churn.departures.provider_reasons
+
+    def test_fault_and_strategic_scenarios(self):
+        catalog = scenario_catalog("scaled")
+        outage = catalog["captive_outage"].config
+        assert outage.faults is not None
+        assert len(outage.faults.outages) == 1
+        assert outage.faults.outages[0].fraction == pytest.approx(0.25)
+        assert not outage.departures.consumers_may_leave
+        flap = catalog["captive_flap"].config
+        assert flap.faults is not None
+        assert len(flap.faults.flaps) == 1
+        assert flap.faults.flaps[0].period == pytest.approx(0.10)
+        strategic = catalog["autonomous_strategic"].config
+        assert strategic.faults is None
+        assert strategic.strategic is not None
+        assert strategic.strategic.mode == "exaggerate"
+        assert strategic.strategic.fraction == pytest.approx(0.25)
+        assert strategic.departures.consumers_may_leave
 
 
 @pytest.mark.parametrize("name", EXPECTED)

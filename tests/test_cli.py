@@ -232,6 +232,82 @@ class TestSweepCommands:
         assert "no sweep manifests" in out
 
 
+class TestTraceCommands:
+    def _run(self, capsys, *argv: str) -> str:
+        assert main(list(argv)) == 0
+        return capsys.readouterr().out
+
+    def test_record_requires_a_store(self, tmp_path):
+        with pytest.raises(SystemExit, match="result store"):
+            main([
+                "trace", "record", "--out", str(tmp_path / "t.json"),
+                "--scenario", "captive_fixed_80", "--no-cache",
+            ])
+
+    def test_record_replay_compare_round_trip(self, tmp_path, capsys):
+        """Acceptance: record → replay two methods (recording method
+        byte-identical) → paired compare across the two stores."""
+        trace = str(tmp_path / "trace.json")
+        store_a = str(tmp_path / "a")
+        store_b = str(tmp_path / "b")
+
+        recorded = self._run(
+            capsys,
+            "trace", "record", "--out", trace,
+            "--scenario", "captive_fixed_80", "--scale", "tiny",
+            "--method", "sqlb", "--seed", "3",
+            "--cache-dir", store_a,
+        )
+        assert f"trace written to {trace}" in recorded
+        assert "issued" in recorded
+
+        replayed = self._run(
+            capsys,
+            "trace", "replay", "--trace", trace,
+            "--methods", "sqlb", "capacity",
+            "--cache-dir", store_b, "--workers", "1",
+        )
+        assert "byte-identical to the recording run" in replayed
+        assert "capacity" in replayed
+
+        # The replay manifest lets the analysis layer pair the stores
+        # on the shared (scenario, recording-method) cell.
+        compared = self._run(
+            capsys, "analyze", "compare", store_a, store_b
+        )
+        assert "captive_fixed_80" in compared
+        assert "sqlb" in compared
+
+        # A warm re-replay performs zero new simulations.
+        warm = self._run(
+            capsys,
+            "trace", "replay", "--trace", trace,
+            "--methods", "sqlb", "capacity",
+            "--cache-dir", store_b, "--workers", "1",
+        )
+        assert "simulated" not in warm.replace("store hit", "")
+        assert warm.count("store hit") == 2
+
+    def test_replay_against_wrong_scenario_fails_loudly(
+        self, tmp_path, capsys
+    ):
+        trace = str(tmp_path / "trace.json")
+        self._run(
+            capsys,
+            "trace", "record", "--out", trace,
+            "--scenario", "captive_fixed_80", "--scale", "tiny",
+            "--method", "sqlb", "--seed", "3",
+            "--cache-dir", str(tmp_path / "a"),
+        )
+        with pytest.raises(SystemExit, match="did not reproduce"):
+            main([
+                "trace", "replay", "--trace", trace,
+                "--scenario", "autonomous_full",
+                "--methods", "sqlb",
+                "--cache-dir", str(tmp_path / "b"), "--workers", "1",
+            ])
+
+
 class TestQueueParser:
     def test_init_defaults(self):
         args = build_parser().parse_args(
