@@ -18,14 +18,19 @@ Run with::
 
 from __future__ import annotations
 
+import os
 from collections import Counter
 
 from repro import DepartureRules, WorkloadSpec, run_simulation, scaled_config
 
+# REPRO_EXAMPLES_SMOKE=1 shrinks the simulation to seconds so CI can
+# run every example end-to-end; the printed numbers lose their meaning.
+SMOKE = os.environ.get("REPRO_EXAMPLES_SMOKE", "") not in ("", "0")
+
 
 def main() -> None:
     config = scaled_config(
-        duration=700.0,
+        duration=70.0 if SMOKE else 700.0,
         workload=WorkloadSpec.fixed(0.8),
     ).with_departures(DepartureRules.autonomous(include_overutilization=True))
 

@@ -17,13 +17,20 @@ Run with::
 
 from __future__ import annotations
 
+import os
+
 from repro import DepartureRules, WorkloadSpec, run_simulation, scaled_config
 from repro.experiments.prediction import predict_departure_risks
+
+# REPRO_EXAMPLES_SMOKE=1 shrinks the simulation to seconds so CI can
+# run every example end-to-end; the printed numbers lose their meaning.
+SMOKE = os.environ.get("REPRO_EXAMPLES_SMOKE", "") not in ("", "0")
 
 
 def main() -> None:
     captive = scaled_config(
-        duration=400.0, workload=WorkloadSpec.fixed(0.8)
+        duration=40.0 if SMOKE else 400.0,
+        workload=WorkloadSpec.fixed(0.8),
     )
     autonomous = captive.with_departures(DepartureRules.autonomous(True))
 

@@ -16,6 +16,8 @@ Run with::
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 from repro import MediatorSimulation, WorkloadSpec, scaled_config
@@ -24,13 +26,17 @@ from repro.simulation.matchmaking import CapabilityMatchmaker
 
 NATIONAL, INTERNATIONAL = 0, 1
 
+# REPRO_EXAMPLES_SMOKE=1 shrinks the simulation to seconds so CI can
+# run every example end-to-end; the printed numbers lose their meaning.
+SMOKE = os.environ.get("REPRO_EXAMPLES_SMOKE", "") not in ("", "0")
+
 
 def build_config():
     """Two query classes: national (cheap) and international (costly)."""
     return scaled_config(
         n_consumers=30,
         n_providers=60,
-        duration=400.0,
+        duration=40.0 if SMOKE else 400.0,
         workload=WorkloadSpec.fixed(0.7),
         query_classes=QueryClassSpec(
             costs=(110.0, 170.0), weights=(0.6, 0.4)

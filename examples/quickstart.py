@@ -14,6 +14,8 @@ Run with::
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 from repro import (
@@ -26,6 +28,10 @@ from repro import (
     run_simulation,
     scaled_config,
 )
+
+# REPRO_EXAMPLES_SMOKE=1 shrinks the simulation to seconds so CI can
+# run every example end-to-end; the printed numbers lose their meaning.
+SMOKE = os.environ.get("REPRO_EXAMPLES_SMOKE", "") not in ("", "0")
 
 
 def part_one_scalar_formulas() -> None:
@@ -80,7 +86,8 @@ def part_two_full_simulation() -> None:
     print("=" * 68)
 
     config = scaled_config(
-        duration=400.0, workload=WorkloadSpec.fixed(0.80)
+        duration=40.0 if SMOKE else 400.0,
+        workload=WorkloadSpec.fixed(0.80),
     )
     header = (
         f"{'method':<10} {'resp.time(s)':>12} {'prov δs(int)':>12} "

@@ -14,16 +14,22 @@ Run with::
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 from repro import MediatorSimulation, WorkloadSpec, scaled_config
+
+# REPRO_EXAMPLES_SMOKE=1 shrinks the simulation to seconds so CI can
+# run every example end-to-end; the printed numbers lose their meaning.
+SMOKE = os.environ.get("REPRO_EXAMPLES_SMOKE", "") not in ("", "0")
 
 
 def run_with_upsilon(upsilon: float, seed: int = 23):
     config = scaled_config(
         n_consumers=20,
         n_providers=40,
-        duration=300.0,
+        duration=30.0 if SMOKE else 300.0,
         workload=WorkloadSpec.fixed(0.6),
         consumer_intention_mode="formula",  # the literal Definition 7
         upsilon=upsilon,

@@ -87,6 +87,7 @@ import argparse
 import dataclasses
 import json
 import os
+import time
 from collections import Counter
 from pathlib import Path
 
@@ -150,9 +151,18 @@ from repro.scheduler import (
     QueueWorker,
     WorkQueue,
     format_queue_status,
+    format_queue_top,
     queue_cells,
     queue_report,
     queue_status,
+    queue_top,
+)
+from repro.telemetry import (
+    TELEMETRY_DIR_ENV,
+    TelemetryReadError,
+    configure_telemetry,
+    format_telemetry_report,
+    telemetry_report,
 )
 from repro.simulation.engine import ENGINE_VERSION
 from repro.simulation.trace import (
@@ -253,6 +263,14 @@ def build_parser() -> argparse.ArgumentParser:
             "--no-cache",
             action="store_true",
             help="disable the persistent result store entirely",
+        )
+        command.add_argument(
+            "--telemetry",
+            default=None,
+            metavar="DIR",
+            help="enable instrumentation and write span/counter event "
+            "files (JSONL) to this directory; read them back with "
+            "'repro telemetry report DIR'",
         )
 
     run = sub.add_parser("run", help="run one simulation")
@@ -531,6 +549,36 @@ def build_parser() -> argparse.ArgumentParser:
         "value the fleet's workers use so status and scavengers agree "
         "(mtime: heartbeat-file mtimes vs. the shared filesystem's "
         "clock, skew-immune)",
+    )
+
+    queue_top_cmd = queue_sub.add_parser(
+        "top",
+        help="live fleet dashboard: per-worker throughput, heartbeat "
+        "age, and oldest leases, refreshed in place",
+    )
+    add_queue_dir(queue_top_cmd)
+    queue_top_cmd.add_argument(
+        "--once",
+        action="store_true",
+        help="print a single frame and exit (for scripts and CI)",
+    )
+    queue_top_cmd.add_argument(
+        "--interval",
+        type=positive_float,
+        default=2.0,
+        help="seconds between refreshes (default 2)",
+    )
+    queue_top_cmd.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable frame (implies --once)",
+    )
+    queue_top_cmd.add_argument(
+        "--expiry-clock",
+        choices=EXPIRY_CLOCKS,
+        default="wall",
+        help="judge worker liveness under this clock (match the "
+        "fleet's workers)",
     )
 
     queue_report_cmd = queue_sub.add_parser(
@@ -883,6 +931,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="time each cell this many times, report the best "
         "(default 2; filters scheduler noise out of the gate)",
     )
+    perf.add_argument(
+        "--no-phases",
+        action="store_true",
+        help="skip the extra instrumented pass that records the "
+        "per-phase timer breakdown (the timed repeats are always "
+        "uninstrumented either way)",
+    )
+
+    telemetry = sub.add_parser(
+        "telemetry",
+        help="read back telemetry event directories written by "
+        "--telemetry DIR",
+    )
+    telemetry_sub = telemetry.add_subparsers(
+        dest="telemetry_command", required=True
+    )
+    telemetry_report_cmd = telemetry_sub.add_parser(
+        "report",
+        help="per-phase breakdown, cache efficacy, and timer quantiles "
+        "aggregated over every event file in a directory",
+    )
+    telemetry_report_cmd.add_argument(
+        "events_dir",
+        metavar="DIR",
+        help="directory of events-*.jsonl files (the --telemetry DIR "
+        "of a previous run)",
+    )
+    telemetry_report_cmd.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable report payload",
+    )
     return parser
 
 
@@ -1189,6 +1269,28 @@ def _cmd_queue_status(args: argparse.Namespace) -> str:
     return format_queue_status(status)
 
 
+def _cmd_queue_top(args: argparse.Namespace) -> str:
+    queue = _open_queue(args)
+    frame = queue_top(queue)
+    if args.json:
+        return json.dumps(frame, sort_keys=True, indent=1)
+    if args.once:
+        return format_queue_top(frame)
+    # Live mode: redraw in place until the queue drains or ^C.  Frames
+    # chain (previous=frame) so per-worker jobs/min comes from counter
+    # deltas rather than session averages.
+    try:
+        while True:
+            print("\x1b[2J\x1b[H" + format_queue_top(frame), flush=True)
+            if frame["status"]["drained"]:
+                break
+            time.sleep(args.interval)
+            frame = queue_top(queue, previous=frame)
+    except KeyboardInterrupt:
+        pass
+    return ""
+
+
 def _cmd_queue_report(args: argparse.Namespace) -> str:
     # queue report promises zero new simulations; without the shared
     # store it would silently re-simulate every completed cell.
@@ -1334,6 +1436,8 @@ def _cmd_queue(args: argparse.Namespace) -> str:
         return _cmd_queue_work(args)
     if args.queue_command == "status":
         return _cmd_queue_status(args)
+    if args.queue_command == "top":
+        return _cmd_queue_top(args)
     if args.queue_command == "report":
         _configure_executor(args)
         return _cmd_queue_report(args)
@@ -1669,8 +1773,24 @@ def _cmd_analyze(args: argparse.Namespace) -> str:
     )  # pragma: no cover
 
 
+def _cmd_telemetry(args: argparse.Namespace) -> str:
+    if args.telemetry_command != "report":  # pragma: no cover
+        raise AssertionError(
+            f"unhandled telemetry command {args.telemetry_command!r}"
+        )
+    try:
+        report = telemetry_report(args.events_dir)
+    except (OSError, TelemetryReadError) as error:
+        raise SystemExit(f"repro: error: {error}") from None
+    if args.json:
+        return json.dumps(report, sort_keys=True, indent=1)
+    return format_telemetry_report(report)
+
+
 def _cmd_perf(args: argparse.Namespace) -> str:
-    report = run_perf(quick=args.quick, repeats=args.repeats)
+    report = run_perf(
+        quick=args.quick, repeats=args.repeats, phases=not args.no_phases
+    )
     lines = [format_report(report)]
     if args.profile:
         lines.append("")
@@ -1744,6 +1864,13 @@ def _configure_executor(args: argparse.Namespace) -> None:
     configure_default_executor(
         workers=workers, cache_dir=_resolve_cache_dir(args)
     )
+    telemetry_dir = getattr(args, "telemetry", None)
+    if telemetry_dir is not None:
+        # Through the environment as well as directly: pool children
+        # (and any subprocess this command spawns) resolve their own
+        # Telemetry instance from $REPRO_TELEMETRY_DIR on first use.
+        os.environ[TELEMETRY_DIR_ENV] = str(telemetry_dir)
+        configure_telemetry(telemetry_dir)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -1765,6 +1892,8 @@ def main(argv: list[str] | None = None) -> int:
         print(_cmd_trace(args))
     elif args.command == "analyze":
         print(_cmd_analyze(args))
+    elif args.command == "telemetry":
+        print(_cmd_telemetry(args))
     elif args.command == "perf":
         print(_cmd_perf(args))
     return 0

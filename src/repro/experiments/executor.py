@@ -30,10 +30,12 @@ from collections.abc import Callable, Iterable
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from pathlib import Path
+from time import perf_counter
 
 from repro.experiments.store import ResultStore
 from repro.simulation.config import SimulationConfig
 from repro.simulation.engine import SimulationResult, run_simulation
+from repro.telemetry.registry import get_telemetry
 
 __all__ = [
     "ExperimentExecutor",
@@ -85,8 +87,27 @@ class SimulationJob:
 
 
 def _execute_job(job: SimulationJob) -> SimulationResult:
-    """Top-level worker entry point (must be picklable)."""
-    return run_simulation(job.config, job.method, seed=job.seed)
+    """Top-level worker entry point (must be picklable).
+
+    Both the serial path and every pool child run jobs through here, so
+    this is where each simulation gets its telemetry "cell" span, job
+    wall-time observation, and a per-job flush (pool children fork, so
+    waiting for process exit to flush would lose everything).
+    """
+    telemetry = get_telemetry()
+    if telemetry is None:
+        return run_simulation(job.config, job.method, seed=job.seed)
+    started = perf_counter()
+    with telemetry.span(
+        "cell",
+        f"{job.method}/seed{job.seed}",
+        attrs={"method": job.method, "seed": job.seed},
+    ):
+        result = run_simulation(job.config, job.method, seed=job.seed)
+    telemetry.count("executor.jobs")
+    telemetry.observe("executor.job_s", perf_counter() - started)
+    telemetry.flush()
+    return result
 
 
 class ExperimentExecutor:
@@ -167,6 +188,10 @@ class ExperimentExecutor:
                 pending.append(position)
 
         if not pending:
+            # Store hits are counted in *this* process while per-job
+            # flushes happen in _execute_job (possibly a pool child) —
+            # a fully-warm batch would otherwise never persist them.
+            self._flush_telemetry()
             return [(result, True) for result in results]  # type: ignore[misc]
 
         if self.workers == 1 or len(pending) == 1:
@@ -188,10 +213,19 @@ class ExperimentExecutor:
                         jobs[position], future.result()
                     )
         simulated = set(pending)
+        # Pool children flushed their own counters job-by-job; this
+        # persists the parent's share (store hits/misses, put bytes).
+        self._flush_telemetry()
         return [
             (result, position not in simulated)
             for position, result in enumerate(results)
         ]  # type: ignore[misc]
+
+    @staticmethod
+    def _flush_telemetry() -> None:
+        telemetry = get_telemetry()
+        if telemetry is not None:
+            telemetry.flush()
 
     def _complete(
         self, job: SimulationJob, result: SimulationResult

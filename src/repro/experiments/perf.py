@@ -42,6 +42,7 @@ from repro.simulation.config import (
     scaled_config,
 )
 from repro.simulation.engine import ENGINE_VERSION, run_simulation
+from repro.telemetry.registry import telemetry_session
 
 __all__ = [
     "PERF_MATRIX",
@@ -111,11 +112,26 @@ PERF_MATRIX: tuple[PerfCell, ...] = (
 )
 
 
+def _phase_breakdown(config, method: str, seed: int) -> dict[str, float]:
+    """Per-phase engine seconds from one instrumented pass.
+
+    Runs under a scoped in-memory telemetry session so the pass leaves
+    no files behind and the process-wide registry state is untouched.
+    """
+    with telemetry_session() as telemetry:
+        run_simulation(config, method, seed=seed)
+        return {
+            name: round(seconds, 4)
+            for name, seconds in sorted(telemetry.phase_seconds().items())
+        }
+
+
 def run_perf(
     quick: bool = False,
     methods: tuple[str, ...] = PERF_METHODS,
     seed: int = PERF_SEED,
     repeats: int = 2,
+    phases: bool = True,
 ) -> dict:
     """Time the standard matrix serially and return a report dict.
 
@@ -126,6 +142,12 @@ def run_perf(
     property of the code, and best-of-N filters scheduler and cache
     noise that a single run (and therefore the regression gate) would
     otherwise inherit.
+
+    ``phases`` (default on) adds one *extra* instrumented pass per
+    (cell, method) and records its per-phase engine-time breakdown under
+    the cell's ``phases`` key.  The timed repeats above stay
+    uninstrumented either way, so enabling the breakdown cannot move the
+    qps numbers the regression gate compares.
     """
     if repeats < 1:
         raise ValueError(f"repeats must be at least 1, got {repeats}")
@@ -146,11 +168,14 @@ def run_perf(
                 queries = result.queries_served
                 if best_elapsed is None or elapsed < best_elapsed:
                     best_elapsed = elapsed
-            cells[f"{cell.name}/{method}"] = {
+            payload = {
                 "queries": queries,
                 "seconds": round(best_elapsed, 4),
                 "qps": round(queries / best_elapsed, 1),
             }
+            if phases:
+                payload["phases"] = _phase_breakdown(config, method, seed)
+            cells[f"{cell.name}/{method}"] = payload
             total_queries += queries
             total_seconds += best_elapsed
     return {

@@ -44,6 +44,7 @@ from repro.simulation.config import SimulationConfig
 from repro.simulation.departures import DepartureRecord
 from repro.simulation.engine import ENGINE_VERSION, SimulationResult
 from repro.simulation.stats import TimeSeriesCollector
+from repro.telemetry.registry import get_telemetry
 
 __all__ = ["ResultStore", "StoredSeries", "cache_key"]
 
@@ -151,6 +152,30 @@ class ResultStore:
         self.misses = 0
         self.writes = 0
 
+    # -- counters ----------------------------------------------------
+    # Store operations are per-job, not per-query, so mirroring each
+    # into the (possibly disabled) telemetry registry costs nothing
+    # measurable.
+
+    def _record_hit(self) -> None:
+        self.hits += 1
+        telemetry = get_telemetry()
+        if telemetry is not None:
+            telemetry.count("store.hits")
+
+    def _record_miss(self) -> None:
+        self.misses += 1
+        telemetry = get_telemetry()
+        if telemetry is not None:
+            telemetry.count("store.misses")
+
+    def _record_write(self, n_bytes: int) -> None:
+        self.writes += 1
+        telemetry = get_telemetry()
+        if telemetry is not None:
+            telemetry.count("store.writes")
+            telemetry.count("store.write_bytes", n_bytes)
+
     # -- introspection ----------------------------------------------
 
     def __len__(self) -> int:
@@ -213,9 +238,9 @@ class ResultStore:
         except (OSError, ValueError, KeyError, TypeError, json.JSONDecodeError):
             # Unreadable or schema-mismatched entries degrade to misses;
             # the next put() overwrites them.
-            self.misses += 1
+            self._record_miss()
             return None
-        self.hits += 1
+        self._record_hit()
         return result
 
     def load_series(
@@ -244,11 +269,11 @@ class ResultStore:
         try:
             archive = np.load(self._npz_path(key))
         except (OSError, ValueError):
-            self.misses += 1
+            self._record_miss()
             return None
         with archive:
             if "times" not in archive.files:
-                self.misses += 1
+                self._record_miss()
                 return None
             available = {
                 name.removeprefix("series__")
@@ -272,9 +297,9 @@ class ResultStore:
                     for name in wanted
                 }
             except (OSError, ValueError):  # pragma: no cover - torn npz
-                self.misses += 1
+                self._record_miss()
                 return None
-        self.hits += 1
+        self._record_hit()
         return StoredSeries(times=times, series=series)
 
     def put(self, result: SimulationResult, method: str | None = None) -> str:
@@ -322,12 +347,11 @@ class ResultStore:
         # savez to memory first so the on-disk write can be atomic.
         buffer = io.BytesIO()
         np.savez_compressed(buffer, **arrays)
-        _atomic_write_bytes(self._npz_path(key), buffer.getvalue())
-        _atomic_write_bytes(
-            self._json_path(key),
-            json.dumps(meta, sort_keys=True).encode("utf-8"),
-        )
-        self.writes += 1
+        npz_payload = buffer.getvalue()
+        json_payload = json.dumps(meta, sort_keys=True).encode("utf-8")
+        _atomic_write_bytes(self._npz_path(key), npz_payload)
+        _atomic_write_bytes(self._json_path(key), json_payload)
+        self._record_write(len(npz_payload) + len(json_payload))
         return key
 
     @staticmethod

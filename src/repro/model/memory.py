@@ -231,6 +231,11 @@ class RowRingLog:
         self._uniform_slot: int | None = 0
         self._all_full = False
         self._dirty_mask: np.ndarray | None = None
+        # Push-path tallies (telemetry reads these; plain ints, always
+        # maintained — they never feed back into the simulation).
+        self.uniform_pushes = 0
+        self.scattered_pushes = 0
+        self.scalar_pushes = 0
 
     @property
     def rows(self) -> int:
@@ -254,6 +259,14 @@ class RowRingLog:
         generations only the rows reported by :meth:`push` are dirtied.
         """
         return self._generation
+
+    def push_stats(self) -> dict[str, int]:
+        """How often each push path ran (uniform fast path vs rest)."""
+        return {
+            "uniform": self.uniform_pushes,
+            "scattered": self.scattered_pushes,
+            "scalar": self.scalar_pushes,
+        }
 
     def counts(self) -> np.ndarray:
         """Per-row number of remembered interactions (copy)."""
@@ -380,6 +393,7 @@ class RowRingLog:
         # shrinks further.  The order of the sum updates (evict old,
         # then add new) matches the scattered path, so the running sums
         # stay bit-identical whichever path a push takes.
+        self.uniform_pushes += 1
         plane = self._data[slot]
         performed_plane = self._performed[slot]
         capacity = self._capacity
@@ -451,6 +465,7 @@ class RowRingLog:
         # distinct (see the push docstring), so plain fancy indexing
         # accumulates exactly like a duplicate-safe ufunc.at scatter
         # would, without its overhead.
+        self.scattered_pushes += 1
         full = self._count[rows] == self._capacity
         old_performed = self._performed[pos, rows] & full
 
@@ -519,6 +534,7 @@ class RowRingLog:
         # the vector paths, so the sums stay bit-identical while
         # skipping all the fancy indexing machinery.  Returns whether
         # the performed sums moved.
+        self.scalar_pushes += 1
         pos = int(self._pos[row])
         full = int(self._count[row]) == self._capacity
         old_performed = full and bool(self._performed[pos, row])

@@ -37,9 +37,11 @@ from repro.scheduler.adaptive import (
 )
 from repro.scheduler.monitor import (
     format_queue_status,
+    format_queue_top,
     queue_cells,
     queue_report,
     queue_status,
+    queue_top,
 )
 from repro.scheduler.queue import (
     EXPIRY_CLOCKS,
@@ -74,9 +76,11 @@ __all__ = [
     "default_owner_id",
     "extension_seeds",
     "format_queue_status",
+    "format_queue_top",
     "job_id",
     "queue_cells",
     "queue_report",
     "queue_status",
+    "queue_top",
     "write_worker_manifest",
 ]

@@ -35,9 +35,11 @@ from repro.sweeps.runner import load_manifests, manifest_status
 
 __all__ = [
     "format_queue_status",
+    "format_queue_top",
     "queue_cells",
     "queue_report",
     "queue_status",
+    "queue_top",
 ]
 
 
@@ -82,15 +84,21 @@ def queue_status(
     """One JSON-ready snapshot of a queue's health.
 
     ``workers`` lists every heartbeat on record with its liveness
-    (deadline vs. ``now``) and current lease count; ``eta_seconds``
-    extrapolates the mean completed-job duration over the outstanding
-    work and the number of live workers (``None`` until at least one
-    job has finished).  Pass ``store_root`` to append the store's
-    manifest rows (shard and worker manifests alike).
+    (deadline vs. ``now``), last-heartbeat age, current lease count,
+    and — when the worker has published one — its latest telemetry
+    counter snapshot (``counters/<owner>.json``).  A worker whose
+    heartbeat deadline has lapsed is flagged ``stale`` and excluded
+    from the ETA's live-worker count, never silently dropped from the
+    listing.  ``eta_seconds`` extrapolates the mean completed-job
+    duration over the outstanding work and the number of live workers
+    (``None`` until at least one job has finished).  Pass
+    ``store_root`` to append the store's manifest rows (shard and
+    worker manifests alike).
     """
     now = queue.now() if now is None else now
     counts = queue.counts()
     lease_owners = queue.lease_owners()
+    worker_counters = queue.worker_counters()
     workers = []
     live_workers = 0
     for heartbeat in queue.heartbeats():
@@ -103,12 +111,18 @@ def queue_status(
         alive = deadline >= now
         if alive:
             live_workers += 1
+        # The deadline is the last renewal plus the recorded TTL, so
+        # the renewal's age falls straight out of it.
+        ttl = float(heartbeat.get("ttl", 0.0))
         workers.append(
             {
                 "owner": owner,
                 "alive": alive,
+                "stale": not alive,
                 "deadline_in_s": round(deadline - now, 3),
+                "heartbeat_age_s": round(now - (deadline - ttl), 3),
                 "leases": lease_owners.get(owner, 0),
+                "counters": worker_counters.get(owner),
             }
         )
 
@@ -205,6 +219,143 @@ def format_queue_status(status: dict) -> str:
             f"{row['simulated']} simulated, {row['store_hits']} "
             f"store hits{stale}"
         )
+    return "\n".join(lines)
+
+
+def queue_top(
+    queue: WorkQueue,
+    now: float | None = None,
+    previous: dict | None = None,
+) -> dict:
+    """One frame of the live fleet dashboard (``repro queue top``).
+
+    Builds on :func:`queue_status` — same worker rows, same counts —
+    and adds what a *dashboard* needs over a status line: the live
+    leases with their ages (a lease aging past the TTL is the first
+    visible sign of a wedged worker), and per-worker throughput.  Pass
+    the prior frame as ``previous`` and each worker additionally gets
+    ``jobs_per_min`` from the counter delta between the two frames;
+    single frames (``--once``, the CI smoke) fall back to the
+    session-average rate derivable from the counters snapshot alone.
+
+    Everything here is read-side only — safe to poll mid-drain from
+    any box that can see the queue directory.
+    """
+    now = queue.now() if now is None else now
+    status = queue_status(queue, store_root=None, now=now)
+    # A worker that drained and exited cleanly removes its heartbeat
+    # but leaves its counters file; surface those as *retired* rows so
+    # a finished fleet still reads as "who did what", not as empty.
+    present = {worker["owner"] for worker in status["workers"]}
+    for owner, counters in sorted(queue.worker_counters().items()):
+        if owner in present:
+            continue
+        status["workers"].append(
+            {
+                "owner": owner,
+                "alive": False,
+                "stale": True,
+                "retired": True,
+                "deadline_in_s": None,
+                "heartbeat_age_s": None,
+                "leases": 0,
+                "counters": counters,
+            }
+        )
+    frame = {
+        "time": now,
+        "status": status,
+        "lease_ages": queue.lease_ages(now),
+    }
+    previous_workers = {}
+    elapsed = 0.0
+    if previous is not None:
+        elapsed = now - float(previous.get("time", now))
+        previous_workers = {
+            worker["owner"]: worker
+            for worker in previous.get("status", {}).get("workers", [])
+        }
+    for worker in status["workers"]:
+        counters = worker.get("counters") or {}
+        rate: float | None = None
+        before = previous_workers.get(worker["owner"])
+        if before is not None and elapsed > 0:
+            done_before = (before.get("counters") or {}).get("processed", 0)
+            rate = (
+                (counters.get("processed", 0) - done_before)
+                / elapsed
+                * 60.0
+            )
+        elif counters.get("busy_s"):
+            # No prior frame: the session average stands in.
+            rate = counters.get("processed", 0) / counters["busy_s"] * 60.0
+        worker["jobs_per_min"] = rate
+    return frame
+
+
+def format_queue_top(frame: dict) -> str:
+    """The human rendering of one :func:`queue_top` frame."""
+    status = frame["status"]
+    counts = status["counts"]
+    header = (
+        f"queue: {status['name']}   pending: {counts['pending']}   "
+        f"leased: {counts['leased']}   done: {counts['done']}"
+    )
+    if counts.get("errors"):
+        header += f"   errors: {counts['errors']}"
+    if status["drained"]:
+        header += "   [drained]"
+    elif status["eta_seconds"] is not None:
+        header += f"   eta: ~{status['eta_seconds']:.0f}s"
+    lines = [header]
+
+    if status["workers"]:
+        lines.append(
+            f"{'worker':<36} {'alive':>5} {'leases':>6} {'hb-age':>7} "
+            f"{'done':>5} {'sim':>5} {'hit':>5} {'fail':>5} "
+            f"{'last':>7} {'jobs/m':>7}"
+        )
+        for worker in status["workers"]:
+            counters = worker.get("counters") or {}
+            last_job = counters.get("last_job_s")
+            rate = worker.get("jobs_per_min")
+            heartbeat_age = worker.get("heartbeat_age_s")
+            if worker.get("retired"):
+                alive_cell = "gone"
+            elif worker["alive"]:
+                alive_cell = "yes"
+            else:
+                alive_cell = "NO"
+            lines.append(
+                f"{worker['owner']:<36} "
+                f"{alive_cell:>5} "
+                f"{worker['leases']:>6} "
+                + (
+                    f"{heartbeat_age:>6.0f}s "
+                    if heartbeat_age is not None
+                    else f"{'-':>7} "
+                )
+                + f"{counters.get('processed', 0):>5} "
+                + f"{counters.get('simulated', 0):>5} "
+                + f"{counters.get('store_hits', 0):>5} "
+                + f"{counters.get('failed', 0):>5} "
+                + (
+                    f"{last_job:>6.1f}s "
+                    if last_job is not None
+                    else f"{'-':>7} "
+                )
+                + (f"{rate:>7.1f}" if rate is not None else f"{'-':>7}")
+            )
+    else:
+        lines.append("no workers on record")
+
+    if frame["lease_ages"]:
+        lines.append("oldest leases:")
+        for lease in frame["lease_ages"][:5]:
+            lines.append(
+                f"  {lease['id']}  {lease['owner']}  "
+                f"{lease['age_s']:.0f}s"
+            )
     return "\n".join(lines)
 
 

@@ -60,6 +60,7 @@ from repro.experiments.store import _atomic_write_bytes, cache_key
 from repro.simulation.config import SimulationConfig
 from repro.simulation.engine import ENGINE_VERSION
 from repro.sweeps.spec import SweepJob, SweepSpec
+from repro.telemetry.registry import get_telemetry
 
 __all__ = [
     "EXPIRY_CLOCKS",
@@ -108,6 +109,24 @@ def _sanitize(component: str) -> str:
 #: Public alias: callers that record an owner id anywhere (manifests,
 #: reports) must store the same sanitised form the queue files use.
 sanitize_owner = _sanitize
+
+
+def _telemetry_note(
+    action: str, attrs: dict | None = None, event: bool = True
+) -> None:
+    """Mirror one queue protocol action into the active telemetry.
+
+    No-op (one function call and a None check) when telemetry is
+    disabled.  ``event=False`` counts without recording a structured
+    event — heartbeats renew every ttl/3 seconds per worker and would
+    drown the event stream.
+    """
+    telemetry = get_telemetry()
+    if telemetry is None:
+        return
+    telemetry.count(f"queue.{action}")
+    if event:
+        telemetry.event("queue", action, attrs)
 
 
 def _live_entries(directory: Path) -> list[Path]:
@@ -374,6 +393,16 @@ class WorkQueue:
     def heartbeats_dir(self) -> Path:
         return self.root / "heartbeats"
 
+    @property
+    def counters_dir(self) -> Path:
+        """Per-worker telemetry counters, next to the heartbeats.
+
+        Created lazily by the first :meth:`write_worker_counters` —
+        pre-telemetry queues never grow it and the on-disk format tag
+        (:data:`QUEUE_FORMAT`) is unchanged.
+        """
+        return self.root / "counters"
+
     # -- identity -----------------------------------------------------
 
     @property
@@ -495,6 +524,7 @@ class WorkQueue:
                 "pid": os.getpid(),
             },
         )
+        _telemetry_note("heartbeat", event=False)
 
     def retire(self, owner: str) -> None:
         """Remove ``owner``'s heartbeat — call on clean worker exit.
@@ -563,6 +593,7 @@ class WorkQueue:
             # pre-rename heartbeat in the window before our rename, and
             # a lease must never sit without a live deadline.
             self.heartbeat(owner, ttl, now)
+            _telemetry_note("claim", {"id": job.id, "owner": owner})
             return Lease(job=job, owner=owner, path=target)
         return None
 
@@ -615,12 +646,19 @@ class WorkQueue:
                 },
             )
             lease_path.unlink(missing_ok=True)
-            return "error" if created else "gone"
+            if created:
+                _telemetry_note(
+                    "park",
+                    {"id": identifier, "owner": owner, "error": error},
+                )
+                return "error"
+            return "gone"
         _write_json(lease_path, {"attempts": attempts})
         try:
             os.rename(lease_path, self.pending_dir / identifier)
         except FileNotFoundError:
             pass  # a concurrent scavenger already returned it
+        _telemetry_note("requeue", {"id": identifier, "owner": owner})
         return "requeued"
 
     def fail(
@@ -663,6 +701,10 @@ class WorkQueue:
         # leaves a stale lease the scavenger discards (done wins),
         # never a lost result.
         lease.path.unlink(missing_ok=True)
+        _telemetry_note(
+            "ack",
+            {"id": lease.job.id, "owner": lease.owner, "state": state},
+        )
 
     def filesystem_now(self) -> float:
         """The shared filesystem's idea of "now".
@@ -796,6 +838,7 @@ class WorkQueue:
             deadline = self._heartbeat_deadline(owner, clock)
             if deadline >= now:
                 continue
+            _telemetry_note("expiry", {"id": identifier, "owner": owner})
             outcome = self._retry_or_park(
                 lease_path,
                 identifier,
@@ -961,6 +1004,7 @@ class WorkQueue:
             self.leases_dir,
             self.done_dir,
             self.heartbeats_dir,
+            self.counters_dir,
             *(Path(root) for root in extra_roots),
         ]
         temp_files: list[Path] = []
@@ -997,12 +1041,72 @@ class WorkQueue:
                 (
                     self.heartbeats_dir / f"{owner}.json"
                 ).unlink(missing_ok=True)
+                # The worker's counter snapshot dies with its heartbeat
+                # — a long-gone owner should drop off the dashboard too.
+                (
+                    self.counters_dir / f"{owner}.json"
+                ).unlink(missing_ok=True)
         return GcReport(
             temp_files=tuple(temp_files),
             stale_heartbeats=tuple(stale_heartbeats),
             stranded_jobs=tuple(self.stranded_jobs()),
             pruned=prune,
         )
+
+    def write_worker_counters(self, owner: str, payload: dict) -> None:
+        """Atomically publish one worker's counter snapshot.
+
+        Written by workers after every job (cheap: one small JSON next
+        to the heartbeats), read by ``queue status --json`` and the
+        ``queue top`` dashboard.  The directory is created on first
+        write so pre-telemetry queues are untouched.
+        """
+        self.counters_dir.mkdir(parents=True, exist_ok=True)
+        _write_json(
+            self.counters_dir / f"{_sanitize(owner)}.json", payload
+        )
+
+    def worker_counters(self) -> dict[str, dict]:
+        """owner → latest published counter snapshot (may be empty)."""
+        counters: dict[str, dict] = {}
+        if not self.counters_dir.is_dir():
+            return counters
+        for path in sorted(self.counters_dir.glob("*.json")):
+            record = _read_json(path)
+            if record is not None:
+                counters[path.stem] = record
+        return counters
+
+    def lease_ages(self, now: float | None = None) -> list[dict]:
+        """Every live lease with its age in seconds, oldest first.
+
+        Age is derived from the lease file's mtime — the moment the
+        claim rename (or the last attempts rewrite) landed — against
+        the queue's configured expiry clock, so it is meaningful on
+        mtime-clock multi-box queues too.
+        """
+        if now is None:
+            now = self.now()
+        ages = []
+        for lease_path in _live_entries(self.leases_dir):
+            identifier, sep, owner = lease_path.name.partition(
+                _LEASE_SEPARATOR
+            )
+            if not sep:
+                continue
+            try:
+                mtime = lease_path.stat().st_mtime
+            except OSError:
+                continue  # acked or scavenged mid-scan
+            ages.append(
+                {
+                    "id": identifier,
+                    "owner": owner,
+                    "age_s": max(0.0, now - mtime),
+                }
+            )
+        ages.sort(key=lambda entry: -entry["age_s"])
+        return ages
 
     def heartbeats(self) -> list[dict]:
         """Every worker heartbeat on record, sorted by owner."""

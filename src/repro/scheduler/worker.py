@@ -54,6 +54,7 @@ from repro.scheduler.queue import (
 )
 from repro.simulation.engine import ENGINE_VERSION
 from repro.sweeps.runner import environment_hash, write_manifest
+from repro.telemetry.registry import get_telemetry
 
 __all__ = ["QueueWorker", "WorkerReport", "default_owner_id"]
 
@@ -205,6 +206,52 @@ class QueueWorker:
         """Ask the loop to drain gracefully after the in-flight job."""
         self._stop_requested = True
 
+    def _publish_counters(
+        self,
+        entries: list[dict],
+        failed: int,
+        requeued: int,
+        busy_s: float,
+        last_job_s: float | None,
+        last_job_id: str | None,
+    ) -> None:
+        """Publish this session's running counters after each job.
+
+        The snapshot lands next to the heartbeats
+        (``counters/<owner>.json``), where ``queue status --json`` and
+        the ``queue top`` dashboard read it.  Best-effort: a transient
+        filesystem error over a monitoring artefact must not kill the
+        drain loop.  When telemetry is active, the job wall time also
+        feeds the ``worker.job_s`` timer and the registry's events are
+        flushed so dashboards see mid-drain state.
+        """
+        payload = {
+            "owner": self.owner,
+            "pid": os.getpid(),
+            "updated": self.queue.now(),
+            "processed": len(entries),
+            "simulated": sum(
+                1 for e in entries if e["state"] == "simulated"
+            ),
+            "store_hits": sum(
+                1 for e in entries if e["state"] == "store_hit"
+            ),
+            "failed": failed,
+            "requeued": requeued,
+            "busy_s": busy_s,
+            "last_job_s": last_job_s,
+            "last_job_id": last_job_id,
+        }
+        try:
+            self.queue.write_worker_counters(self.owner, payload)
+        except OSError:  # pragma: no cover - transient FS hiccup
+            pass
+        telemetry = get_telemetry()
+        if telemetry is not None:
+            if last_job_s is not None:
+                telemetry.observe("worker.job_s", last_job_s)
+            telemetry.flush()
+
     # -- the daemon loop ----------------------------------------------
 
     def run(self, install_signal_handlers: bool = False) -> WorkerReport:
@@ -236,6 +283,7 @@ class QueueWorker:
         entries: list[dict] = []
         requeued = 0
         failed = 0
+        busy_s = 0.0
         try:
             while not self._stop_requested:
                 if (
@@ -290,11 +338,15 @@ class QueueWorker:
                         f"{type(error).__name__}: {error}",
                         max_attempts=self.max_attempts,
                     )
+                    duration = time.monotonic() - started
+                    busy_s += duration
+                    self._publish_counters(
+                        entries, failed, requeued, busy_s, duration, job.id
+                    )
                     continue
                 state = "store_hit" if store_hit else "simulated"
-                self.queue.ack(
-                    lease, state, duration_s=time.monotonic() - started
-                )
+                duration = time.monotonic() - started
+                self.queue.ack(lease, state, duration_s=duration)
                 entries.append(
                     {
                         "scenario": job.scenario,
@@ -303,6 +355,10 @@ class QueueWorker:
                         "key": job.key,
                         "state": state,
                     }
+                )
+                busy_s += duration
+                self._publish_counters(
+                    entries, failed, requeued, busy_s, duration, job.id
                 )
         finally:
             heartbeater.stop()

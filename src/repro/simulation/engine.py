@@ -18,6 +18,7 @@ heap is needed, which keeps the pure-Python hot path tight.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 
 import numpy as np
 
@@ -47,6 +48,7 @@ from repro.simulation.rng import RngFactory
 from repro.simulation.stats import TimeSeriesCollector
 from repro.simulation.utilization import UtilizationTracker
 from repro.simulation.workload import PoissonArrivals
+from repro.telemetry.registry import get_telemetry
 
 __all__ = [
     "ENGINE_VERSION",
@@ -61,6 +63,22 @@ __all__ = [
 #: alters the numbers a simulation produces for the same
 #: (config, method, seed) — not for pure refactors.
 ENGINE_VERSION = "1"
+
+#: Hot-path phases the telemetry layer times, in execution order.
+#: ``arrival`` covers the consumer draw and query construction; the
+#: other four partition :meth:`MediatorSimulation._dispatch`.
+ENGINE_PHASES = (
+    "arrival",
+    "candidate_lookup",
+    "scoring",
+    "ranking",
+    "log_push",
+)
+
+#: Feed the dispatch-latency quantile timer every Nth issued query.
+#: The stride is a deterministic counter — never an RNG draw — so
+#: sampling cannot perturb the simulation's random streams.
+_DISPATCH_SAMPLE_STRIDE = 8
 
 
 def _finite_values(values: np.ndarray) -> np.ndarray:
@@ -308,6 +326,24 @@ class MediatorSimulation:
         self._ci_clip_scratch = np.empty(config.n_providers, dtype=float)
         self._pi_clip_scratch = np.empty(config.n_providers, dtype=float)
 
+        # --- telemetry --------------------------------------------------
+        # Phase accumulators are plain float sums, allocated only when a
+        # registry is active; every hot-path mark is gated on a single
+        # ``is not None`` check, so disabled runs skip the clock reads
+        # entirely.  The cache tallies below are unconditional plain-int
+        # arithmetic: cheap, and they never feed back into the run.
+        self._telemetry = get_telemetry()
+        self._phase_acc: dict[str, float] | None = (
+            dict.fromkeys(ENGINE_PHASES, 0.0)
+            if self._telemetry is not None
+            else None
+        )
+        self._run_span: int | None = None
+        self._run_started = 0.0
+        self._dispatch_stride = 0
+        self._candidate_hits = 0
+        self._candidate_misses = 0
+
         # --- accounting -------------------------------------------------
         self._collector = TimeSeriesCollector()
         self._departures: list[DepartureRecord] = []
@@ -333,6 +369,9 @@ class MediatorSimulation:
         """Execute the full horizon and return the run's results."""
         config = self.config
         self.method.reset()
+        if self._telemetry is not None:
+            self._run_span = self._telemetry.span_open("run", self.method.name)
+            self._run_started = perf_counter()
         if config.workload.kind == "trace":
             return self._run_replay()
         # Hoist the capacity/cost constants out of the per-candidate rate
@@ -526,6 +565,7 @@ class MediatorSimulation:
         candidate set.  Callers must treat both arrays as read-only.
         """
         if not self._matchmaker_cacheable:
+            self._candidate_misses += 1
             candidates = self._matchmaker.candidates(
                 query, self.providers.active
             )
@@ -536,6 +576,7 @@ class MediatorSimulation:
             self._candidate_epoch = epoch
         entry = self._candidate_cache.get(query.klass)
         if entry is None:
+            self._candidate_misses += 1
             candidates = self._matchmaker.candidates(
                 query, self.providers.active
             )
@@ -552,6 +593,8 @@ class MediatorSimulation:
             else:
                 entry = (candidates, self.capacity.rates[candidates])
             self._candidate_cache[query.klass] = entry
+        else:
+            self._candidate_hits += 1
         return entry
 
     def _candidates(self, query) -> np.ndarray:
@@ -560,6 +603,9 @@ class MediatorSimulation:
 
     def _process_arrival(self, time: float) -> None:
         config = self.config
+        acc = self._phase_acc
+        if acc is not None:
+            mark = perf_counter()
         consumer = int(self._rng_queries.integers(config.n_consumers))
         if not self.consumers.active[consumer]:
             # A departed consumer issues nothing; its share of the
@@ -569,8 +615,12 @@ class MediatorSimulation:
             # at every arrival instant, issued or not.
             if self._recorder is not None:
                 self._recorder.record(time, consumer, -1)
+            if acc is not None:
+                acc["arrival"] += perf_counter() - mark
             return
         query = self._factory.create(consumer, time)
+        if acc is not None:
+            acc["arrival"] += perf_counter() - mark
         self._dispatch(query, time)
 
     def _dispatch(self, query, time: float) -> None:
@@ -586,7 +636,17 @@ class MediatorSimulation:
         if self._recorder is not None:
             self._recorder.record(time, consumer, query.klass)
 
+        # Phase marks are gated on a single None check each; ``mark``
+        # carries the running perf_counter between phase boundaries.
+        acc = self._phase_acc
+        if acc is not None:
+            started = mark = perf_counter()
+
         candidates, capacities = self._candidate_entry(query)
+        if acc is not None:
+            now = perf_counter()
+            acc["candidate_lookup"] += now - mark
+            mark = now
         if candidates.size == 0:
             self._queries_unserved += 1
             return
@@ -645,10 +705,18 @@ class MediatorSimulation:
             provider_satisfactions=provider_satisfactions,
             rng=self._rng_method,
         )
+        if acc is not None:
+            now = perf_counter()
+            acc["scoring"] += now - mark
+            mark = now
 
         positions = np.asarray(self.method.select(request), dtype=np.int64)
         self._validate_selection(positions, request)
         selected = candidates[positions]
+        if acc is not None:
+            now = perf_counter()
+            acc["ranking"] += now - mark
+            mark = now
 
         completions = self.queues.assign(selected, query.cost_units, time)
         response = self.queues.response_time(completions, time)
@@ -682,6 +750,12 @@ class MediatorSimulation:
             performed=performed,
         )
         self._queries_served += 1
+        if acc is not None:
+            now = perf_counter()
+            acc["log_push"] += now - mark
+            self._dispatch_stride += 1
+            if self._dispatch_stride % _DISPATCH_SAMPLE_STRIDE == 0:
+                self._telemetry.observe("engine.dispatch_s", now - started)
 
     def _consumer_intentions(
         self, consumer: int, candidates: np.ndarray
@@ -872,6 +946,8 @@ class MediatorSimulation:
             "adaptation_classes": self.provider_prefs.adaptation_classes.copy(),
             "completed_counts": self.queues.completed_counts(),
         }
+        if self._telemetry is not None:
+            self._emit_telemetry()
         return SimulationResult(
             method_name=self.method.name,
             seed=self.seed,
@@ -887,6 +963,51 @@ class MediatorSimulation:
             initial_providers=self.providers.size,
             initial_consumers=self.consumers.size,
         )
+
+    def _emit_telemetry(self) -> None:
+        """Flush this run's tallies into the active registry.
+
+        Phase events are emitted while the run span is still open, so
+        they parent under it; the span closes last with the run's wall
+        time.  All of this happens once, after the horizon — nothing
+        here is on the hot path.
+        """
+        telemetry = self._telemetry
+        for name, seconds in (self._phase_acc or {}).items():
+            telemetry.event("phase", name, duration_s=seconds)
+        telemetry.count(
+            "engine.candidate_cache_hits", self._candidate_hits
+        )
+        telemetry.count(
+            "engine.candidate_cache_misses", self._candidate_misses
+        )
+        pushes = self.consumers.push_stats()
+        for kind, count in self.providers.push_stats().items():
+            pushes[kind] += count
+        telemetry.count("engine.ring_uniform_pushes", pushes["uniform"])
+        telemetry.count("engine.ring_scattered_pushes", pushes["scattered"])
+        telemetry.count("engine.ring_scalar_pushes", pushes["scalar"])
+        telemetry.count(
+            "engine.view_rebuilds",
+            self.consumers.view_rebuilds + self.providers.view_rebuilds,
+        )
+        telemetry.count("engine.queries_issued", self._queries_issued)
+        telemetry.count("engine.queries_served", self._queries_served)
+        telemetry.count("engine.queries_unserved", self._queries_unserved)
+        if self._run_span is not None:
+            telemetry.span_close(
+                self._run_span,
+                "run",
+                self.method.name,
+                perf_counter() - self._run_started,
+                attrs={
+                    "method": self.method.name,
+                    "seed": self.seed,
+                    "queries_issued": self._queries_issued,
+                    "queries_served": self._queries_served,
+                },
+            )
+            self._run_span = None
 
 
 def run_simulation(

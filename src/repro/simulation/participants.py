@@ -76,6 +76,8 @@ class ConsumerPool:
         self._initial = float(initial_satisfaction)
         self._active = np.ones(n_consumers, dtype=bool)
         self._epoch = 0
+        # Telemetry tally only; never feeds back into the simulation.
+        self.view_rebuilds = 0
         self._refresh_all()
 
     @property
@@ -117,7 +119,12 @@ class ConsumerPool:
         else:
             self._refresh_one(consumer)
 
+    def push_stats(self) -> dict[str, int]:
+        """The underlying ring log's push-path tallies."""
+        return self._log.push_stats()
+
     def _refresh_all(self) -> None:
+        self.view_rebuilds += 1
         # Running-sum drift can nudge a mean a few ulps outside the
         # contractual [0, 1] range; clip.
         self._adequation_view = np.clip(
@@ -196,6 +203,8 @@ class ProviderPool:
         self._initial = float(initial_satisfaction)
         self._active = np.ones(n_providers, dtype=bool)
         self._epoch = 0
+        # Telemetry tally only; never feeds back into the simulation.
+        self.view_rebuilds = 0
         # Neutral warm-start: intention/preference 0 maps to the 0.5
         # initial satisfaction after the (x+1)/2 rescale.  A non-0.5
         # initial value seeds the equivalent constant instead.
@@ -279,7 +288,12 @@ class ProviderPool:
         if dirty.size:
             self._refresh_satisfaction_rows(dirty)
 
+    def push_stats(self) -> dict[str, int]:
+        """The underlying ring log's push-path tallies."""
+        return self._log.push_stats()
+
     def _refresh_all(self) -> None:
+        self.view_rebuilds += 1
         self._satisfaction_views = {}
         for basis in self._BASES:
             # Running-sum drift can nudge a mean a few ulps outside
@@ -292,6 +306,7 @@ class ProviderPool:
         self._generation = self._log.generation
 
     def _refresh_adequations(self) -> None:
+        self.view_rebuilds += 1
         self._adequation_views = {}
         for basis in self._BASES:
             means_all = self._log.mean_all(basis, default=-1.0)

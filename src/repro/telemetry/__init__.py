@@ -1,0 +1,52 @@
+"""Unified telemetry: counters, streaming timers, and span events.
+
+Stdlib-only by design (the engine's hot path imports this package), and
+strictly opt-in: with no ``$REPRO_TELEMETRY_DIR`` and no
+:func:`configure_telemetry` call, :func:`get_telemetry` returns ``None``
+and every instrumentation site short-circuits — a disabled run is
+bit-identical to the uninstrumented seed and never touches an RNG.
+"""
+
+from repro.telemetry.events import (
+    EVENT_SCHEMA_VERSION,
+    TelemetryReadError,
+    atomic_write_bytes,
+    encode_event,
+    read_events,
+    read_events_dir,
+    verify_event,
+)
+from repro.telemetry.quantiles import P2Quantile
+from repro.telemetry.registry import (
+    TELEMETRY_DIR_ENV,
+    Telemetry,
+    TimerStats,
+    configure_telemetry,
+    get_telemetry,
+    telemetry_from_environment,
+    telemetry_session,
+)
+from repro.telemetry.report import (
+    format_telemetry_report,
+    telemetry_report,
+)
+
+__all__ = [
+    "EVENT_SCHEMA_VERSION",
+    "P2Quantile",
+    "TELEMETRY_DIR_ENV",
+    "Telemetry",
+    "TelemetryReadError",
+    "TimerStats",
+    "atomic_write_bytes",
+    "configure_telemetry",
+    "encode_event",
+    "format_telemetry_report",
+    "get_telemetry",
+    "read_events",
+    "read_events_dir",
+    "telemetry_from_environment",
+    "telemetry_report",
+    "telemetry_session",
+    "verify_event",
+]

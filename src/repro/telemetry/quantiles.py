@@ -1,0 +1,130 @@
+"""Streaming quantile estimation — the P² algorithm, stdlib-only.
+
+The telemetry layer wants latency quantiles (p50/p90/p99 of per-query
+dispatch time, per-job wall time) without storing observations: a
+simulation serves hundreds of thousands of queries and the registry
+must stay O(1) per metric.  The P² algorithm (Jain & Chlamtac, CACM
+1985) maintains five markers per tracked quantile — the running min,
+max, the target quantile, and the two midpoints — adjusting marker
+heights with a piecewise-parabolic fit as observations stream in.
+Constant memory, a handful of float operations per observation, and
+accuracy well within the few-percent band the report surfaces round to.
+
+This module deliberately imports nothing from the rest of the package
+(and no numpy): the telemetry layer must be importable from the
+engine's hot path without dragging in any simulation machinery.
+"""
+
+from __future__ import annotations
+
+__all__ = ["P2Quantile"]
+
+
+class P2Quantile:
+    """One streaming quantile estimate via the P² algorithm.
+
+    Parameters
+    ----------
+    q:
+        The quantile to track, in (0, 1) — e.g. ``0.99``.
+
+    Until five observations have arrived the estimate is exact (sorted
+    buffer); from the sixth on, the five markers are maintained
+    incrementally.  ``value()`` returns ``nan`` while empty.
+    """
+
+    __slots__ = ("count", "q", "_heights", "_positions", "_desired")
+
+    def __init__(self, q: float) -> None:
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"q must be in (0, 1), got {q}")
+        self.q = float(q)
+        self.count = 0
+        self._heights: list[float] = []
+        self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+        self._desired = [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q,
+                         3.0 + 2.0 * q, 5.0]
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        heights = self._heights
+        if self.count <= 5:
+            heights.append(value)
+            heights.sort()
+            return
+
+        # Locate the marker interval holding the new observation and
+        # widen the extremes when it falls outside them.
+        if value < heights[0]:
+            heights[0] = value
+            cell = 0
+        elif value >= heights[4]:
+            heights[4] = value
+            cell = 3
+        else:
+            cell = 0
+            while value >= heights[cell + 1]:
+                cell += 1
+
+        positions = self._positions
+        for index in range(cell + 1, 5):
+            positions[index] += 1.0
+        # Desired positions advance by a constant per observation
+        # (d[i] = 1 + (n-1)·f[i] with fixed fractions f), so they are
+        # maintained incrementally instead of rebuilt each time.
+        q = self.q
+        desired = self._desired
+        desired[1] += q / 2.0
+        desired[2] += q
+        desired[3] += (1.0 + q) / 2.0
+        desired[4] += 1.0
+        for index in (1, 2, 3):
+            drift = desired[index] - positions[index]
+            right_gap = positions[index + 1] - positions[index]
+            left_gap = positions[index - 1] - positions[index]
+            if (drift >= 1.0 and right_gap > 1.0) or (
+                drift <= -1.0 and left_gap < -1.0
+            ):
+                step = 1.0 if drift >= 1.0 else -1.0
+                candidate = self._parabolic(index, step)
+                if heights[index - 1] < candidate < heights[index + 1]:
+                    heights[index] = candidate
+                else:
+                    heights[index] = self._linear(index, step)
+                positions[index] += step
+
+    def _parabolic(self, index: int, step: float) -> float:
+        heights = self._heights
+        positions = self._positions
+        below = positions[index] - positions[index - 1]
+        above = positions[index + 1] - positions[index]
+        span = positions[index + 1] - positions[index - 1]
+        return heights[index] + step / span * (
+            (below + step)
+            * (heights[index + 1] - heights[index])
+            / above
+            + (above - step)
+            * (heights[index] - heights[index - 1])
+            / below
+        )
+
+    def _linear(self, index: int, step: float) -> float:
+        heights = self._heights
+        positions = self._positions
+        other = index + int(step)
+        return heights[index] + step * (
+            heights[other] - heights[index]
+        ) / (positions[other] - positions[index])
+
+    def value(self) -> float:
+        """The current estimate (exact below six observations)."""
+        count = self.count
+        if count == 0:
+            return float("nan")
+        heights = self._heights
+        if count <= 5:
+            # Exact: nearest-rank on the sorted buffer.
+            rank = max(0, min(count - 1, round(self.q * (count - 1))))
+            return heights[rank]
+        return heights[2]

@@ -87,6 +87,25 @@ class TestRunPerf:
             json.dumps(report)
         )
 
+    def test_phase_breakdown_rides_along_by_default(self, monkeypatch):
+        monkeypatch.setattr(perf, "PERF_MATRIX", TINY_MATRIX)
+        report = run_perf(quick=True, methods=("sqlb",))
+        phases = report["cells"]["tiny_captive/sqlb"]["phases"]
+        assert set(phases) == {
+            "arrival",
+            "candidate_lookup",
+            "scoring",
+            "ranking",
+            "log_push",
+        }
+        assert all(seconds >= 0.0 for seconds in phases.values())
+        assert sum(phases.values()) > 0.0
+
+    def test_no_phases_omits_the_breakdown(self, monkeypatch):
+        monkeypatch.setattr(perf, "PERF_MATRIX", TINY_MATRIX)
+        report = run_perf(quick=True, methods=("sqlb",), phases=False)
+        assert "phases" not in report["cells"]["tiny_captive/sqlb"]
+
     def test_profile_run_rejects_unknown_cell(self):
         with pytest.raises(ValueError):
             profile_run("no_such_cell")
@@ -155,8 +174,8 @@ class TestPerfCli:
         monkeypatch.setattr(
             cli,
             "run_perf",
-            lambda quick, repeats: run_perf(
-                quick, methods=("sqlb",), repeats=repeats
+            lambda quick, repeats, phases=True: run_perf(
+                quick, methods=("sqlb",), repeats=repeats, phases=phases
             ),
         )
         with pytest.raises(SystemExit) as excinfo:
@@ -170,8 +189,8 @@ class TestPerfCli:
         monkeypatch.setattr(
             cli,
             "run_perf",
-            lambda quick, repeats: run_perf(
-                quick, methods=("sqlb",), repeats=repeats
+            lambda quick, repeats, phases=True: run_perf(
+                quick, methods=("sqlb",), repeats=repeats, phases=phases
             ),
         )
         fresh = run_perf(quick=True, methods=("sqlb",))
@@ -200,8 +219,8 @@ class TestPerfCli:
         monkeypatch.setattr(
             cli,
             "run_perf",
-            lambda quick, repeats: run_perf(
-                quick, methods=("sqlb",), repeats=repeats
+            lambda quick, repeats, phases=True: run_perf(
+                quick, methods=("sqlb",), repeats=repeats, phases=phases
             ),
         )
         with pytest.raises(SystemExit) as excinfo:

@@ -1,0 +1,199 @@
+"""Queue/worker telemetry: counters files, status enrichment, queue top."""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.experiments.executor import ExperimentExecutor
+from repro.experiments.store import ResultStore
+from repro.scheduler.monitor import (
+    format_queue_top,
+    queue_status,
+    queue_top,
+)
+from repro.scheduler.queue import WorkQueue
+from repro.scheduler.worker import QueueWorker
+from repro.sweeps.spec import SweepSpec
+from repro.telemetry.registry import telemetry_session
+
+TTL = 30.0
+
+
+def spec(seeds=(1,)) -> SweepSpec:
+    return SweepSpec(
+        name="telemetry-unit",
+        scenarios=("captive_fixed_80",),
+        methods=("sqlb",),
+        seeds=seeds,
+        scale="tiny",
+    )
+
+
+def executor_for(path) -> ExperimentExecutor:
+    return ExperimentExecutor(workers=1, store=ResultStore(path))
+
+
+class TestWorkerCounters:
+    def test_drained_worker_leaves_a_counters_file(self, tmp_path):
+        queue = WorkQueue.init(tmp_path / "q", spec())
+        QueueWorker(
+            queue, executor=executor_for(tmp_path / "s"), owner="w", ttl=TTL
+        ).run()
+        counters = queue.worker_counters()
+        assert set(counters) == {"w"}
+        record = counters["w"]
+        assert record["owner"] == "w"
+        assert record["pid"] == os.getpid()
+        assert record["processed"] == 1
+        assert record["simulated"] == 1
+        assert record["store_hits"] == 0
+        assert record["failed"] == 0
+        assert record["busy_s"] > 0
+        assert record["last_job_s"] > 0
+        assert record["last_job_id"]
+
+    def test_counters_written_without_telemetry_enabled(self, tmp_path):
+        # The dashboard must work on fleets that never pass --telemetry.
+        queue = WorkQueue.init(tmp_path / "q", spec())
+        QueueWorker(
+            queue, executor=executor_for(tmp_path / "s"), owner="w", ttl=TTL
+        ).run()
+        assert queue.counters_dir.is_dir()
+        assert "w" in queue.worker_counters()
+
+    def test_gc_prunes_counters_with_stale_heartbeats(self, tmp_path):
+        queue = WorkQueue.init(tmp_path / "q", spec())
+        queue.heartbeat("dead", TTL, now=0.0)
+        queue.write_worker_counters("dead", {"owner": "dead"})
+        old = time.time() - 10_000.0
+        heartbeat = queue.heartbeats_dir / "dead.json"
+        os.utime(heartbeat, (old, old))
+        report = queue.gc(prune=True, heartbeat_grace=60.0)
+        assert "dead" in report.stale_heartbeats
+        assert queue.worker_counters() == {}
+
+
+class TestQueueStatusEnrichment:
+    def test_worker_rows_carry_staleness_and_counters(self, tmp_path):
+        queue = WorkQueue.init(tmp_path / "q", spec())
+        queue.heartbeat("alive", TTL, now=1000.0)
+        queue.heartbeat("stale", TTL, now=0.0)
+        queue.write_worker_counters("alive", {"processed": 3})
+        status = queue_status(queue, now=1000.0 + TTL / 2.0)
+        by_owner = {w["owner"]: w for w in status["workers"]}
+        assert not by_owner["alive"]["stale"]
+        assert by_owner["alive"]["heartbeat_age_s"] == TTL / 2.0
+        assert by_owner["alive"]["counters"] == {"processed": 3}
+        # Stale workers are flagged, never silently dropped.
+        assert by_owner["stale"]["stale"]
+        assert by_owner["stale"]["counters"] is None
+
+
+class TestQueueTop:
+    def test_frame_shape_mid_drain(self, tmp_path):
+        queue = WorkQueue.init(tmp_path / "q", spec(seeds=(1, 2)))
+        queue.claim("w", TTL, now=1000.0)
+        frame = queue_top(queue, now=1000.0)
+        assert frame["time"] == 1000.0
+        assert frame["status"]["counts"]["leased"] == 1
+        [lease] = frame["lease_ages"]
+        assert lease["owner"] == "w"
+        assert lease["age_s"] >= 0.0
+        [worker] = frame["status"]["workers"]
+        assert worker["jobs_per_min"] is None  # no counters yet
+
+    def test_rate_from_frame_delta(self, tmp_path):
+        queue = WorkQueue.init(tmp_path / "q", spec())
+        queue.heartbeat("w", TTL, now=1000.0)
+        queue.write_worker_counters("w", {"processed": 10, "busy_s": 60.0})
+        previous = queue_top(queue, now=1000.0)
+        queue.write_worker_counters("w", {"processed": 16, "busy_s": 90.0})
+        queue.heartbeat("w", TTL, now=1030.0)
+        frame = queue_top(queue, now=1030.0, previous=previous)
+        [worker] = frame["status"]["workers"]
+        # 6 jobs over 30 s → 12 jobs/min from the delta, not the
+        # session average (16 / 90 s × 60 ≈ 10.7).
+        assert worker["jobs_per_min"] == 12.0
+
+    def test_single_frame_falls_back_to_session_average(self, tmp_path):
+        queue = WorkQueue.init(tmp_path / "q", spec())
+        queue.heartbeat("w", TTL, now=1000.0)
+        queue.write_worker_counters("w", {"processed": 10, "busy_s": 120.0})
+        [worker] = queue_top(queue, now=1000.0)["status"]["workers"]
+        assert worker["jobs_per_min"] == 5.0
+
+    def test_retired_workers_survive_as_counters_only_rows(self, tmp_path):
+        queue = WorkQueue.init(tmp_path / "q", spec())
+        QueueWorker(
+            queue, executor=executor_for(tmp_path / "s"), owner="w", ttl=TTL
+        ).run()
+        # Clean exit removed the heartbeat but kept the counters file.
+        assert queue.heartbeats() == []
+        frame = queue_top(queue)
+        [worker] = frame["status"]["workers"]
+        assert worker["owner"] == "w"
+        assert worker["retired"]
+        assert not worker["alive"]
+        assert worker["counters"]["processed"] == 1
+
+    def test_human_rendering_smoke(self, tmp_path):
+        queue = WorkQueue.init(tmp_path / "q", spec(seeds=(1, 2)))
+        queue.claim("w", TTL, now=1000.0)
+        queue.write_worker_counters(
+            "w",
+            {"processed": 4, "simulated": 3, "store_hits": 1,
+             "failed": 0, "busy_s": 10.0, "last_job_s": 2.5},
+        )
+        text = format_queue_top(queue_top(queue, now=1000.0))
+        assert "telemetry-unit" in text
+        assert "pending: 1" in text
+        assert "oldest leases:" in text
+        assert "2.5s" in text
+
+    def test_drained_render_and_fresh_queue_render(self, tmp_path):
+        fresh = WorkQueue.init(tmp_path / "fresh", spec())
+        assert "no workers on record" in format_queue_top(queue_top(fresh))
+        queue = WorkQueue.init(tmp_path / "q", spec())
+        lease = queue.claim("w", TTL)
+        queue.ack(lease, "simulated", duration_s=1.0)
+        text = format_queue_top(queue_top(queue))
+        assert "[drained]" in text
+
+
+class TestQueueProtocolEvents:
+    def test_claim_ack_events_and_counters(self, tmp_path):
+        queue = WorkQueue.init(tmp_path / "q", spec())
+        with telemetry_session() as telemetry:
+            lease = queue.claim("w", TTL, now=1000.0)
+            queue.heartbeat("w", TTL, now=1001.0)
+            queue.ack(lease, "simulated", duration_s=1.0)
+        assert telemetry.counters["queue.claim"] == 1
+        assert telemetry.counters["queue.ack"] == 1
+        # claim() renews the owner's heartbeat internally, so the count
+        # reflects every renewal, not just the explicit call.
+        assert telemetry.counters["queue.heartbeat"] >= 1
+        kinds = [
+            (event["kind"], event["name"]) for event in telemetry.events
+        ]
+        assert ("queue", "claim") in kinds
+        assert ("queue", "ack") in kinds
+        # Heartbeats are counted but deliberately not event-recorded.
+        assert ("queue", "heartbeat") not in kinds
+
+    def test_expiry_event_on_scavenge(self, tmp_path):
+        queue = WorkQueue.init(tmp_path / "q", spec())
+        queue.claim("dead", TTL, now=0.0)
+        with telemetry_session() as telemetry:
+            requeued = queue.requeue_expired(now=TTL * 10)
+        assert len(requeued) == 1
+        assert telemetry.counters["queue.expiry"] == 1
+        assert any(
+            event["name"] == "expiry" for event in telemetry.events
+        )
+
+    def test_disabled_telemetry_records_nothing(self, tmp_path):
+        queue = WorkQueue.init(tmp_path / "q", spec())
+        lease = queue.claim("w", TTL)  # no active registry: just works
+        queue.ack(lease, "simulated", duration_s=1.0)
+        assert queue.counts().done == 1

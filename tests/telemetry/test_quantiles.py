@@ -1,0 +1,71 @@
+"""Tests for the P² streaming quantile estimator."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.telemetry.quantiles import P2Quantile
+
+
+class TestSmallSamples:
+    def test_empty_is_nan(self):
+        assert math.isnan(P2Quantile(0.5).value())
+
+    def test_five_or_fewer_observations_are_exact(self):
+        estimator = P2Quantile(0.5)
+        for value in (5.0, 1.0, 4.0):
+            estimator.observe(value)
+        # Nearest-rank over the sorted buffer [1, 4, 5].
+        assert estimator.value() == 4.0
+
+    def test_single_observation(self):
+        estimator = P2Quantile(0.9)
+        estimator.observe(7.0)
+        assert estimator.value() == 7.0
+
+
+class TestValidation:
+    @pytest.mark.parametrize("q", [0.0, 1.0, -0.1, 1.5])
+    def test_quantile_must_be_strictly_inside_unit_interval(self, q):
+        with pytest.raises(ValueError):
+            P2Quantile(q)
+
+
+class TestAccuracy:
+    """P² tracks the exact quantile closely on a stationary stream."""
+
+    @pytest.mark.parametrize("q", [0.5, 0.9, 0.99])
+    def test_gaussian_stream(self, q):
+        rng = random.Random(42)
+        values = [rng.gauss(10.0, 2.0) for _ in range(20_000)]
+        estimator = P2Quantile(q)
+        for value in values:
+            estimator.observe(value)
+        exact = sorted(values)[int(q * len(values))]
+        # Tolerance in units of the distribution's spread.
+        assert abs(estimator.value() - exact) < 0.15
+
+    def test_uniform_stream_p50_near_midpoint(self):
+        rng = random.Random(7)
+        estimator = P2Quantile(0.5)
+        for _ in range(10_000):
+            estimator.observe(rng.random())
+        assert abs(estimator.value() - 0.5) < 0.05
+
+    def test_count_tracks_observations(self):
+        estimator = P2Quantile(0.5)
+        for value in range(17):
+            estimator.observe(float(value))
+        assert estimator.count == 17
+
+    def test_markers_stay_ordered(self):
+        """Marker heights are maintained non-decreasing (P² invariant)."""
+        rng = random.Random(3)
+        estimator = P2Quantile(0.9)
+        for _ in range(5_000):
+            estimator.observe(rng.expovariate(1.0))
+        heights = estimator._heights
+        assert all(a <= b for a, b in zip(heights, heights[1:]))

@@ -7,13 +7,18 @@ import pytest
 from repro.cli import build_parser, main, resolve_seeds
 from repro.experiments.executor import set_default_executor
 from repro.experiments.harness import DEFAULT_SEEDS, PAPER_SEEDS
+from repro.telemetry.registry import TELEMETRY_DIR_ENV, configure_telemetry
 
 
 @pytest.fixture(autouse=True)
-def _reset_default_executor():
-    """CLI commands install default executors; never leak them."""
+def _reset_default_executor(monkeypatch):
+    """CLI commands install default executors (and, via --telemetry,
+    a process-wide telemetry registry plus its environment knob);
+    never leak either into the next test."""
+    monkeypatch.delenv(TELEMETRY_DIR_ENV, raising=False)
     yield
     set_default_executor(None)
+    configure_telemetry(enabled=False)
 
 
 class TestParser:
@@ -712,3 +717,75 @@ class TestQueueMaintenanceCli:
         )
         assert retried["requeued"] == [lease.job.id]
         assert queue.counts().pending == 2  # both cells runnable again
+
+
+class TestTelemetryCli:
+    def _run(self, capsys, *argv: str) -> str:
+        assert main(list(argv)) == 0
+        return capsys.readouterr().out
+
+    def test_report_rejects_missing_directory(self, tmp_path):
+        with pytest.raises(SystemExit, match="no telemetry"):
+            main(["telemetry", "report", str(tmp_path / "absent")])
+
+    def test_run_with_telemetry_then_report(self, tmp_path, capsys):
+        import json as jsonlib
+
+        events = str(tmp_path / "events")
+        self._run(
+            capsys, "run", "--duration", "30", "--no-cache",
+            "--telemetry", events,
+        )
+        text = self._run(capsys, "telemetry", "report", events)
+        assert "phase breakdown:" in text
+        assert "candidate cache" in text
+        payload = jsonlib.loads(
+            self._run(capsys, "telemetry", "report", events, "--json")
+        )
+        assert payload["runs"] == 1
+        assert payload["cells"] == 1
+        phase_names = [row["phase"] for row in payload["phases"]]
+        assert phase_names[0] == "arrival"
+        assert payload["counters"]["executor.jobs"] == 1
+
+    def test_queue_drain_with_telemetry_then_top(self, tmp_path, capsys):
+        import json as jsonlib
+
+        queue_dir = str(tmp_path / "q")
+        store = str(tmp_path / "store")
+        events = str(tmp_path / "events")
+        self._run(
+            capsys, "queue", "init", "--queue-dir", queue_dir,
+            *QUEUE_SPEC_FLAGS,
+        )
+        self._run(
+            capsys, "queue", "work", "--queue-dir", queue_dir,
+            "--cache-dir", store, "--telemetry", events,
+            "--owner", "cli-w",
+        )
+        report = self._run(capsys, "telemetry", "report", events)
+        assert "queue.claim" in report
+        assert "queue.ack" in report
+
+        top = self._run(
+            capsys, "queue", "top", "--queue-dir", queue_dir, "--once"
+        )
+        assert "[drained]" in top
+        assert "cli-w" in top
+
+        frame = jsonlib.loads(
+            self._run(
+                capsys, "queue", "top", "--queue-dir", queue_dir, "--json"
+            )
+        )
+        [worker] = frame["status"]["workers"]
+        assert worker["retired"]
+        assert worker["counters"]["processed"] == 2
+
+        status = jsonlib.loads(
+            self._run(
+                capsys, "queue", "status", "--queue-dir", queue_dir,
+                "--cache-dir", store, "--json",
+            )
+        )
+        assert status["drained"]
