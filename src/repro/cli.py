@@ -22,7 +22,7 @@ Subcommands::
         the per-(scenario, method) summary table with means and
         quantiles across seeds.
 
-    python -m repro queue init|work|status|report|retry|gc
+    python -m repro queue init|work|status|report|retry|gc|fsck|fleet
         The dynamic counterpart to static shards: ``init`` turns a sweep
         grid into a durable file-backed work queue, ``work`` runs a
         worker daemon that leases jobs (TTL heartbeats; expired leases
@@ -39,8 +39,22 @@ Subcommands::
         clock (skew-immune; no NTP requirement).  ``retry`` requeues
         error-parked jobs with a fresh attempts budget; ``gc`` lists
         orphaned atomic-write temp files and stale heartbeats
-        (``--prune`` removes them).  Point any number of ``work``
-        processes — same machine or a shared directory — at one queue.
+        (``--prune`` removes them).  ``fsck`` audits the queue
+        directory (and, with ``--cache-dir``, the store) against the
+        protocol invariants, exiting non-zero on unrepaired violations
+        (``--repair`` applies the protocol-defined self-repairs).
+        ``fleet -n N`` supervises N worker children, restarting
+        crashed ones under an exponential-backoff restart budget and
+        parking the fleet (exit 2) when the environment is poison.
+        Point any number of ``work`` processes — same machine or a
+        shared directory — at one queue.
+
+    python -m repro store verify
+        Check a result store's on-disk integrity: every entry's two
+        halves (``.npz`` payload, ``.json`` commit marker) must pair
+        and — by default — parse end-to-end.  Exits non-zero when
+        unclean; ``--prune`` removes orphan halves and unreadable
+        entries (none can ever be served as a hit).
 
     python -m repro trace record|replay
         Paired-comparison workflows: ``record`` runs one scenario cell
@@ -148,14 +162,17 @@ from repro.simulation.config import (
 from repro.scheduler import (
     EXPIRY_CLOCKS,
     AdaptiveConfig,
+    FleetSupervisor,
     QueueWorker,
     WorkQueue,
     format_queue_status,
     format_queue_top,
+    fsck_queue,
     queue_cells,
     queue_report,
     queue_status,
     queue_top,
+    spawn_cli_worker,
 )
 from repro.telemetry import (
     TELEMETRY_DIR_ENV,
@@ -655,6 +672,131 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="emit the machine-readable gc report",
+    )
+
+    queue_fsck = queue_sub.add_parser(
+        "fsck",
+        help="audit the queue directory (and its store) against the "
+        "protocol invariants; exits non-zero on unrepaired violations",
+    )
+    add_queue_dir(queue_fsck)
+    add_cache_options(queue_fsck)
+    queue_fsck.add_argument(
+        "--repair",
+        action="store_true",
+        help="apply the protocol-defined self-repairs (requeue, "
+        "discard, re-ticket, prune); never invents state or deletes "
+        "a result",
+    )
+    queue_fsck.add_argument(
+        "--temp-age",
+        type=positive_float,
+        default=3600.0,
+        metavar="SECONDS",
+        help="only flag atomic-write temp files older than this "
+        "(default 3600; younger ones may belong to a live writer)",
+    )
+    queue_fsck.add_argument(
+        "--max-attempts",
+        type=positive_int,
+        default=3,
+        help="attempts budget used when requeueing uncovered leases "
+        "(default 3)",
+    )
+    queue_fsck.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable fsck report",
+    )
+
+    queue_fleet = queue_sub.add_parser(
+        "fleet",
+        help="supervise N worker daemons: restart crashed ones under "
+        "a restart budget, park the fleet when the environment is "
+        "poison (exit 2)",
+    )
+    add_queue_dir(queue_fleet)
+    add_cache_options(queue_fleet)
+    queue_fleet.add_argument(
+        "-n",
+        "--count",
+        type=positive_int,
+        default=2,
+        help="number of concurrent worker children (default 2)",
+    )
+    queue_fleet.add_argument(
+        "--restart-budget",
+        type=positive_int,
+        default=None,
+        help="fleet-wide restarts before parking (default: 3 per "
+        "child)",
+    )
+    queue_fleet.add_argument(
+        "--backoff",
+        type=positive_float,
+        default=0.5,
+        metavar="SECONDS",
+        help="base restart backoff; doubles per restart of a slot, "
+        "capped at 30s (default 0.5)",
+    )
+    queue_fleet.add_argument(
+        "--owner-prefix",
+        default=None,
+        help="children are named <prefix>-0..N-1 in leases/heartbeats "
+        "(default: fleet-<host>-<pid>)",
+    )
+    queue_fleet.add_argument(
+        "--ttl",
+        type=positive_float,
+        default=60.0,
+        help="lease TTL passed to each worker (default 60)",
+    )
+    queue_fleet.add_argument(
+        "--max-attempts",
+        type=positive_int,
+        default=3,
+        help="per-job attempts budget passed to each worker (default 3)",
+    )
+    queue_fleet.add_argument(
+        "--expiry-clock",
+        choices=EXPIRY_CLOCKS,
+        default="wall",
+        help="expiry clock passed to each worker",
+    )
+    queue_fleet.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable fleet report",
+    )
+
+    store = sub.add_parser(
+        "store",
+        help="inspect a result store directly (verify on-disk "
+        "integrity)",
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    store_verify = store_sub.add_parser(
+        "verify",
+        help="check every entry's halves pair and parse; exits "
+        "non-zero when the store is unclean",
+    )
+    add_cache_options(store_verify)
+    store_verify.add_argument(
+        "--shallow",
+        action="store_true",
+        help="pair the halves only; skip opening every entry "
+        "(fast, misses power-loss torn files)",
+    )
+    store_verify.add_argument(
+        "--prune",
+        action="store_true",
+        help="delete orphan halves and unreadable entries (none can "
+        "ever be served as a hit)",
+    )
+    store_verify.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable verify report",
     )
 
     trace = sub.add_parser(
@@ -1428,6 +1570,202 @@ def _cmd_queue_gc(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _cmd_queue_fsck(args: argparse.Namespace) -> str:
+    queue = _open_queue(args)
+    cache_dir = _resolve_cache_dir(args)
+    store = ResultStore(cache_dir) if cache_dir is not None else None
+    report = fsck_queue(
+        queue,
+        store=store,
+        repair=args.repair,
+        temp_age=args.temp_age,
+        max_attempts=args.max_attempts,
+    )
+    if args.json:
+        output = json.dumps(report.payload(), sort_keys=True, indent=1)
+    else:
+        checked = report.checked
+        lines = [
+            f"fsck {queue.root}: jobs {checked['jobs']}  "
+            f"pending {checked['pending']}  leases {checked['leases']}  "
+            f"done {checked['done']}  heartbeats {checked['heartbeats']}"
+            + (
+                f"  store entries {checked['store_entries']}"
+                if store is not None
+                else "  (no store checked; pass --cache-dir)"
+            )
+        ]
+        if report.clean:
+            lines.append("consistent: no violations")
+        else:
+            lines.append(
+                f"{'kind':<18} {'repair':<24} subject"
+            )
+            for violation in report.violations:
+                status = violation.repair + (
+                    " (applied)" if violation.repaired else ""
+                )
+                lines.append(
+                    f"{violation.kind:<18} {status:<24} "
+                    f"{violation.subject}"
+                )
+                lines.append(f"{'':<18} {'':<24}   {violation.detail}")
+            unrepaired = len(report.unrepaired)
+            lines.append(
+                f"{len(report.violations)} violation(s), "
+                f"{len(report.violations) - unrepaired} repaired, "
+                f"{unrepaired} unrepaired"
+                + (
+                    ""
+                    if args.repair
+                    else " (re-run with --repair to fix)"
+                )
+            )
+        output = "\n".join(lines)
+    if report.unrepaired:
+        # The verdict must reach both humans and scripts: print the
+        # report, then fail the process.
+        print(output)
+        raise SystemExit(1)
+    return output
+
+
+def _cmd_queue_fleet(args: argparse.Namespace) -> str:
+    cache_dir = _require_cache_dir(args, "queue fleet")
+    queue = _open_queue(args)  # fail fast before spawning anything
+    prefix = args.owner_prefix or f"fleet-{os.getpid()}"
+    worker_args = (
+        "--ttl",
+        str(args.ttl),
+        "--max-attempts",
+        str(args.max_attempts),
+        "--expiry-clock",
+        args.expiry_clock,
+    )
+    telemetry_dir = getattr(args, "telemetry", None)
+    if telemetry_dir is not None:
+        worker_args += ("--telemetry", str(telemetry_dir))
+    supervisor = FleetSupervisor(
+        spawn_cli_worker(args.queue_dir, cache_dir, worker_args),
+        count=args.count,
+        restart_budget=args.restart_budget,
+        backoff_base=args.backoff,
+        owner_prefix=prefix,
+        on_event=(
+            None
+            if args.json
+            else lambda message: print(f"fleet: {message}", flush=True)
+        ),
+    )
+    report = supervisor.run(install_signal_handlers=True)
+    counts = queue.counts()
+    if args.json:
+        output = json.dumps(
+            {
+                **report.payload(),
+                "queue": {
+                    "pending": counts.pending,
+                    "leased": counts.leased,
+                    "done": counts.done,
+                },
+            },
+            sort_keys=True,
+            indent=1,
+        )
+    else:
+        if report.parked:
+            verdict = (
+                "parked: restart budget exhausted — the environment "
+                "is killing workers faster than restarts help"
+            )
+        elif report.drained:
+            verdict = "drained"
+        else:
+            verdict = "stopped" + (
+                " (signalled)" if report.stopped_by_signal else ""
+            )
+        lines = [
+            f"fleet {verdict}",
+            f"children: {len(report.children)}   "
+            f"restarts: {report.restarts}",
+        ]
+        for child in report.children:
+            exit_note = (
+                "" if child.exit_code is None
+                else f" (exit {child.exit_code})"
+            )
+            lines.append(
+                f"  {child.owner}: {child.state}{exit_note}"
+                + (
+                    f", {child.restarts} restart(s)"
+                    if child.restarts
+                    else ""
+                )
+            )
+        lines.append(
+            f"queue: pending {counts.pending}  leased {counts.leased}  "
+            f"done {counts.done}"
+        )
+        output = "\n".join(lines)
+    if report.parked:
+        print(output)
+        raise SystemExit(2)
+    return output
+
+
+def _cmd_store(args: argparse.Namespace) -> str:
+    if args.store_command != "verify":  # pragma: no cover
+        raise AssertionError(
+            f"unhandled store command {args.store_command!r}"
+        )
+    cache_dir = _require_cache_dir(args, "store verify")
+    store = ResultStore(cache_dir)
+    report = store.verify(deep=not args.shallow)
+    pruned = 0
+    if args.prune and not report.clean:
+        pruned = store.prune_invalid(report)
+    if args.json:
+        output = json.dumps(
+            {
+                "clean": report.clean,
+                "entries": report.entries,
+                "orphan_npz": list(report.orphan_npz),
+                "orphan_json": list(report.orphan_json),
+                "unreadable": list(report.unreadable),
+                "pruned_files": pruned,
+            },
+            sort_keys=True,
+            indent=1,
+        )
+    else:
+        lines = [
+            f"store {cache_dir}: {report.entries} complete entr"
+            + ("y" if report.entries == 1 else "ies")
+            + ("" if args.shallow else " (deep-read)")
+        ]
+        for label, keys in (
+            ("orphan npz (interrupted put)", report.orphan_npz),
+            ("orphan json (write order violated)", report.orphan_json),
+            ("unreadable entries", report.unreadable),
+        ):
+            for key in keys:
+                lines.append(f"  {label}: {key}")
+        if report.clean:
+            lines.append("store is clean")
+        elif args.prune:
+            lines.append(f"pruned {pruned} file(s)")
+        else:
+            lines.append(
+                "store is unclean (re-run with --prune to remove; "
+                "none of these can ever be served as a hit)"
+            )
+        output = "\n".join(lines)
+    if not report.clean and not args.prune:
+        print(output)
+        raise SystemExit(1)
+    return output
+
+
 def _cmd_queue(args: argparse.Namespace) -> str:
     if args.queue_command == "init":
         return _cmd_queue_init(args)
@@ -1445,6 +1783,10 @@ def _cmd_queue(args: argparse.Namespace) -> str:
         return _cmd_queue_retry(args)
     if args.queue_command == "gc":
         return _cmd_queue_gc(args)
+    if args.queue_command == "fsck":
+        return _cmd_queue_fsck(args)
+    if args.queue_command == "fleet":
+        return _cmd_queue_fleet(args)
     raise AssertionError(
         f"unhandled queue command {args.queue_command!r}"
     )  # pragma: no cover
@@ -1887,6 +2229,8 @@ def main(argv: list[str] | None = None) -> int:
         print(_cmd_sweep(args))
     elif args.command == "queue":
         print(_cmd_queue(args))
+    elif args.command == "store":
+        print(_cmd_store(args))
     elif args.command == "trace":
         _configure_executor(args)
         print(_cmd_trace(args))

@@ -36,17 +36,29 @@ import io
 import json
 import os
 import tempfile
+import zipfile
 from pathlib import Path
 
 import numpy as np
 
+from repro.reliability.durability import (
+    durable_writes_enabled,
+    fsync_dir,
+    fsync_fd,
+)
+from repro.reliability.failpoints import failpoint, torn_payload
 from repro.simulation.config import SimulationConfig
 from repro.simulation.departures import DepartureRecord
 from repro.simulation.engine import ENGINE_VERSION, SimulationResult
 from repro.simulation.stats import TimeSeriesCollector
 from repro.telemetry.registry import get_telemetry
 
-__all__ = ["ResultStore", "StoredSeries", "cache_key"]
+__all__ = [
+    "ResultStore",
+    "StoreVerifyReport",
+    "StoredSeries",
+    "cache_key",
+]
 
 #: Bump when the *serialization format* (not the simulation semantics)
 #: changes incompatibly; part of every cache key.
@@ -120,17 +132,70 @@ class StoredSeries:
 
 
 def _atomic_write_bytes(path: Path, data: bytes) -> None:
+    """Write ``data`` to ``path`` with no partially-visible state.
+
+    Tempfile + ``os.replace`` is the repo's one durable-write idiom —
+    queue records route through here too.  The three failpoint sites
+    bracket the commit point (``os.replace``) so chaos tests can kill a
+    writer at every distinguishable instant; under
+    ``REPRO_DURABLE_WRITES=1`` the temp file is fsynced before the
+    rename and the parent directory after it, upgrading crash
+    atomicity to power-loss durability.
+    """
     fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=f".{path.name}.")
     try:
         with os.fdopen(fd, "wb") as handle:
+            torn = torn_payload("store.write.data", data)
+            if torn is not None:
+                # A writer that died mid-write: a truncated temp file
+                # and an error — the final path is never touched.
+                handle.write(torn)
+                handle.flush()
+                raise OSError(
+                    f"torn write (failpoint) while writing {path.name}"
+                )
             handle.write(data)
+            if durable_writes_enabled():
+                handle.flush()
+                fsync_fd(handle.fileno())
+        failpoint("store.write.before_replace")
         os.replace(tmp, path)
+        failpoint("store.write.after_replace")
+        if durable_writes_enabled():
+            fsync_dir(path.parent)
     except BaseException:
         try:
             os.unlink(tmp)
         except OSError:
             pass
         raise
+
+
+@dataclasses.dataclass(frozen=True)
+class StoreVerifyReport:
+    """What :meth:`ResultStore.verify` found.
+
+    ``orphan_npz`` are keys whose ``.npz`` half exists without its
+    ``.json`` — an interrupted ``put`` (the json is written last, so
+    it is the commit marker; the entry was never visible).
+    ``orphan_json`` are the reverse — a json without its npz, which
+    should be impossible under the documented write order and means
+    the payload was deleted or the order was violated.  ``unreadable``
+    are complete pairs whose json or npz fails to parse (power-loss
+    torn writes; ``get`` degrades them to misses).  All three are safe
+    to prune: none can ever be served as a hit.
+    """
+
+    entries: int
+    orphan_npz: tuple[str, ...]
+    orphan_json: tuple[str, ...]
+    unreadable: tuple[str, ...]
+
+    @property
+    def clean(self) -> bool:
+        return not (
+            self.orphan_npz or self.orphan_json or self.unreadable
+        )
 
 
 class ResultStore:
@@ -210,6 +275,68 @@ class ResultStore:
             path.unlink(missing_ok=True)
         return removed
 
+    def verify(self, deep: bool = True) -> StoreVerifyReport:
+        """Audit the on-disk state against the write-order contract.
+
+        Pairs top-level ``<key>.json`` / ``<key>.npz`` halves by stem
+        (``glob`` never matches the dot-prefixed atomic-write temps, and
+        manifests/figures live in subdirectories).  With ``deep=True``
+        each complete pair is also opened end-to-end — the only way to
+        catch a power-loss torn file that kept its committed name.
+        """
+        if not self.root.is_dir():
+            return StoreVerifyReport(
+                entries=0, orphan_npz=(), orphan_json=(), unreadable=()
+            )
+        json_keys = {path.stem for path in self.root.glob("*.json")}
+        npz_keys = {path.stem for path in self.root.glob("*.npz")}
+        paired = json_keys & npz_keys
+        unreadable: list[str] = []
+        if deep:
+            for key in sorted(paired):
+                try:
+                    json.loads(self._json_path(key).read_text())
+                    with np.load(self._npz_path(key)) as archive:
+                        for name in archive.files:
+                            archive[name]
+                except (
+                    OSError,
+                    ValueError,
+                    KeyError,
+                    json.JSONDecodeError,
+                    zipfile.BadZipFile,
+                ):
+                    unreadable.append(key)
+        return StoreVerifyReport(
+            entries=len(paired),
+            orphan_npz=tuple(sorted(npz_keys - json_keys)),
+            orphan_json=tuple(sorted(json_keys - npz_keys)),
+            unreadable=tuple(unreadable),
+        )
+
+    def prune_invalid(self, report: StoreVerifyReport | None = None) -> int:
+        """Delete every entry ``verify`` condemned; returns files removed.
+
+        Safe by construction: orphan halves and unreadable pairs can
+        never be served as hits, so removing them only reclaims space
+        and silences fsck.
+        """
+        if report is None:
+            report = self.verify(deep=True)
+        removed = 0
+        for key in report.orphan_npz:
+            self._npz_path(key).unlink(missing_ok=True)
+            removed += 1
+        for key in report.orphan_json:
+            self._json_path(key).unlink(missing_ok=True)
+            removed += 1
+        for key in report.unreadable:
+            for path in (self._json_path(key), self._npz_path(key)):
+                if path.exists():
+                    path.unlink(missing_ok=True)
+                    removed += 1
+        return removed
+
     # -- paths -------------------------------------------------------
 
     def _json_path(self, key: str) -> Path:
@@ -235,7 +362,14 @@ class ResultStore:
             with np.load(self._npz_path(key)) as archive:
                 arrays = {name: archive[name].copy() for name in archive.files}
             result = self._rebuild(meta, arrays, config)
-        except (OSError, ValueError, KeyError, TypeError, json.JSONDecodeError):
+        except (
+            OSError,
+            ValueError,
+            KeyError,
+            TypeError,
+            json.JSONDecodeError,
+            zipfile.BadZipFile,
+        ):
             # Unreadable or schema-mismatched entries degrade to misses;
             # the next put() overwrites them.
             self._record_miss()
@@ -268,7 +402,7 @@ class ResultStore:
         key = cache_key(config, method, seed)
         try:
             archive = np.load(self._npz_path(key))
-        except (OSError, ValueError):
+        except (OSError, ValueError, zipfile.BadZipFile):
             self._record_miss()
             return None
         with archive:
@@ -296,7 +430,7 @@ class ResultStore:
                     name: archive[f"series__{name}"].copy()
                     for name in wanted
                 }
-            except (OSError, ValueError):  # pragma: no cover - torn npz
+            except (OSError, ValueError, zipfile.BadZipFile):  # pragma: no cover - torn npz
                 self._record_miss()
                 return None
         self._record_hit()
@@ -349,6 +483,11 @@ class ResultStore:
         np.savez_compressed(buffer, **arrays)
         npz_payload = buffer.getvalue()
         json_payload = json.dumps(meta, sort_keys=True).encode("utf-8")
+        # Write order is a contract: npz strictly before json.  Both
+        # ``contains`` and ``get`` require the json half, so the json is
+        # the commit marker — a writer that dies between the two writes
+        # leaves an invisible orphan npz (verify()/fsck prune it), never
+        # a visible entry with a missing payload.
         _atomic_write_bytes(self._npz_path(key), npz_payload)
         _atomic_write_bytes(self._json_path(key), json_payload)
         self._record_write(len(npz_payload) + len(json_payload))

@@ -22,6 +22,14 @@ rsync'd) as the coordination medium.
 * :mod:`repro.scheduler.monitor` — queue depth, per-worker liveness,
   completion ETA, as JSON and a human table, plus the partial-progress
   report over whatever the queue has completed.
+* :mod:`repro.scheduler.fsck` — ``repro queue fsck``: audits a queue
+  directory (and optionally its result store) against the protocol's
+  documented invariants; ``--repair`` applies only protocol-defined
+  self-repairs.
+* :mod:`repro.scheduler.fleet` — ``repro queue fleet``:
+  :class:`FleetSupervisor`, which spawns N worker children, restarts
+  crashed ones under an exponential-backoff restart budget, and parks
+  the fleet (instead of fork-bombing) when the environment is poison.
 
 Execution is *at least once*; that is safe because results land in the
 content-addressed result store, where a repeat is a store hit rather
@@ -35,6 +43,14 @@ from repro.scheduler.adaptive import (
     AdaptiveDecision,
     extension_seeds,
 )
+from repro.scheduler.fleet import (
+    ChildOutcome,
+    FleetReport,
+    FleetSupervisor,
+    spawn_cli_worker,
+    worker_command,
+)
+from repro.scheduler.fsck import FsckReport, Violation, fsck_queue
 from repro.scheduler.monitor import (
     format_queue_status,
     format_queue_top,
@@ -64,23 +80,31 @@ __all__ = [
     "AdaptiveConfig",
     "AdaptiveController",
     "AdaptiveDecision",
+    "ChildOutcome",
     "EXPIRY_CLOCKS",
+    "FleetReport",
+    "FleetSupervisor",
+    "FsckReport",
     "GcReport",
     "Lease",
     "QueueCounts",
     "QueueJob",
     "QueueWorker",
     "RetryReport",
+    "Violation",
     "WorkQueue",
     "WorkerReport",
     "default_owner_id",
     "extension_seeds",
     "format_queue_status",
     "format_queue_top",
+    "fsck_queue",
     "job_id",
     "queue_cells",
     "queue_report",
     "queue_status",
     "queue_top",
+    "spawn_cli_worker",
+    "worker_command",
     "write_worker_manifest",
 ]

@@ -57,6 +57,12 @@ import time
 from pathlib import Path
 
 from repro.experiments.store import _atomic_write_bytes, cache_key
+from repro.reliability.durability import (
+    durable_writes_enabled,
+    fsync_dir,
+    fsync_fd,
+)
+from repro.reliability.failpoints import failpoint
 from repro.simulation.config import SimulationConfig
 from repro.simulation.engine import ENGINE_VERSION
 from repro.sweeps.spec import SweepJob, SweepSpec
@@ -259,10 +265,15 @@ def _create_json_exclusive(path: Path, payload: dict) -> bool:
     try:
         with os.fdopen(fd, "wb") as handle:
             handle.write(data)
+            if durable_writes_enabled():
+                handle.flush()
+                fsync_fd(handle.fileno())
         try:
             os.link(tmp, path)
         except FileExistsError:
             return False
+        if durable_writes_enabled():
+            fsync_dir(path.parent)
         return True
     finally:
         try:
@@ -477,10 +488,12 @@ class WorkQueue:
             )
             # Job record first, then the ticket: a ticket never exists
             # without its (immutable) description.
+            failpoint("queue.enqueue.record")
             _write_json(
                 self.jobs_dir / f"{identifier}.json",
                 dataclasses.asdict(record),
             )
+            failpoint("queue.enqueue.ticket")
             _write_json(self.pending_dir / identifier, {"attempts": 0})
             added += 1
         return added
@@ -515,6 +528,7 @@ class WorkQueue:
         # recorded alongside the absolute deadline so mtime-clock
         # scavengers can derive a deadline from the file's own mtime.
         owner = _sanitize(owner)
+        failpoint("queue.heartbeat")
         _write_json(
             self.heartbeats_dir / f"{owner}.json",
             {
@@ -563,10 +577,12 @@ class WorkQueue:
             target = self.leases_dir / (
                 f"{ticket.name}{_LEASE_SEPARATOR}{owner}"
             )
+            failpoint("queue.claim.before_rename")
             try:
                 os.rename(ticket, target)
             except FileNotFoundError:
                 continue  # another worker won this ticket
+            failpoint("queue.claim.after_rename")
             record = _read_json(self.jobs_dir / f"{ticket.name}.json")
             if record is None:
                 # Unreadable job record.  On a shared filesystem this
@@ -635,6 +651,7 @@ class WorkQueue:
             # completion between the caller's checks and here, and an
             # error verdict must never clobber a real result (ack's
             # overwrite in the other direction is intentional).
+            failpoint("queue.park")
             created = _create_json_exclusive(
                 self.done_dir / f"{identifier}.json",
                 {
@@ -653,6 +670,7 @@ class WorkQueue:
                 )
                 return "error"
             return "gone"
+        failpoint("queue.requeue")
         _write_json(lease_path, {"attempts": attempts})
         try:
             os.rename(lease_path, self.pending_dir / identifier)
@@ -688,6 +706,7 @@ class WorkQueue:
         ``state`` is ``simulated`` or ``store_hit`` (the executor's
         ground truth), matching the sweep-manifest vocabulary.
         """
+        failpoint("queue.ack.before_done")
         _write_json(
             self.done_dir / f"{lease.job.id}.json",
             {
@@ -700,6 +719,7 @@ class WorkQueue:
         # Done record first, lease unlink second: a crash in between
         # leaves a stale lease the scavenger discards (done wins),
         # never a lost result.
+        failpoint("queue.ack.after_done")
         lease.path.unlink(missing_ok=True)
         _telemetry_note(
             "ack",

@@ -45,6 +45,8 @@ from repro.experiments.executor import (
     SimulationJob,
     get_default_executor,
 )
+from repro.reliability.failpoints import failpoint
+from repro.reliability.retry import retry_io
 from repro.scheduler.adaptive import AdaptiveController
 from repro.scheduler.queue import (
     DEFAULT_MAX_ATTEMPTS,
@@ -88,22 +90,60 @@ class WorkerReport:
 
 
 class _Heartbeater(threading.Thread):
-    """Renews one owner's heartbeat every ``ttl / 3`` seconds."""
+    """Renews one owner's heartbeat every ``ttl / 3`` seconds.
 
-    def __init__(self, queue: WorkQueue, owner: str, ttl: float) -> None:
+    Each renewal retries transient ``OSError`` s through
+    :func:`~repro.reliability.retry.retry_io`; a renewal that fails its
+    whole retry budget counts as one *miss*.  After
+    :data:`MAX_CONSECUTIVE_MISSES` misses in a row the thread gives up
+    and invokes ``on_failure`` (the worker drains itself): a worker
+    that cannot publish liveness is, to every scavenger, already dead —
+    its leases *will* expire and be re-run — so continuing to simulate
+    only doubles work and races the fleet.  The old behaviour
+    (swallow every ``OSError`` forever) made that zombie state
+    permanent and invisible.
+    """
+
+    #: Renewal failures in a row (each already retried with backoff)
+    #: before the thread declares the heartbeat lost.  At ttl/3 per
+    #: renewal this tolerates well over a lease TTL of flakiness before
+    #: giving up.
+    MAX_CONSECUTIVE_MISSES = 5
+
+    def __init__(
+        self,
+        queue: WorkQueue,
+        owner: str,
+        ttl: float,
+        on_failure=None,
+    ) -> None:
         super().__init__(daemon=True, name=f"heartbeat-{owner}")
         self._queue = queue
         self._owner = owner
         self._ttl = ttl
+        self._on_failure = on_failure
+        self.consecutive_misses = 0
         # NB: not "_stop" — threading.Thread uses that name internally.
         self._halt = threading.Event()
 
     def run(self) -> None:
         while not self._halt.wait(self._ttl / 3.0):
             try:
-                self._queue.heartbeat(self._owner, self._ttl)
-            except OSError:  # pragma: no cover - transient FS hiccup
-                pass
+                retry_io(
+                    lambda: self._queue.heartbeat(self._owner, self._ttl),
+                    "heartbeat",
+                )
+            except OSError:
+                self.consecutive_misses += 1
+                if self.consecutive_misses >= self.MAX_CONSECUTIVE_MISSES:
+                    telemetry = get_telemetry()
+                    if telemetry is not None:
+                        telemetry.count("worker.heartbeat_lost")
+                    if self._on_failure is not None:
+                        self._on_failure()
+                    return
+            else:
+                self.consecutive_misses = 0
 
     def stop(self) -> None:
         self._halt.set()
@@ -193,6 +233,7 @@ class QueueWorker:
             queue.clock = expiry_clock
         self.expiry_clock = expiry_clock
         self._stop_requested = False
+        self._last_counters: dict = {}
 
     @property
     def executor(self) -> ExperimentExecutor:
@@ -242,15 +283,48 @@ class QueueWorker:
             "last_job_s": last_job_s,
             "last_job_id": last_job_id,
         }
+        self._last_counters = payload
         try:
-            self.queue.write_worker_counters(self.owner, payload)
-        except OSError:  # pragma: no cover - transient FS hiccup
+            retry_io(
+                lambda: self.queue.write_worker_counters(
+                    self.owner, payload
+                ),
+                "counters",
+            )
+        except OSError:
+            # Still best-effort once the retry budget is spent: a
+            # monitoring artefact must not kill the drain loop.
             pass
         telemetry = get_telemetry()
         if telemetry is not None:
             if last_job_s is not None:
                 telemetry.observe("worker.job_s", last_job_s)
             telemetry.flush()
+
+    def _heartbeat_lost(self) -> None:
+        """The heartbeater spent its whole failure budget: drain.
+
+        Stamps ``heartbeat_lost`` into this worker's counters snapshot
+        (so ``queue top``/``status`` show *why* the worker drained) and
+        requests a graceful stop — the in-flight job finishes and acks;
+        by then scavengers may already be re-running our leases, which
+        the content-addressed store absorbs.
+        """
+        try:
+            self.queue.write_worker_counters(
+                self.owner,
+                {
+                    "owner": self.owner,
+                    "pid": os.getpid(),
+                    **self._last_counters,
+                    "heartbeat_lost": True,
+                },
+            )
+        except OSError:
+            # The same broken filesystem that lost the heartbeat —
+            # the local WorkerReport still records the stop.
+            pass
+        self.request_stop()
 
     # -- the daemon loop ----------------------------------------------
 
@@ -277,7 +351,12 @@ class QueueWorker:
                     signum, lambda *_: self.request_stop()
                 )
 
-        heartbeater = _Heartbeater(self.queue, self.owner, self.ttl)
+        heartbeater = _Heartbeater(
+            self.queue,
+            self.owner,
+            self.ttl,
+            on_failure=self._heartbeat_lost,
+        )
         self.queue.heartbeat(self.owner, self.ttl)
         heartbeater.start()
         entries: list[dict] = []
@@ -286,6 +365,7 @@ class QueueWorker:
         busy_s = 0.0
         try:
             while not self._stop_requested:
+                failpoint("worker.loop")
                 if (
                     self.max_jobs is not None
                     and len(entries) + failed >= self.max_jobs
@@ -295,9 +375,12 @@ class QueueWorker:
                     # poison job into max_attempts extra simulations.
                     break
                 requeued += len(
-                    self.queue.requeue_expired(
-                        max_attempts=self.max_attempts,
-                        clock=self.expiry_clock,
+                    retry_io(
+                        lambda: self.queue.requeue_expired(
+                            max_attempts=self.max_attempts,
+                            clock=self.expiry_clock,
+                        ),
+                        "scavenge",
                     )
                 )
                 lease = self.queue.claim(

@@ -10,6 +10,13 @@ from repro.experiments.executor import (
     WORKERS_ENV,
     set_default_executor,
 )
+from repro.reliability import (
+    DURABLE_WRITES_ENV,
+    FAILPOINTS_ENV,
+    FAILPOINTS_SEED_ENV,
+    configure_durable_writes,
+    configure_failpoints,
+)
 from repro.simulation.config import tiny_config
 
 
@@ -39,6 +46,24 @@ def _hermetic_executor_env(monkeypatch):
     """
     monkeypatch.delenv(WORKERS_ENV, raising=False)
     monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+
+
+@pytest.fixture(autouse=True)
+def _hermetic_reliability_env(monkeypatch):
+    """Shield every test from operator chaos/durability settings.
+
+    An exported ``REPRO_FAILPOINTS`` would inject faults into every
+    test in the suite; the cached registries are reset to the lazy
+    unresolved state on both sides of each test.
+    """
+    monkeypatch.delenv(FAILPOINTS_ENV, raising=False)
+    monkeypatch.delenv(FAILPOINTS_SEED_ENV, raising=False)
+    monkeypatch.delenv(DURABLE_WRITES_ENV, raising=False)
+    configure_failpoints(None)
+    configure_durable_writes(None)
+    yield
+    configure_failpoints(None)
+    configure_durable_writes(None)
 
 
 @pytest.fixture

@@ -190,3 +190,104 @@ class TestStoreBehaviour:
         assert meta["method_name"] == "sqlb"
         assert meta["seed"] == 3
         assert meta["engine_version"]
+
+class TestVerify:
+    def test_clean_store(self, tmp_path, captive_result):
+        store = ResultStore(tmp_path)
+        store.put(captive_result)
+        report = store.verify()
+        assert report.clean
+        assert report.entries == 1
+        assert store.verify(deep=False).clean
+
+    def test_empty_and_missing_roots_are_clean(self, tmp_path):
+        assert ResultStore(tmp_path / "never_created").verify().clean
+
+    def test_orphan_npz_is_flagged(self, tmp_path, captive_result):
+        store = ResultStore(tmp_path)
+        key = store.put(captive_result)
+        (tmp_path / f"{key}.json").unlink()
+        report = store.verify()
+        assert not report.clean
+        assert report.orphan_npz == (key,)
+
+    def test_orphan_json_is_flagged(self, tmp_path, captive_result):
+        store = ResultStore(tmp_path)
+        key = store.put(captive_result)
+        (tmp_path / f"{key}.npz").unlink()
+        report = store.verify()
+        assert report.orphan_json == (key,)
+
+    def test_deep_verify_catches_torn_payloads(self, tmp_path, captive_result):
+        store = ResultStore(tmp_path)
+        key = store.put(captive_result)
+        payload = (tmp_path / f"{key}.npz").read_bytes()
+        (tmp_path / f"{key}.npz").write_bytes(payload[: len(payload) // 2])
+        assert store.verify(deep=False).clean  # pairing alone can't see it
+        report = store.verify(deep=True)
+        assert report.unreadable == (key,)
+
+    def test_prune_invalid_restores_clean(self, tmp_path, captive_result):
+        store = ResultStore(tmp_path)
+        key = store.put(captive_result)
+        (tmp_path / f"{key}.json").unlink()
+        removed = store.prune_invalid()
+        assert removed == 1
+        assert store.verify().clean
+        # A fresh put fully repairs the entry.
+        store.put(captive_result)
+        assert store.contains(captive_result.config, "sqlb", 3)
+
+    def test_temp_litter_is_ignored(self, tmp_path, captive_result):
+        store = ResultStore(tmp_path)
+        store.put(captive_result)
+        (tmp_path / ".stage.partial").write_bytes(b"x")
+        assert store.verify().clean
+
+
+class TestWriteOrder:
+    def test_json_is_the_commit_marker(self, tmp_path, captive_result):
+        # put() writes npz strictly before json; killing the second
+        # write must leave a store that reads as a miss, never a
+        # half-entry that reads as a hit.
+        from repro.reliability import FailpointError, failpoints_session
+
+        store = ResultStore(tmp_path)
+        with failpoints_session("store.write.before_replace:raise:2"):
+            with pytest.raises(FailpointError):
+                store.put(captive_result)
+        key = cache_key(captive_result.config, "sqlb", 3)
+        assert (tmp_path / f"{key}.npz").exists()
+        assert not (tmp_path / f"{key}.json").exists()
+        assert not store.contains(captive_result.config, "sqlb", 3)
+        assert store.get(captive_result.config, "sqlb", 3) is None
+        assert store.verify().orphan_npz == (key,)
+        # Idempotent redo commits the entry.
+        store.put(captive_result)
+        assert store.contains(captive_result.config, "sqlb", 3)
+        assert store.verify().clean
+
+    def test_killed_first_write_leaves_no_trace(self, tmp_path, captive_result):
+        from repro.reliability import FailpointError, failpoints_session
+
+        store = ResultStore(tmp_path)
+        with failpoints_session("store.write.before_replace:raise:1"):
+            with pytest.raises(FailpointError):
+                store.put(captive_result)
+        key = cache_key(captive_result.config, "sqlb", 3)
+        assert not (tmp_path / f"{key}.npz").exists()
+        assert not (tmp_path / f"{key}.json").exists()
+
+
+class TestDurableWrites:
+    def test_durable_put_round_trips(self, tmp_path, captive_result):
+        from repro.reliability import durable_writes_session
+
+        store = ResultStore(tmp_path)
+        with durable_writes_session(True):
+            store.put(captive_result)
+        loaded = store.get(captive_result.config, "sqlb", 3)
+        assert loaded is not None
+        np.testing.assert_array_equal(
+            loaded.times(), captive_result.times()
+        )

@@ -1,0 +1,160 @@
+"""Chaos soak: a real fleet under injected crashes still converges.
+
+The end-to-end promise of the reliability stack: run a supervised
+fleet of genuine ``repro queue work`` subprocesses with hard-crash
+failpoints armed through the environment, and the sweep still drains,
+``queue fsck`` finds a clean queue, and every stored payload is
+byte-identical to an uninjected run of the same grid.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+from repro.experiments.executor import ExperimentExecutor
+from repro.experiments.store import ResultStore
+from repro.reliability import FAILPOINTS_ENV
+from repro.scheduler.fleet import FleetSupervisor, spawn_cli_worker
+from repro.scheduler.fsck import fsck_queue
+from repro.scheduler.monitor import queue_report
+from repro.scheduler.queue import WorkQueue
+from repro.scheduler.worker import QueueWorker
+from repro.sweeps.spec import SweepSpec
+
+TTL = 30.0
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+#: Crash on the second worker-loop iteration: every child completes at
+#: most one job per life, then dies between jobs.  (Per-process nth-hit
+#: counters reset on restart, so a first-iteration crash would re-fire
+#: forever; the second-iteration crash self-quenches once the queue is
+#: empty because an idle worker exits on its first look.)
+CHAOS = "worker.loop:crash:2"
+
+
+def spec() -> SweepSpec:
+    return SweepSpec(
+        name="soak",
+        scenarios=("captive_fixed_80",),
+        methods=("sqlb", "capacity"),
+        seeds=(1, 2),
+        scale="tiny",
+    )
+
+
+def store_bytes(root: Path) -> dict[str, bytes]:
+    # Top-level payload halves only: manifests/ legitimately differs
+    # between runs (owner names, wall-clock timings) and temp litter
+    # is dot-prefixed.
+    return {
+        path.name: path.read_bytes()
+        for path in sorted(root.iterdir())
+        if path.is_file() and not path.name.startswith(".")
+    }
+
+
+def report_json(queue: WorkQueue, store: ResultStore) -> str:
+    executor = ExperimentExecutor(workers=1, store=store)
+    summaries = queue_report(queue, executor=executor)
+    return json.dumps(
+        [dataclasses.asdict(summary) for summary in summaries],
+        sort_keys=True,
+        default=str,
+    )
+
+
+def test_chaos_fleet_converges_to_uninjected_results(
+    tmp_path, monkeypatch
+):
+    monkeypatch.setenv("PYTHONPATH", str(SRC))
+
+    # Control: the same grid drained by one clean in-process worker.
+    control_queue = WorkQueue.init(tmp_path / "control-q", spec())
+    control_store = ResultStore(tmp_path / "control-store")
+    QueueWorker(
+        control_queue,
+        executor=ExperimentExecutor(workers=1, store=control_store),
+        owner="control",
+        ttl=TTL,
+    ).run()
+    assert control_queue.counts().drained
+
+    # Chaos: a supervised fleet of real subprocess workers, each
+    # hard-crashing (os._exit) between jobs; the env var propagates
+    # through spawn_cli_worker's environment inheritance.
+    chaos_queue = WorkQueue.init(tmp_path / "chaos-q", spec())
+    monkeypatch.setenv(FAILPOINTS_ENV, CHAOS)
+    events: list[str] = []
+    supervisor = FleetSupervisor(
+        spawn_cli_worker(
+            tmp_path / "chaos-q",
+            tmp_path / "chaos-store",
+            ("--ttl", str(TTL), "--poll", "0.1"),
+        ),
+        count=2,
+        restart_budget=40,
+        backoff_base=0.02,
+        backoff_cap=0.1,
+        poll_interval=0.05,
+        on_event=events.append,
+    )
+    report = supervisor.run()
+    monkeypatch.delenv(FAILPOINTS_ENV)
+
+    assert report.drained, (report.payload(), events)
+    # The chaos actually bit: children crashed and were restarted.
+    assert report.restarts >= 2, events
+
+    counts = chaos_queue.counts()
+    assert counts.drained, counts
+    assert counts.done == 4
+
+    # Invariant audit over the post-soak queue and store: nothing to
+    # repair.  (Fresh crash litter in temps is age-gated by design.)
+    chaos_store = ResultStore(tmp_path / "chaos-store")
+    fsck = fsck_queue(chaos_queue, store=chaos_store)
+    assert fsck.clean, [v.payload() for v in fsck.violations]
+
+    # Byte-identical stored payloads: same cache keys, same bytes.
+    assert store_bytes(chaos_store.root) == store_bytes(
+        control_store.root
+    )
+
+    # And the rendered sweep report matches the uninjected run.
+    assert report_json(chaos_queue, chaos_store) == report_json(
+        control_queue, control_store
+    )
+
+
+def test_poison_environment_parks_a_real_fleet(tmp_path, monkeypatch):
+    # Crash on the FIRST loop iteration: every child dies before doing
+    # any work, restarts inherit the same poison, and the supervisor
+    # must park within budget instead of fork-bombing.
+    monkeypatch.setenv("PYTHONPATH", str(SRC))
+    queue = WorkQueue.init(tmp_path / "q", spec())
+    monkeypatch.setenv(FAILPOINTS_ENV, "worker.loop:crash:1")
+    supervisor = FleetSupervisor(
+        spawn_cli_worker(
+            tmp_path / "q",
+            tmp_path / "store",
+            ("--ttl", str(TTL), "--poll", "0.1"),
+        ),
+        count=2,
+        restart_budget=2,
+        backoff_base=0.02,
+        backoff_cap=0.1,
+        poll_interval=0.05,
+    )
+    report = supervisor.run()
+    monkeypatch.delenv(FAILPOINTS_ENV)
+
+    assert report.parked
+    assert not report.drained
+    assert report.restarts == 2
+    # No work was lost — the jobs are all still there to drain once
+    # the operator fixes the environment.
+    recovered = fsck_queue(queue, repair=True, temp_age=1e19)
+    assert not recovered.unrepaired
+    assert queue.counts().pending == 4

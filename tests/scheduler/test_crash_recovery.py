@@ -1,0 +1,172 @@
+"""Crash-recovery tests: kill a real worker at every commit point.
+
+Each case runs a genuine ``python -m repro queue work`` subprocess with
+a ``crash`` failpoint armed at one protocol site, asserts the process
+died hard (``os._exit``, exit code 73 — no cleanup, no atexit), and
+then proves the documented recovery path — scavenger plus ``queue
+fsck --repair`` — restores a queue that drains to completion with no
+duplicate stored results.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.executor import ExperimentExecutor
+from repro.experiments.store import ResultStore
+from repro.reliability import CRASH_EXIT_CODE, FAILPOINTS_ENV
+from repro.scheduler.fsck import fsck_queue
+from repro.scheduler.queue import WorkQueue
+from repro.scheduler.worker import QueueWorker
+from repro.sweeps.spec import SweepSpec
+
+TTL = 30.0
+FUTURE = 1e18
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+#: Every commit point a worker crosses for one job, in protocol order.
+CRASH_SITES = [
+    "worker.loop",
+    "queue.claim.before_rename",
+    "queue.claim.after_rename",
+    "queue.ack.before_done",
+    "queue.ack.after_done",
+]
+
+
+def spec() -> SweepSpec:
+    return SweepSpec(
+        name="unit",
+        scenarios=("captive_fixed_80",),
+        methods=("sqlb",),
+        seeds=(1, 2),
+        scale="tiny",
+    )
+
+
+def run_worker(queue_dir, cache_dir, failpoints=None, timeout=120.0):
+    env = {**os.environ, "PYTHONPATH": str(SRC)}
+    env.pop(FAILPOINTS_ENV, None)
+    if failpoints is not None:
+        env[FAILPOINTS_ENV] = failpoints
+    return subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "queue",
+            "work",
+            "--queue-dir",
+            str(queue_dir),
+            "--cache-dir",
+            str(cache_dir),
+            "--owner",
+            "chaos-victim",
+            "--ttl",
+            str(TTL),
+        ],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+def recover(queue: WorkQueue) -> None:
+    """The documented recovery sequence after a dead worker."""
+    queue.requeue_expired(now=FUTURE)
+    report = fsck_queue(queue, repair=True, temp_age=1e19)
+    assert not report.unrepaired, [v.payload() for v in report.violations]
+
+
+def drain(queue: WorkQueue, store: ResultStore):
+    executor = ExperimentExecutor(workers=1, store=store)
+    worker = QueueWorker(queue, executor=executor, owner="rescuer", ttl=TTL)
+    return worker.run()
+
+
+@pytest.mark.parametrize("site", CRASH_SITES)
+def test_crash_at_commit_point_recovers(tmp_path, site):
+    queue = WorkQueue.init(tmp_path / "queue", spec())
+    store = ResultStore(tmp_path / "store")
+
+    result = run_worker(
+        tmp_path / "queue",
+        tmp_path / "store",
+        failpoints=f"{site}:crash:1",
+    )
+    assert result.returncode == CRASH_EXIT_CODE, result.stderr
+
+    recover(queue)
+    assert fsck_queue(queue, temp_age=1e19).clean
+
+    drain(queue, store)
+    counts = queue.counts()
+    assert counts.drained, counts
+    assert counts.done == 2
+    # Zero duplicate stored results: the store is content-addressed,
+    # so a redo of a crashed job lands on the same key — one pair per
+    # unique cell, every pair readable.
+    verify = store.verify()
+    assert verify.clean, verify
+    assert verify.entries <= 2
+
+
+def test_crash_after_done_does_not_rerun_the_job(tmp_path):
+    # queue.ack.after_done crashes between the done record landing and
+    # the lease unlink: the job IS finished.  Recovery must honour
+    # done-wins and not hand the job out again.
+    queue = WorkQueue.init(tmp_path / "queue", spec())
+    store = ResultStore(tmp_path / "store")
+    result = run_worker(
+        tmp_path / "queue",
+        tmp_path / "store",
+        failpoints="queue.ack.after_done:crash:1",
+    )
+    assert result.returncode == CRASH_EXIT_CODE, result.stderr
+    assert queue.counts().done == 1  # the done record committed
+
+    recover(queue)
+    # The stale lease was discarded (done-wins), not requeued.
+    assert queue.counts().leased == 0
+    assert queue.counts().done == 1
+
+    report = drain(queue, store)
+    assert queue.counts().drained
+    assert report.processed == 1  # only the genuinely unfinished job
+
+
+def test_crashed_worker_loses_no_work_without_fsck(tmp_path):
+    # The scavenger alone (no fsck) already recovers the common case:
+    # a mid-job hard crash leaves an expired lease that requeues.
+    queue = WorkQueue.init(tmp_path / "queue", spec())
+    store = ResultStore(tmp_path / "store")
+    result = run_worker(
+        tmp_path / "queue",
+        tmp_path / "store",
+        failpoints="queue.ack.before_done:crash:1",
+    )
+    assert result.returncode == CRASH_EXIT_CODE, result.stderr
+
+    requeued = queue.requeue_expired(now=FUTURE)
+    assert len(requeued) == 1
+
+    drain(queue, store)
+    assert queue.counts().drained
+    assert queue.counts().done == 2
+
+
+def test_clean_worker_subprocess_baseline(tmp_path):
+    # Control: with no failpoints the same subprocess drains cleanly,
+    # proving the chaos cases above fail for the injected reason.
+    queue = WorkQueue.init(tmp_path / "queue", spec())
+    result = run_worker(tmp_path / "queue", tmp_path / "store")
+    assert result.returncode == 0, result.stderr
+    assert queue.counts().drained
+    assert fsck_queue(queue, store=ResultStore(tmp_path / "store")).clean

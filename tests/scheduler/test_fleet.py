@@ -1,0 +1,207 @@
+"""Tests for the fleet supervisor, driven by fake child processes."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.scheduler.fleet import (
+    DEFAULT_RESTARTS_PER_CHILD,
+    FleetSupervisor,
+    worker_command,
+)
+
+
+class FakeChild:
+    """A Popen stand-in whose exit is scripted.
+
+    ``lifetime`` is how many ``poll`` calls return "still running"
+    before the child reports ``exit_code``.  ``terminate`` makes the
+    next ``wait``/``poll`` observe exit 0 (graceful drain), matching
+    how real workers answer SIGTERM.
+    """
+
+    _pids = itertools.count(1000)
+
+    def __init__(self, exit_code: int, lifetime: int = 0):
+        self.pid = next(self._pids)
+        self._exit_code = exit_code
+        self._polls_left = lifetime
+        self._returncode: int | None = None
+        self.terminated = False
+
+    def poll(self) -> int | None:
+        if self._returncode is not None:
+            return self._returncode
+        if self.terminated:
+            self._returncode = 0
+            return 0
+        if self._polls_left > 0:
+            self._polls_left -= 1
+            return None
+        self._returncode = self._exit_code
+        return self._returncode
+
+    def terminate(self) -> None:
+        self.terminated = True
+
+    def wait(self, timeout=None) -> int:
+        if self._returncode is None:
+            self._returncode = 0 if self.terminated else self._exit_code
+        return self._returncode
+
+
+def make_spawn(scripts):
+    """``scripts[index]`` is a list of FakeChild per successive attempt."""
+    spawned = []
+
+    def spawn(index, owner, attempt):
+        child = scripts[index].pop(0)
+        spawned.append((index, owner, attempt, child))
+        return child
+
+    spawn.spawned = spawned
+    return spawn
+
+
+def supervisor(spawn, count, **kwargs) -> FleetSupervisor:
+    kwargs.setdefault("poll_interval", 0.0)
+    kwargs.setdefault("backoff_base", 0.0)
+    return FleetSupervisor(spawn, count, **kwargs)
+
+
+class TestDrain:
+    def test_all_children_drain(self):
+        spawn = make_spawn([[FakeChild(0)], [FakeChild(0, lifetime=2)]])
+        report = supervisor(spawn, 2).run()
+        assert report.drained
+        assert not report.parked
+        assert report.restarts == 0
+        assert [c.state for c in report.children] == ["drained", "drained"]
+        assert [c.exit_code for c in report.children] == [0, 0]
+
+    def test_owners_are_predictable(self):
+        spawn = make_spawn([[FakeChild(0)]])
+        report = supervisor(spawn, 1, owner_prefix="box").run()
+        assert report.children[0].owner == "box-0"
+        assert spawn.spawned[0][1] == "box-0"
+
+
+class TestRestart:
+    def test_crashed_child_is_restarted_then_drains(self):
+        spawn = make_spawn([[FakeChild(73), FakeChild(0)]])
+        report = supervisor(spawn, 1).run()
+        assert report.drained
+        assert report.restarts == 1
+        assert report.children[0].restarts == 1
+        # The respawn carried the attempt number.
+        assert [entry[2] for entry in spawn.spawned] == [0, 1]
+
+    def test_backoff_is_exponential_per_slot(self):
+        spawn = make_spawn(
+            [[FakeChild(1), FakeChild(1), FakeChild(1), FakeChild(0)]]
+        )
+        sup = supervisor(spawn, 1, backoff_base=0.001, backoff_cap=0.002)
+        events = []
+        sup._on_event = events.append
+        report = sup.run()
+        assert report.drained
+        assert report.restarts == 3
+        delays = [
+            e.split("restarting in ")[1] for e in events if "restarting" in e
+        ]
+        assert delays == ["0.0s", "0.0s", "0.0s"]  # capped at 2ms
+
+    def test_restarts_share_a_fleet_wide_budget(self):
+        # Two slots, budget 1: the second crash parks the whole fleet.
+        spawn = make_spawn(
+            [
+                [FakeChild(1), FakeChild(1)],
+                [FakeChild(0, lifetime=50)],
+            ]
+        )
+        report = supervisor(spawn, 2, restart_budget=1).run()
+        assert report.parked
+        assert not report.drained
+        crashed = report.children[0]
+        assert crashed.state == "crashed"
+        assert crashed.exit_code == 1
+        # The healthy survivor was terminated, not leaked.
+        survivor = report.children[1]
+        assert survivor.state == "parked"
+
+    def test_default_budget_scales_with_fleet_size(self):
+        spawn = make_spawn([[FakeChild(0)], [FakeChild(0)], [FakeChild(0)]])
+        sup = supervisor(spawn, 3)
+        assert sup.restart_budget == 3 * DEFAULT_RESTARTS_PER_CHILD
+
+
+class TestPoisonEnvironment:
+    def test_instant_crashers_park_instead_of_forkbombing(self):
+        # Every spawn dies immediately; the supervisor must stop at
+        # budget + count spawns, never loop forever.
+        scripts = [[FakeChild(70) for _ in range(10)] for _ in range(2)]
+        spawn = make_spawn(scripts)
+        report = supervisor(spawn, 2, restart_budget=3).run()
+        assert report.parked
+        assert len(spawn.spawned) == 2 + 3  # initial fleet + budget
+        assert report.restarts == 3
+
+    def test_park_reports_crash_exit_code(self):
+        spawn = make_spawn([[FakeChild(73)]])
+        report = supervisor(spawn, 1, restart_budget=0).run()
+        assert report.parked
+        assert report.children[0].exit_code == 73
+
+
+class TestStop:
+    def test_request_stop_terminates_children_gracefully(self):
+        child = FakeChild(0, lifetime=10**6)
+        spawn = make_spawn([[child]])
+        sup = supervisor(spawn, 1)
+        sup.request_stop()
+        report = sup.run()
+        assert report.stopped_by_signal
+        assert child.terminated
+        assert report.children[0].state == "parked"
+        assert report.children[0].exit_code == 0
+
+    def test_stop_during_backoff_does_not_respawn(self):
+        crashing = FakeChild(1)
+        spawn = make_spawn([[crashing, FakeChild(0)]])
+        sup = supervisor(spawn, 1, backoff_base=10**6)
+
+        def stop_on_crash(message):
+            if "crashed" in message:
+                sup.request_stop()
+
+        sup._on_event = stop_on_crash
+        report = sup.run()
+        assert report.stopped_by_signal
+        assert len(spawn.spawned) == 1  # backoff slot never respawned
+        assert report.children[0].state == "parked"
+
+
+class TestReportShape:
+    def test_payload_is_json_ready(self):
+        import json
+
+        spawn = make_spawn([[FakeChild(0)]])
+        payload = json.loads(json.dumps(supervisor(spawn, 1).run().payload()))
+        assert payload["drained"] is True
+        assert payload["children"][0]["owner"] == "fleet-0"
+
+    def test_rejects_empty_fleet(self):
+        with pytest.raises(ValueError, match="fleet size"):
+            FleetSupervisor(lambda *a: None, 0)
+
+
+class TestWorkerCommand:
+    def test_command_shape(self):
+        argv = worker_command("/q", "fleet-0", "/cache", ("--ttl", "60"))
+        assert argv[1:5] == ["-m", "repro", "queue", "work"]
+        assert argv[argv.index("--queue-dir") + 1] == "/q"
+        assert argv[argv.index("--cache-dir") + 1] == "/cache"
+        assert argv[argv.index("--owner") + 1] == "fleet-0"
+        assert argv[-2:] == ["--ttl", "60"]

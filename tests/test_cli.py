@@ -789,3 +789,117 @@ class TestTelemetryCli:
             )
         )
         assert status["drained"]
+
+
+class TestReliabilityCommands:
+    """CLI surface of the reliability stack: fsck, fleet, store verify."""
+
+    def _run(self, capsys, *argv: str) -> str:
+        assert main(list(argv)) == 0
+        return capsys.readouterr().out
+
+    def test_fsck_clean_queue_exits_zero(self, tmp_path, capsys):
+        import json as jsonlib
+
+        queue_dir = str(tmp_path / "q")
+        self._run(
+            capsys, "queue", "init", "--queue-dir", queue_dir,
+            *QUEUE_SPEC_FLAGS,
+        )
+        out = self._run(
+            capsys, "queue", "fsck", "--queue-dir", queue_dir,
+            "--no-cache",
+        )
+        assert "clean" in out
+        frame = jsonlib.loads(
+            self._run(
+                capsys, "queue", "fsck", "--queue-dir", queue_dir,
+                "--no-cache", "--json",
+            )
+        )
+        assert frame["clean"] is True
+
+    def test_fsck_exits_nonzero_on_unrepaired(self, tmp_path, capsys):
+        queue_dir = str(tmp_path / "q")
+        self._run(
+            capsys, "queue", "init", "--queue-dir", queue_dir,
+            *QUEUE_SPEC_FLAGS,
+        )
+        # Tear a ticket: detectable, repairable — but without --repair
+        # the command must fail loudly.
+        from repro.scheduler.queue import WorkQueue
+
+        queue = WorkQueue(tmp_path / "q")
+        next(iter(queue.pending_dir.iterdir())).write_text("{torn")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["queue", "fsck", "--queue-dir", queue_dir, "--no-cache"])
+        assert excinfo.value.code == 1
+        capsys.readouterr()
+        out = self._run(
+            capsys, "queue", "fsck", "--queue-dir", queue_dir,
+            "--no-cache", "--repair",
+        )
+        assert "repaired" in out
+        # Now clean.
+        self._run(
+            capsys, "queue", "fsck", "--queue-dir", queue_dir, "--no-cache"
+        )
+
+    def test_store_verify_round_trip(self, tmp_path, capsys):
+        from repro.experiments.store import ResultStore
+        from repro.simulation.config import tiny_config
+        from repro.simulation.engine import run_simulation
+
+        store_dir = str(tmp_path / "store")
+        ResultStore(store_dir).put(
+            run_simulation(tiny_config(duration=40.0), "sqlb", seed=3)
+        )
+        out = self._run(
+            capsys, "store", "verify", "--cache-dir", store_dir
+        )
+        assert "clean" in out
+        # Orphan a payload half: verify must fail without --prune and
+        # recover with it.
+        from pathlib import Path
+
+        npz = next(Path(store_dir).glob("*.npz"))
+        npz.with_suffix(".json").unlink()
+        with pytest.raises(SystemExit) as excinfo:
+            main(["store", "verify", "--cache-dir", store_dir])
+        assert excinfo.value.code == 1
+        capsys.readouterr()
+        self._run(
+            capsys, "store", "verify", "--cache-dir", store_dir, "--prune"
+        )
+        self._run(capsys, "store", "verify", "--cache-dir", store_dir)
+
+    def test_fleet_drains_a_queue(self, tmp_path, capsys, monkeypatch):
+        from pathlib import Path as _Path
+
+        monkeypatch.setenv(
+            "PYTHONPATH",
+            str(_Path(__file__).resolve().parents[1] / "src"),
+        )
+        queue_dir = str(tmp_path / "q")
+        store = str(tmp_path / "store")
+        self._run(
+            capsys, "queue", "init", "--queue-dir", queue_dir,
+            *QUEUE_SPEC_FLAGS,
+        )
+        out = self._run(
+            capsys, "queue", "fleet", "--queue-dir", queue_dir,
+            "--cache-dir", store, "-n", "1", "--owner-prefix", "clifleet",
+        )
+        assert "drained" in out
+        status = self._run(
+            capsys, "queue", "status", "--queue-dir", queue_dir,
+            "--cache-dir", store,
+        )
+        assert "drained" in status
+
+    def test_fleet_validates_count(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                ["queue", "fleet", "--queue-dir", str(tmp_path / "q"),
+                 "--no-cache", "-n", "0"]
+            )
