@@ -141,8 +141,11 @@ from repro.experiments.captive import (
 )
 from repro.experiments.harness import DEFAULT_SEEDS, PAPER_SEEDS
 from repro.experiments.perf import (
+    append_history,
     compare_reports,
+    format_history,
     format_report,
+    load_history,
     load_report,
     profile_run,
     run_perf,
@@ -161,6 +164,7 @@ from repro.simulation.config import (
 )
 from repro.scheduler import (
     EXPIRY_CLOCKS,
+    FLEET_STATE_NAME,
     AdaptiveConfig,
     FleetSupervisor,
     QueueWorker,
@@ -175,11 +179,19 @@ from repro.scheduler import (
     spawn_cli_worker,
 )
 from repro.telemetry import (
+    PROFILE_DIR_ENV,
     TELEMETRY_DIR_ENV,
     TelemetryReadError,
+    collect_hotspots,
     configure_telemetry,
+    format_hotspots,
     format_telemetry_report,
+    format_timeline,
+    load_stream,
+    merge_events,
     telemetry_report,
+    timeline_from_path,
+    write_bundle,
 )
 from repro.simulation.engine import ENGINE_VERSION
 from repro.simulation.trace import (
@@ -547,6 +559,14 @@ def build_parser() -> argparse.ArgumentParser:
         "NTP); 'mtime' derives deadlines from heartbeat-file mtimes "
         "and 'now' from the shared filesystem's clock (skew-immune)",
     )
+    queue_work.add_argument(
+        "--profile",
+        default=None,
+        metavar="DIR",
+        help="dump one cProfile stats file per executed job into DIR "
+        "(aggregate with `repro telemetry hotspots DIR`); off by "
+        "default and costs nothing when off",
+    )
 
     queue_status_cmd = queue_sub.add_parser(
         "status", help="queue depth, worker liveness, and ETA"
@@ -762,6 +782,14 @@ def build_parser() -> argparse.ArgumentParser:
         choices=EXPIRY_CLOCKS,
         default="wall",
         help="expiry clock passed to each worker",
+    )
+    queue_fleet.add_argument(
+        "--profile",
+        default=None,
+        metavar="DIR",
+        help="pass --profile DIR to each worker child: one cProfile "
+        "stats file per executed job, aggregated with "
+        "`repro telemetry hotspots DIR`",
     )
     queue_fleet.add_argument(
         "--json",
@@ -1080,6 +1108,28 @@ def build_parser() -> argparse.ArgumentParser:
         "per-phase timer breakdown (the timed repeats are always "
         "uninstrumented either way)",
     )
+    perf.add_argument(
+        "--history",
+        default=None,
+        metavar="PATH",
+        help="append a timestamped JSONL row (qps matrix + phase "
+        "breakdown) to this file, e.g. BENCH_history.jsonl",
+    )
+    perf_sub = perf.add_subparsers(dest="perf_command", metavar="")
+    perf_history = perf_sub.add_parser(
+        "history",
+        help="render the qps trend from a --history JSONL file",
+    )
+    perf_history.add_argument(
+        "file",
+        metavar="PATH",
+        help="history file written by `repro perf --history PATH`",
+    )
+    perf_history.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the raw history rows as a JSON array",
+    )
 
     telemetry = sub.add_parser(
         "telemetry",
@@ -1104,6 +1154,94 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="emit the machine-readable report payload",
+    )
+    telemetry_merge_cmd = telemetry_sub.add_parser(
+        "merge",
+        help="union every per-process events file into one canonical, "
+        "deterministically ordered, digest-stamped merged stream",
+    )
+    telemetry_merge_cmd.add_argument(
+        "events_dir",
+        metavar="DIR",
+        help="directory of events-*.jsonl files (the --telemetry DIR "
+        "of a previous run)",
+    )
+    telemetry_merge_cmd.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="merged stream destination (default: DIR/merged.jsonl)",
+    )
+    telemetry_merge_cmd.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the merge summary as JSON",
+    )
+    telemetry_timeline_cmd = telemetry_sub.add_parser(
+        "timeline",
+        help="reconstruct the fleet drain: per-worker lanes, queue-wait/"
+        "execute/idle decomposition, straggler and critical path",
+    )
+    telemetry_timeline_cmd.add_argument(
+        "path",
+        metavar="PATH",
+        help="a merged stream, a single events file, or a telemetry "
+        "directory (its merged.jsonl is preferred when present)",
+    )
+    telemetry_timeline_cmd.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable timeline payload",
+    )
+    telemetry_hotspots_cmd = telemetry_sub.add_parser(
+        "hotspots",
+        help="aggregate per-job cProfile dumps (queue work --profile / "
+        "$REPRO_PROFILE_DIR) into a fleet-wide top-N table",
+    )
+    telemetry_hotspots_cmd.add_argument(
+        "profile_dir",
+        metavar="DIR",
+        help="directory of profile-*.pstats dumps",
+    )
+    telemetry_hotspots_cmd.add_argument(
+        "--top",
+        type=positive_int,
+        default=15,
+        help="functions to list, by cumulative time (default 15)",
+    )
+    telemetry_hotspots_cmd.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable hotspot payload",
+    )
+    telemetry_bundle_cmd = telemetry_sub.add_parser(
+        "bundle",
+        help="render one self-contained HTML ops bundle (timeline, "
+        "phases, counters, bench baseline) from a merged stream",
+    )
+    telemetry_bundle_cmd.add_argument(
+        "path",
+        metavar="PATH",
+        help="a merged stream, a single events file, or a telemetry "
+        "directory (its merged.jsonl is preferred when present)",
+    )
+    telemetry_bundle_cmd.add_argument(
+        "--out",
+        required=True,
+        metavar="HTML",
+        help="output HTML file (single file, no external assets)",
+    )
+    telemetry_bundle_cmd.add_argument(
+        "--bench",
+        default=None,
+        metavar="JSON",
+        help="embed this BENCH_engine.json baseline for side-by-side "
+        "comparison",
+    )
+    telemetry_bundle_cmd.add_argument(
+        "--title",
+        default="repro fleet ops bundle",
+        help="bundle page title",
     )
     return parser
 
@@ -1369,6 +1507,10 @@ def _open_queue(args: argparse.Namespace) -> WorkQueue:
 
 
 def _cmd_queue_work(args: argparse.Namespace) -> str:
+    if getattr(args, "profile", None):
+        # The executor's pool children inherit this through the
+        # environment; active_profile_dir() re-reads it per process.
+        os.environ[PROFILE_DIR_ENV] = str(args.profile)
     executor = get_default_executor()
     if executor.store is None:
         raise SystemExit(
@@ -1534,6 +1676,11 @@ def _cmd_queue_gc(args: argparse.Namespace) -> str:
     if cache_dir is not None:
         extra_roots.append(cache_dir)
         extra_roots.append(str(manifest_directory(cache_dir)))
+    telemetry_dir = getattr(args, "telemetry", None)
+    if telemetry_dir is not None:
+        # Covers the dot-temp event files a killed worker left behind
+        # in its --telemetry directory.
+        extra_roots.append(str(telemetry_dir))
     report = queue.gc(
         prune=args.prune,
         temp_age=args.temp_age,
@@ -1645,6 +1792,8 @@ def _cmd_queue_fleet(args: argparse.Namespace) -> str:
     telemetry_dir = getattr(args, "telemetry", None)
     if telemetry_dir is not None:
         worker_args += ("--telemetry", str(telemetry_dir))
+    if args.profile is not None:
+        worker_args += ("--profile", str(args.profile))
     supervisor = FleetSupervisor(
         spawn_cli_worker(args.queue_dir, cache_dir, worker_args),
         count=args.count,
@@ -1656,6 +1805,8 @@ def _cmd_queue_fleet(args: argparse.Namespace) -> str:
             if args.json
             else lambda message: print(f"fleet: {message}", flush=True)
         ),
+        # Advisory state file `queue top` folds into its fleet section.
+        state_path=queue.root / FLEET_STATE_NAME,
     )
     report = supervisor.run(install_signal_handlers=True)
     counts = queue.counts()
@@ -2116,24 +2267,77 @@ def _cmd_analyze(args: argparse.Namespace) -> str:
 
 
 def _cmd_telemetry(args: argparse.Namespace) -> str:
-    if args.telemetry_command != "report":  # pragma: no cover
-        raise AssertionError(
-            f"unhandled telemetry command {args.telemetry_command!r}"
-        )
     try:
-        report = telemetry_report(args.events_dir)
+        if args.telemetry_command == "report":
+            report = telemetry_report(args.events_dir)
+            if args.json:
+                return json.dumps(report, sort_keys=True, indent=1)
+            return format_telemetry_report(report)
+        if args.telemetry_command == "merge":
+            summary = merge_events(args.events_dir, out=args.out)
+            if args.json:
+                return json.dumps(summary, sort_keys=True, indent=1)
+            return (
+                f"merged {summary['events']} events from "
+                f"{summary['files']} files into {summary['out']} "
+                f"(stream digest {summary['digest']})"
+            )
+        if args.telemetry_command == "timeline":
+            timeline = timeline_from_path(args.path)
+            if args.json:
+                return json.dumps(timeline, sort_keys=True, indent=1)
+            return format_timeline(timeline)
+        if args.telemetry_command == "hotspots":
+            try:
+                hotspots = collect_hotspots(args.profile_dir, top=args.top)
+            except FileNotFoundError as error:
+                raise SystemExit(f"repro: error: {error}") from None
+            if args.json:
+                return json.dumps(hotspots, sort_keys=True, indent=1)
+            return format_hotspots(hotspots)
+        if args.telemetry_command == "bundle":
+            bench = None
+            if args.bench is not None:
+                try:
+                    with open(args.bench, encoding="utf-8") as handle:
+                        bench = json.load(handle)
+                except (OSError, json.JSONDecodeError) as error:
+                    raise SystemExit(
+                        f"repro: error: cannot read bench baseline "
+                        f"{args.bench}: {error}"
+                    ) from None
+            path = write_bundle(
+                args.out,
+                load_stream(args.path),
+                bench=bench,
+                title=args.title,
+            )
+            return f"bundle written to {path}"
     except (OSError, TelemetryReadError) as error:
         raise SystemExit(f"repro: error: {error}") from None
-    if args.json:
-        return json.dumps(report, sort_keys=True, indent=1)
-    return format_telemetry_report(report)
+    raise AssertionError(
+        f"unhandled telemetry command {args.telemetry_command!r}"
+    )  # pragma: no cover
 
 
 def _cmd_perf(args: argparse.Namespace) -> str:
+    if getattr(args, "perf_command", None) == "history":
+        try:
+            rows = load_history(args.file)
+        except OSError as error:
+            raise SystemExit(
+                f"repro: error: cannot read history {args.file}: {error}"
+            ) from None
+        if args.json:
+            return json.dumps(rows, sort_keys=True, indent=1)
+        return format_history(rows)
     report = run_perf(
         quick=args.quick, repeats=args.repeats, phases=not args.no_phases
     )
     lines = [format_report(report)]
+    if args.history:
+        append_history(report, args.history)
+        lines.append(f"history row appended to {args.history}")
     if args.profile:
         lines.append("")
         lines.append(f"cProfile top {args.profile} (captive_small/sqlb):")

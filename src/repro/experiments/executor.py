@@ -28,14 +28,16 @@ from __future__ import annotations
 import os
 from collections.abc import Callable, Iterable
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from time import perf_counter
 
 from repro.experiments.store import ResultStore
 from repro.simulation.config import SimulationConfig
 from repro.simulation.engine import SimulationResult, run_simulation
+from repro.telemetry.profiling import active_profile_dir, profile_job
 from repro.telemetry.registry import get_telemetry
+from repro.telemetry.tracing import trace_scope
 
 __all__ = [
     "ExperimentExecutor",
@@ -71,11 +73,17 @@ class SimulationJob:
     ``method`` is a registry *name* (not an instance) so jobs are
     hashable, picklable across process boundaries, and content-hashable
     by the result store.
+
+    ``trace`` is an optional fleet-wide correlation id (minted at
+    enqueue/sweep time); it is excluded from equality and hashing so
+    the store's cache key — and therefore bit-identity with untraced
+    runs — is untouched by tracing.
     """
 
     config: SimulationConfig
     method: str
     seed: int
+    trace: str | None = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if not isinstance(self.method, str):
@@ -92,21 +100,31 @@ def _execute_job(job: SimulationJob) -> SimulationResult:
     Both the serial path and every pool child run jobs through here, so
     this is where each simulation gets its telemetry "cell" span, job
     wall-time observation, and a per-job flush (pool children fork, so
-    waiting for process exit to flush would lose everything).
+    waiting for process exit to flush would lose everything).  The
+    job's trace scope is installed around the span so every event the
+    engine emits underneath — run and phase spans included — carries
+    the job's fleet-wide trace id.  Per-job cProfile capture
+    (``$REPRO_PROFILE_DIR``) rides the same entry point; with both
+    switches off this function is one ``None`` check away from the
+    bare simulation call.
     """
     telemetry = get_telemetry()
-    if telemetry is None:
+    profile_dir = active_profile_dir()
+    if telemetry is None and profile_dir is None:
         return run_simulation(job.config, job.method, seed=job.seed)
-    started = perf_counter()
-    with telemetry.span(
-        "cell",
-        f"{job.method}/seed{job.seed}",
-        attrs={"method": job.method, "seed": job.seed},
-    ):
-        result = run_simulation(job.config, job.method, seed=job.seed)
-    telemetry.count("executor.jobs")
-    telemetry.observe("executor.job_s", perf_counter() - started)
-    telemetry.flush()
+    with trace_scope(job.trace), profile_job(profile_dir):
+        if telemetry is None:
+            return run_simulation(job.config, job.method, seed=job.seed)
+        started = perf_counter()
+        with telemetry.span(
+            "cell",
+            f"{job.method}/seed{job.seed}",
+            attrs={"method": job.method, "seed": job.seed},
+        ):
+            result = run_simulation(job.config, job.method, seed=job.seed)
+        telemetry.count("executor.jobs")
+        telemetry.observe("executor.job_s", perf_counter() - started)
+        telemetry.flush()
     return result
 
 

@@ -47,8 +47,12 @@ from repro.telemetry.registry import telemetry_session
 __all__ = [
     "PERF_MATRIX",
     "PerfCell",
+    "append_history",
     "compare_reports",
+    "format_history",
     "format_report",
+    "history_row",
+    "load_history",
     "profile_run",
     "run_perf",
 ]
@@ -266,6 +270,101 @@ def format_report(report: dict) -> str:
             f"{cell['seconds']:>8.2f} {cell['qps']:>8.0f}"
         )
     lines.append(f"aggregate: {report['aggregate_qps']:.0f} queries/sec")
+    return "\n".join(lines)
+
+
+def history_row(report: dict, now: float | None = None) -> dict:
+    """One JSONL history row distilled from a :func:`run_perf` report.
+
+    Keeps the qps matrix and the per-phase breakdowns — the two things
+    a trend over PRs needs — and drops the per-machine noise fields.
+    ``now`` overrides the timestamp (tests and baseline seeding; the
+    committed seed row carries ``t: null``).
+    """
+    return {
+        "t": time.time() if now is None else now,
+        "engine_version": report["engine_version"],
+        "mode": report["mode"],
+        "aggregate_qps": report["aggregate_qps"],
+        "cells": {
+            name: {
+                key: cell[key]
+                for key in ("qps", "phases")
+                if key in cell
+            }
+            for name, cell in report["cells"].items()
+        },
+    }
+
+
+def append_history(
+    report: dict, path: str, now: float | None = None
+) -> dict:
+    """Append one timestamped row to the JSONL history at ``path``.
+
+    Append-only on purpose: rows from different machines and PRs
+    accumulate into a trajectory (``repro perf history`` renders it),
+    and a torn tail from a crashed writer is skipped on read, never
+    poisoning the earlier rows.  Returns the row written.
+    """
+    row = history_row(report, now)
+    line = json.dumps(row, sort_keys=True, separators=(",", ":"))
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(line + "\n")
+    return row
+
+
+def load_history(path: str) -> list[dict]:
+    """Every parseable row of a perf history file, in file order."""
+    rows: list[dict] = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn tail from an interrupted append
+            if isinstance(row, dict) and "cells" in row:
+                rows.append(row)
+    return rows
+
+
+def format_history(rows: list[dict]) -> str:
+    """Trend table over history rows (oldest first).
+
+    The aggregate column carries a delta against the previous row of
+    the *same mode* — comparing a quick row against a full row would
+    manufacture a fake cliff.
+    """
+    if not rows:
+        return "no perf history rows"
+    lines = [
+        f"{'when':<17} {'mode':<6} {'engine':<7} {'aggregate':>10} "
+        f"{'delta':>7}  cells"
+    ]
+    last_by_mode: dict[str, float] = {}
+    for row in rows:
+        stamp = row.get("t")
+        when = (
+            time.strftime("%Y-%m-%d %H:%M", time.localtime(stamp))
+            if isinstance(stamp, (int, float))
+            else "baseline"
+        )
+        mode = row.get("mode", "?")
+        aggregate = float(row.get("aggregate_qps", 0.0))
+        previous = last_by_mode.get(mode)
+        delta = (
+            f"{(aggregate / previous - 1.0) * 100:+.0f}%"
+            if previous
+            else "-"
+        )
+        last_by_mode[mode] = aggregate
+        lines.append(
+            f"{when:<17} {mode:<6} {str(row.get('engine_version')):<7} "
+            f"{aggregate:>10,.0f} {delta:>7}  {len(row.get('cells', {}))}"
+        )
     return "\n".join(lines)
 
 

@@ -44,6 +44,7 @@ from repro.scheduler.adaptive import (
     extension_seeds,
 )
 from repro.scheduler.fleet import (
+    FLEET_STATE_NAME,
     ChildOutcome,
     FleetReport,
     FleetSupervisor,
@@ -52,6 +53,7 @@ from repro.scheduler.fleet import (
 )
 from repro.scheduler.fsck import FsckReport, Violation, fsck_queue
 from repro.scheduler.monitor import (
+    fleet_state,
     format_queue_status,
     format_queue_top,
     queue_cells,
@@ -82,6 +84,7 @@ __all__ = [
     "AdaptiveDecision",
     "ChildOutcome",
     "EXPIRY_CLOCKS",
+    "FLEET_STATE_NAME",
     "FleetReport",
     "FleetSupervisor",
     "FsckReport",
@@ -96,6 +99,7 @@ __all__ = [
     "WorkerReport",
     "default_owner_id",
     "extension_seeds",
+    "fleet_state",
     "format_queue_status",
     "format_queue_top",
     "fsck_queue",

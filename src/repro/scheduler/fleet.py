@@ -28,13 +28,18 @@ Supervision rules:
 Children are ordinary ``python -m repro queue work`` processes with
 predictable owner ids (``<prefix>-0`` … ``<prefix>-N-1``), so their
 heartbeats, counter snapshots, and manifests appear in ``repro queue
-status`` / ``top`` exactly like hand-started workers — the supervisor
-adds no private state to the queue directory.
+status`` / ``top`` exactly like hand-started workers.  The supervisor's
+only mark on the queue directory is one *advisory* state file
+(:data:`FLEET_STATE_NAME`, when ``state_path`` is set): its
+restart-budget ledger, refreshed through the run and finalised with
+``running: false`` on exit, which ``repro queue top`` surfaces while a
+fleet is live.  No protocol logic ever reads it.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import json
 import os
 import signal
 import subprocess
@@ -43,12 +48,23 @@ import time
 from collections.abc import Callable
 from pathlib import Path
 
+from repro.telemetry.events import atomic_write_bytes
+
 __all__ = [
     "ChildOutcome",
+    "FLEET_STATE_NAME",
     "FleetReport",
     "FleetSupervisor",
     "worker_command",
 ]
+
+#: Conventional name of the supervisor's advisory state file inside the
+#: queue directory (the CLI passes ``<queue>/fleet.json``).
+FLEET_STATE_NAME = "fleet.json"
+
+#: Minimum seconds between steady-state state-file refreshes; events
+#: (spawn, crash, restart, park) publish immediately regardless.
+_STATE_REFRESH = 2.0
 
 #: Backoff before restarting a crashed slot: base * 2**restarts, capped.
 DEFAULT_BACKOFF_BASE = 0.5
@@ -159,6 +175,13 @@ class FleetSupervisor:
         Supervisor wake-up period, seconds.
     owner_prefix:
         Children are named ``<prefix>-<index>``.
+    state_path:
+        Optional path of the advisory state file (the CLI passes
+        ``<queue>/fleet.json``).  Refreshed on every supervision event
+        and at least every :data:`_STATE_REFRESH` seconds while
+        polling; the final write stamps ``running: false`` so readers
+        can tell a live fleet from a finished one.  ``None`` (default)
+        publishes nothing.
     """
 
     def __init__(
@@ -171,6 +194,7 @@ class FleetSupervisor:
         poll_interval: float = 0.2,
         owner_prefix: str = "fleet",
         on_event: Callable[[str], None] | None = None,
+        state_path: Path | str | None = None,
     ) -> None:
         if count < 1:
             raise ValueError(f"fleet size must be >= 1, got {count}")
@@ -188,6 +212,12 @@ class FleetSupervisor:
         self._on_event = on_event
         self._stop_requested = False
         self.restarts = 0
+        self.state_path = (
+            Path(state_path) if state_path is not None else None
+        )
+        self._slots: list[_Slot] = []
+        self._parked = False
+        self._state_written = 0.0
 
     def request_stop(self) -> None:
         """Ask the fleet to drain: SIGTERM fan-out on the next poll."""
@@ -196,6 +226,56 @@ class FleetSupervisor:
     def _event(self, message: str) -> None:
         if self._on_event is not None:
             self._on_event(message)
+        self._publish_state(running=True)
+
+    def _publish_state(
+        self, running: bool, throttle: bool = False
+    ) -> None:
+        """Atomically (re)write the advisory state file, if configured.
+
+        Best-effort by design: the protocol never depends on this
+        file, so a full disk or vanished directory must not take the
+        supervisor down with it.
+        """
+        if self.state_path is None:
+            return
+        now = time.monotonic()
+        if throttle and now - self._state_written < _STATE_REFRESH:
+            return
+        payload = {
+            "pid": os.getpid(),
+            "owner_prefix": self.owner_prefix,
+            "count": self.count,
+            "running": running,
+            "parked": self._parked,
+            "restarts": self.restarts,
+            "restart_budget": self.restart_budget,
+            "restarts_remaining": max(
+                0, self.restart_budget - self.restarts
+            ),
+            "updated": time.time(),
+            "children": [
+                {
+                    "owner": slot.owner,
+                    "state": slot.state,
+                    "restarts": slot.restarts,
+                    "pid": (
+                        slot.process.pid
+                        if slot.process is not None
+                        else None
+                    ),
+                }
+                for slot in self._slots
+            ],
+        }
+        try:
+            atomic_write_bytes(
+                self.state_path,
+                json.dumps(payload, sort_keys=True).encode("utf-8"),
+            )
+            self._state_written = now
+        except OSError:  # pragma: no cover - disk trouble
+            pass
 
     def _terminate(self, slot: _Slot, state: str) -> None:
         process = slot.process
@@ -229,6 +309,7 @@ class FleetSupervisor:
             _Slot(index=index, owner=f"{self.owner_prefix}-{index}")
             for index in range(self.count)
         ]
+        self._slots = slots
         parked = False
         try:
             for slot in slots:
@@ -302,12 +383,14 @@ class FleetSupervisor:
                                 f"pid {slot.process.pid})"
                             )
                 if parked:
+                    self._parked = True
                     for other in slots:
                         if other.state in ("running", "backoff"):
                             self._terminate(other, "parked")
                     break
                 if not active:
                     break
+                self._publish_state(running=True, throttle=True)
                 time.sleep(self.poll_interval)
         finally:
             # Never leak children, whatever ended the loop.
@@ -316,6 +399,8 @@ class FleetSupervisor:
                     self._terminate(slot, "parked")
             for signum, handler in previous_handlers:
                 signal.signal(signum, handler)
+            self._parked = parked
+            self._publish_state(running=False)
 
         return FleetReport(
             children=tuple(

@@ -115,8 +115,23 @@ def _aged_temp_files(
         if not directory.is_dir():
             continue
         for path in sorted(directory.iterdir()):
-            if not path.name.startswith(".") or not path.is_file():
+            if not path.is_file():
                 continue
+            if not path.name.startswith("."):
+                # A zero-byte events-*.jsonl is a telemetry husk (a
+                # worker killed before its first flush): age-gate it
+                # like any other atomic-write litter.  See
+                # :meth:`WorkQueue.gc`.
+                if not (
+                    path.name.startswith("events-")
+                    and path.name.endswith(".jsonl")
+                ):
+                    continue
+                try:
+                    if path.stat().st_size > 0:
+                        continue
+                except OSError:
+                    continue
             try:
                 if now - path.stat().st_mtime >= temp_age:
                     aged.append(path)

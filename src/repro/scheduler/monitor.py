@@ -18,6 +18,9 @@ static sweep.
 
 from __future__ import annotations
 
+import json
+import time
+
 from repro.analysis.series import CellRuns
 from repro.experiments.executor import (
     ExperimentExecutor,
@@ -34,6 +37,7 @@ from repro.sweeps.aggregate import (
 from repro.sweeps.runner import load_manifests, manifest_status
 
 __all__ = [
+    "fleet_state",
     "format_queue_status",
     "format_queue_top",
     "queue_cells",
@@ -41,6 +45,43 @@ __all__ = [
     "queue_status",
     "queue_top",
 ]
+
+#: A live fleet refreshes its state file every couple of seconds; a
+#: file not updated for this long belongs to a supervisor that died
+#: without its final write and is reported as stale.
+FLEET_STATE_STALE_S = 30.0
+
+
+def fleet_state(queue: WorkQueue, now: float | None = None) -> dict | None:
+    """The fleet supervisor's advisory state for this queue, if any.
+
+    Reads ``<queue>/fleet.json`` (written by
+    :class:`repro.scheduler.fleet.FleetSupervisor` when launched via
+    the CLI).  Returns ``None`` when no fleet ever ran here or the
+    file is unreadable — the dashboard simply omits the section.  A
+    ``running`` fleet whose file has gone quiet for
+    :data:`FLEET_STATE_STALE_S` seconds gains ``"stale": True``:
+    supervisors publish at least every couple of seconds, so silence
+    means the supervisor itself is gone.
+    """
+    from repro.scheduler.fleet import FLEET_STATE_NAME
+
+    path = queue.root / FLEET_STATE_NAME
+    try:
+        state = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+    if not isinstance(state, dict):
+        return None
+    # The supervisor stamps `updated` with the wall clock of its own
+    # box; judge staleness against the same clock, not the queue's
+    # expiry clock.
+    now = time.time() if now is None else now
+    state["stale"] = bool(
+        state.get("running")
+        and now - float(state.get("updated", 0.0)) > FLEET_STATE_STALE_S
+    )
+    return state
 
 
 def queue_cells(
@@ -262,10 +303,17 @@ def queue_top(
                 "counters": counters,
             }
         )
+    # PR 8's heartbeater stamps `heartbeat_lost` into the counters
+    # snapshot when a worker's renewal thread missed too many beats;
+    # surface it as a first-class flag so the dashboard can shout.
+    for worker in status["workers"]:
+        counters = worker.get("counters") or {}
+        worker["heartbeat_lost"] = bool(counters.get("heartbeat_lost"))
     frame = {
         "time": now,
         "status": status,
         "lease_ages": queue.lease_ages(now),
+        "fleet": fleet_state(queue),
     }
     previous_workers = {}
     elapsed = 0.0
@@ -309,6 +357,20 @@ def format_queue_top(frame: dict) -> str:
         header += f"   eta: ~{status['eta_seconds']:.0f}s"
     lines = [header]
 
+    fleet = frame.get("fleet")
+    if fleet and (fleet.get("running") or fleet.get("parked")):
+        fleet_line = (
+            f"fleet: pid {fleet.get('pid')}   "
+            f"slots {fleet.get('count')}   restarts "
+            f"{fleet.get('restarts', 0)}/{fleet.get('restart_budget', 0)}"
+            f" ({fleet.get('restarts_remaining', 0)} left)"
+        )
+        if fleet.get("parked"):
+            fleet_line += "   [PARKED]"
+        elif fleet.get("stale"):
+            fleet_line += "   [stale — supervisor silent]"
+        lines.append(fleet_line)
+
     if status["workers"]:
         lines.append(
             f"{'worker':<36} {'alive':>5} {'leases':>6} {'hb-age':>7} "
@@ -320,7 +382,11 @@ def format_queue_top(frame: dict) -> str:
             last_job = counters.get("last_job_s")
             rate = worker.get("jobs_per_min")
             heartbeat_age = worker.get("heartbeat_age_s")
-            if worker.get("retired"):
+            if worker.get("heartbeat_lost"):
+                # The worker's own renewal thread reported itself dead
+                # — louder than a merely lapsed deadline.
+                alive_cell = "LOST"
+            elif worker.get("retired"):
                 alive_cell = "gone"
             elif worker["alive"]:
                 alive_cell = "yes"

@@ -67,6 +67,7 @@ from repro.simulation.config import SimulationConfig
 from repro.simulation.engine import ENGINE_VERSION
 from repro.sweeps.spec import SweepJob, SweepSpec
 from repro.telemetry.registry import get_telemetry
+from repro.telemetry.tracing import mint_trace_id
 
 __all__ = [
     "EXPIRY_CLOCKS",
@@ -164,13 +165,20 @@ def job_id(scenario: str, method: str, seed: int) -> str:
 
 @dataclasses.dataclass(frozen=True)
 class QueueJob:
-    """One immutable queued unit of work."""
+    """One immutable queued unit of work.
+
+    ``trace`` is the fleet-wide telemetry correlation id, minted
+    deterministically at enqueue time (see
+    :meth:`WorkQueue.trace_id`); queues written before tracing carry
+    no ``trace`` key and claimers re-derive the identical id.
+    """
 
     id: str
     scenario: str
     method: str
     seed: int
     key: str  # the result-store cache key this job will produce
+    trace: str | None = None
 
 
 @dataclasses.dataclass(frozen=True)
@@ -444,6 +452,16 @@ class WorkQueue:
             }
         return self._configs[scenario]
 
+    def trace_id(self, identifier: str) -> str:
+        """The fleet-wide trace id of job ``identifier`` in this queue.
+
+        Deterministic over (spec hash, job id): re-enqueueing the same
+        cell mints the same id (idempotent enqueue stays a
+        byte-identical no-op) and pre-tracing queues can be joined by
+        deriving the id after the fact.
+        """
+        return mint_trace_id("queue", self.spec_hash, identifier)
+
     # -- enqueue ------------------------------------------------------
 
     def enqueue(self, sweep_jobs: list[SweepJob]) -> int:
@@ -485,6 +503,7 @@ class WorkQueue:
                     sweep_job.method,
                     sweep_job.seed,
                 ),
+                trace=self.trace_id(identifier),
             )
             # Job record first, then the ticket: a ticket never exists
             # without its (immutable) description.
@@ -603,13 +622,17 @@ class WorkQueue:
                 method=record["method"],
                 seed=int(record["seed"]),
                 key=record["key"],
+                trace=record.get("trace") or self.trace_id(record["id"]),
             )
             # Re-publish the heartbeat now that the rename has landed:
             # an exiting same-owner session may have retired the
             # pre-rename heartbeat in the window before our rename, and
             # a lease must never sit without a live deadline.
             self.heartbeat(owner, ttl, now)
-            _telemetry_note("claim", {"id": job.id, "owner": owner})
+            _telemetry_note(
+                "claim",
+                {"id": job.id, "owner": owner, "trace": job.trace},
+            )
             return Lease(job=job, owner=owner, path=target)
         return None
 
@@ -666,7 +689,12 @@ class WorkQueue:
             if created:
                 _telemetry_note(
                     "park",
-                    {"id": identifier, "owner": owner, "error": error},
+                    {
+                        "id": identifier,
+                        "owner": owner,
+                        "error": error,
+                        "trace": self.trace_id(identifier),
+                    },
                 )
                 return "error"
             return "gone"
@@ -676,7 +704,14 @@ class WorkQueue:
             os.rename(lease_path, self.pending_dir / identifier)
         except FileNotFoundError:
             pass  # a concurrent scavenger already returned it
-        _telemetry_note("requeue", {"id": identifier, "owner": owner})
+        _telemetry_note(
+            "requeue",
+            {
+                "id": identifier,
+                "owner": owner,
+                "trace": self.trace_id(identifier),
+            },
+        )
         return "requeued"
 
     def fail(
@@ -721,9 +756,18 @@ class WorkQueue:
         # never a lost result.
         failpoint("queue.ack.after_done")
         lease.path.unlink(missing_ok=True)
+        # The trace and duration ride the ack attrs so a store-hit job
+        # (which emits no cell span anywhere) is still fully accounted
+        # for in the merged timeline.
         _telemetry_note(
             "ack",
-            {"id": lease.job.id, "owner": lease.owner, "state": state},
+            {
+                "id": lease.job.id,
+                "owner": lease.owner,
+                "state": state,
+                "trace": lease.job.trace or self.trace_id(lease.job.id),
+                "duration_s": duration_s,
+            },
         )
 
     def filesystem_now(self) -> float:
@@ -858,7 +902,14 @@ class WorkQueue:
             deadline = self._heartbeat_deadline(owner, clock)
             if deadline >= now:
                 continue
-            _telemetry_note("expiry", {"id": identifier, "owner": owner})
+            _telemetry_note(
+                "expiry",
+                {
+                    "id": identifier,
+                    "owner": owner,
+                    "trace": self.trace_id(identifier),
+                },
+            )
             outcome = self._retry_or_park(
                 lease_path,
                 identifier,
@@ -886,6 +937,7 @@ class WorkQueue:
                     method=record["method"],
                     seed=int(record["seed"]),
                     key=record["key"],
+                    trace=record.get("trace"),
                 )
             )
         return records
@@ -1001,8 +1053,12 @@ class WorkQueue:
         Orphaned atomic-write temporaries are dot-prefixed files older
         than ``temp_age`` seconds (younger ones may belong to a live
         writer and are left alone) in the queue directories and any
-        ``extra_roots`` (the CLI passes the result store and its
-        manifest directory).  Heartbeats are stale once their *file*
+        ``extra_roots`` (the CLI passes the result store, its manifest
+        directory, and the telemetry directory).  Zero-byte
+        ``events-*.jsonl`` husks — a worker killed between ``mkstemp``
+        and its first telemetry flush — are age-gated the same way:
+        they hold no events and nothing will ever write to them again.
+        Heartbeats are stale once their *file*
         has not been touched for ``heartbeat_grace`` seconds past the
         recorded TTL *and* the owner holds no leases — a crashed
         worker's last sign of life that would otherwise sit in
@@ -1032,8 +1088,21 @@ class WorkQueue:
             if not directory.is_dir():
                 continue
             for path in sorted(directory.iterdir()):
-                if not path.name.startswith(".") or not path.is_file():
+                if not path.is_file():
                     continue
+                if not path.name.startswith("."):
+                    # Aged zero-byte events files count as litter too;
+                    # anything else undotted is a real record.
+                    if not (
+                        path.name.startswith("events-")
+                        and path.name.endswith(".jsonl")
+                    ):
+                        continue
+                    try:
+                        if path.stat().st_size > 0:
+                            continue
+                    except OSError:
+                        continue
                 try:
                     age = now - path.stat().st_mtime
                 except OSError:

@@ -407,6 +407,7 @@ class QueueWorker:
                                 self.queue.config_for(job.scenario),
                                 job.method,
                                 job.seed,
+                                trace=job.trace,
                             )
                         ]
                     )

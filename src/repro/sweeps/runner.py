@@ -34,6 +34,7 @@ from repro.experiments.store import _atomic_write_bytes, cache_key
 from repro.simulation.config import SimulationConfig
 from repro.simulation.engine import ENGINE_VERSION
 from repro.sweeps.spec import SweepSpec
+from repro.telemetry.tracing import mint_trace_id
 
 __all__ = [
     "MANIFEST_DIR_NAME",
@@ -144,7 +145,24 @@ class SweepRunner:
         # run_detailed reports the executor's own ground truth per job
         # (an unreadable store entry is a miss and gets re-simulated),
         # so the manifest states always match what actually happened.
-        detailed = executor.run_detailed([sj.job for sj in sweep_jobs])
+        # Each job carries a trace id minted from the sweep identity —
+        # trace is compare=False, so store keys and results are
+        # untouched; it only correlates this shard's telemetry.
+        detailed = executor.run_detailed(
+            [
+                dataclasses.replace(
+                    sj.job,
+                    trace=mint_trace_id(
+                        "sweep",
+                        spec.spec_hash(),
+                        sj.scenario,
+                        sj.job.method,
+                        sj.job.seed,
+                    ),
+                )
+                for sj in sweep_jobs
+            ]
+        )
         warm = [hit for _, hit in detailed]
 
         entries = [

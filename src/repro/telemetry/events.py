@@ -105,10 +105,17 @@ def read_events(path: Path | str) -> list[dict]:
     :func:`atomic_write_bytes` is all-or-nothing, so a bad line means
     the file was truncated, concatenated, or edited and *none* of it
     should be trusted for aggregation.
+
+    A zero-byte file is *not* torn: a worker killed between ``mkstemp``
+    and its first flush leaves one behind legitimately, and it simply
+    holds no events.  Queue gc/fsck age-gate such husks away like any
+    other atomic-write litter.
     """
     path = Path(path)
     events: list[dict] = []
     text = path.read_text(encoding="utf-8")
+    if not text:
+        return events
     for number, line in enumerate(text.splitlines(), start=1):
         if not line.strip():
             continue

@@ -42,6 +42,7 @@ from repro.telemetry.events import (
     atomic_write_bytes,
     encode_event,
 )
+from repro.telemetry.tracing import current_trace_id
 
 __all__ = [
     "TELEMETRY_DIR_ENV",
@@ -203,6 +204,14 @@ class Telemetry:
         span_id: int | None,
     ) -> None:
         parent = self._span_stack[-1] if self._span_stack else None
+        # Correlation is attrs-only: when a trace scope is active, every
+        # event minted under it carries the fleet-wide join key without
+        # any envelope (schema) change.  An explicit attrs["trace"] from
+        # the producer wins over the ambient scope.
+        attrs = dict(attrs) if attrs else {}
+        trace = current_trace_id()
+        if trace is not None:
+            attrs.setdefault("trace", trace)
         event = {
             "v": EVENT_SCHEMA_VERSION,
             "kind": kind,
@@ -212,7 +221,7 @@ class Telemetry:
             "pid": self.pid,
             "t_wall": time.time(),
             "dur_s": float(duration_s),
-            "attrs": attrs or {},
+            "attrs": attrs,
         }
         self._events.append(event)
 

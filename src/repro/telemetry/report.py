@@ -20,7 +20,11 @@ from pathlib import Path
 
 from repro.telemetry.events import read_events_dir
 
-__all__ = ["format_telemetry_report", "telemetry_report"]
+__all__ = [
+    "aggregate_events",
+    "format_telemetry_report",
+    "telemetry_report",
+]
 
 #: Engine phases in hot-path order; the report lists them this way.
 PHASE_ORDER = (
@@ -59,8 +63,17 @@ def _rate(hits: float, misses: float) -> float | None:
 
 def telemetry_report(run_dir: Path | str) -> dict:
     """Aggregate one telemetry run directory into a JSON-ready report."""
-    events = read_events_dir(run_dir)
+    report = aggregate_events(read_events_dir(run_dir))
+    report["run_dir"] = str(Path(run_dir))
+    return report
 
+
+def aggregate_events(events: list[dict]) -> dict:
+    """Aggregate an event list (directory walk or merged stream).
+
+    The ops bundle feeds a merged stream through the same aggregation
+    the directory report uses, so both surfaces always agree.
+    """
     phases: dict[str, float] = {}
     spans = {"run": 0, "cell": 0}
     counters: dict[str, float] = {}
@@ -69,8 +82,10 @@ def telemetry_report(run_dir: Path | str) -> dict:
     processes: set[int] = set()
 
     for event in events:
-        processes.add(event["pid"])
         kind = event["kind"]
+        if kind == "merge":
+            continue
+        processes.add(event["pid"])
         if kind == "phase":
             name = event["name"]
             phases[name] = phases.get(name, 0.0) + event["dur_s"]
@@ -149,8 +164,7 @@ def telemetry_report(run_dir: Path | str) -> dict:
     }
 
     return {
-        "run_dir": str(Path(run_dir)),
-        "events": len(events),
+        "events": sum(1 for e in events if e["kind"] != "merge"),
         "processes": len(processes),
         "runs": spans["run"],
         "cells": spans["cell"],

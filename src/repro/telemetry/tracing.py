@@ -1,0 +1,80 @@
+"""Trace-context propagation for fleet-wide span correlation.
+
+A *trace id* is the join key that ties every telemetry event emitted on
+behalf of one logical job — the queue protocol events in the
+coordinating process, the executor's cell span in a pool child, and the
+engine's run/phase spans inside it — into a single story that survives
+process boundaries.  The id is minted once, deterministically, from the
+job's stable identity (queue spec hash + job id, or sweep spec hash +
+cell identity) and then *carried*, never re-derived from clocks or RNG:
+
+* :func:`mint_trace_id` hashes the identity parts (SHA-256, truncated
+  like the event digest) so re-enqueueing the same job in the same
+  queue yields the same id — idempotent enqueue stays a byte-identical
+  no-op and a resumed drain keeps its correlation keys.
+* :func:`trace_scope` installs an id for the duration of a ``with``
+  block; :class:`~repro.telemetry.registry.Telemetry` stamps the
+  current id into every event's ``attrs`` (under ``"trace"``) while a
+  scope is active.  The envelope schema itself is untouched —
+  ``EVENT_SCHEMA_VERSION`` stays frozen; correlation is attrs-only.
+
+The scope is a plain module global rather than thread-local state: the
+executor's unit of concurrency is the *process* (fork-based pools), and
+each pool child installs its own scope from the pickled job, so there
+is nothing to share.  Like the rest of the telemetry package this
+module is stdlib-only and draws no randomness.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+from typing import Iterator
+
+__all__ = ["current_trace_id", "mint_trace_id", "trace_scope"]
+
+#: Hex digits kept from the SHA-256 — matches the event digest width so
+#: trace ids and digests read alike in the stream.
+_TRACE_LENGTH = 16
+
+_current: str | None = None
+
+
+def mint_trace_id(*parts: object) -> str:
+    """Derive a deterministic trace id from the identity ``parts``.
+
+    The parts should pin down the logical job uniquely and stably
+    (e.g. ``("queue", spec_hash, job_id)``); equal parts always yield
+    the equal id, so minting is idempotent.
+    """
+    if not parts:
+        raise ValueError("mint_trace_id requires at least one part")
+    material = "\x1f".join(str(part) for part in parts)
+    digest = hashlib.sha256(material.encode("utf-8")).hexdigest()
+    return digest[:_TRACE_LENGTH]
+
+
+def current_trace_id() -> str | None:
+    """The trace id installed by the innermost active scope, if any."""
+    return _current
+
+
+@contextlib.contextmanager
+def trace_scope(trace: str | None) -> Iterator[str | None]:
+    """Install ``trace`` as the current trace id for the block.
+
+    ``None`` is accepted and leaves whatever scope is already active
+    untouched, so call sites can pass an optional id through without
+    branching.  Scopes nest; the previous id is restored on exit even
+    when the block raises.
+    """
+    global _current
+    if trace is None:
+        yield _current
+        return
+    previous = _current
+    _current = trace
+    try:
+        yield trace
+    finally:
+        _current = previous

@@ -1,0 +1,98 @@
+"""Perf history JSONL: append-only rows, torn-tail tolerance, trend."""
+
+from __future__ import annotations
+
+import json
+
+from repro.experiments.perf import (
+    append_history,
+    format_history,
+    history_row,
+    load_history,
+)
+
+
+def report(aggregate=5000.0, mode="quick"):
+    return {
+        "engine_version": "1",
+        "mode": mode,
+        "python": "3.11.7",
+        "numpy": "1.26.0",
+        "seed": 1,
+        "repeats": 2,
+        "aggregate_qps": aggregate,
+        "cells": {
+            "captive_small/sqlb": {
+                "queries": 100,
+                "seconds": 0.02,
+                "qps": aggregate,
+                "phases": {"arrivals": 0.01},
+            }
+        },
+    }
+
+
+class TestHistoryRow:
+    def test_keeps_qps_and_phases_drops_machine_noise(self):
+        row = history_row(report(), now=123.0)
+        assert row["t"] == 123.0
+        assert row["aggregate_qps"] == 5000.0
+        cell = row["cells"]["captive_small/sqlb"]
+        assert cell == {"qps": 5000.0, "phases": {"arrivals": 0.01}}
+        assert "python" not in row
+        assert "queries" not in cell
+
+    def test_default_timestamp_is_now(self):
+        assert history_row(report())["t"] > 1.7e9
+
+
+class TestAppendAndLoad:
+    def test_rows_accumulate_in_order(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        append_history(report(1000.0), str(path), now=1.0)
+        append_history(report(2000.0), str(path), now=2.0)
+        rows = load_history(str(path))
+        assert [row["aggregate_qps"] for row in rows] == [1000.0, 2000.0]
+
+    def test_torn_tail_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        append_history(report(), str(path), now=1.0)
+        with open(path, "a") as handle:
+            handle.write("\n")
+            handle.write('{"t": 2.0, "aggregate')  # crashed writer
+        assert len(load_history(str(path))) == 1
+
+    def test_rows_without_cells_skipped(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        path.write_text(json.dumps({"t": 1.0}) + "\n")
+        assert load_history(str(path)) == []
+
+    def test_committed_seed_row_loads(self):
+        # BENCH_history.jsonl is seeded from the committed baseline
+        # with a null timestamp; it must parse and render forever.
+        from pathlib import Path
+
+        rows = load_history(
+            str(Path(__file__).parents[2] / "BENCH_history.jsonl")
+        )
+        assert rows
+        assert rows[0]["t"] is None
+        assert rows[0]["source"] == "BENCH_engine.json"
+        assert rows[0]["aggregate_qps"] > 0
+        assert "baseline" in format_history(rows)
+
+
+class TestFormatHistory:
+    def test_delta_compares_same_mode_only(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        append_history(report(1000.0, mode="quick"), str(path), now=1.0)
+        append_history(report(9000.0, mode="full"), str(path), now=2.0)
+        append_history(report(1100.0, mode="quick"), str(path), now=3.0)
+        text = format_history(load_history(str(path)))
+        # 1100 vs 1000 (same mode) = +10%, never vs the full row.
+        assert "+10%" in text
+        lines = text.splitlines()
+        assert len(lines) == 4  # header + 3 rows
+
+    def test_empty_history_renders(self):
+        assert format_history([]) == "no perf history rows"

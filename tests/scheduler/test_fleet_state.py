@@ -1,0 +1,177 @@
+"""Fleet supervisor advisory state and its dashboard surfacing."""
+
+from __future__ import annotations
+
+import json
+
+from repro.scheduler.fleet import FLEET_STATE_NAME, FleetSupervisor
+from repro.scheduler.monitor import (
+    FLEET_STATE_STALE_S,
+    fleet_state,
+    format_queue_top,
+    queue_top,
+)
+from repro.scheduler.queue import WorkQueue
+from repro.sweeps.spec import SweepSpec
+from tests.scheduler.test_fleet import FakeChild, make_spawn
+
+TTL = 30.0
+
+
+def spec() -> SweepSpec:
+    return SweepSpec(
+        name="fleet-state-unit",
+        scenarios=("captive_fixed_80",),
+        methods=("sqlb",),
+        seeds=(1,),
+        scale="tiny",
+    )
+
+
+def run_fleet(state_path, scripts, **kwargs):
+    kwargs.setdefault("poll_interval", 0.0)
+    kwargs.setdefault("backoff_base", 0.0)
+    supervisor = FleetSupervisor(
+        make_spawn(scripts), len(scripts), state_path=state_path, **kwargs
+    )
+    return supervisor.run()
+
+
+class TestStateFile:
+    def test_final_write_marks_not_running(self, tmp_path):
+        state_path = tmp_path / FLEET_STATE_NAME
+        run_fleet(state_path, [[FakeChild(0)], [FakeChild(0)]])
+        state = json.loads(state_path.read_text())
+        assert state["running"] is False
+        assert state["parked"] is False
+        assert state["count"] == 2
+        assert state["restarts"] == 0
+        assert state["restarts_remaining"] == state["restart_budget"]
+        assert len(state["children"]) == 2
+        assert {child["state"] for child in state["children"]} == {
+            "drained"
+        }
+
+    def test_restart_ledger_is_published(self, tmp_path):
+        state_path = tmp_path / FLEET_STATE_NAME
+        run_fleet(state_path, [[FakeChild(9), FakeChild(0)]])
+        state = json.loads(state_path.read_text())
+        assert state["restarts"] == 1
+        assert (
+            state["restarts_remaining"] == state["restart_budget"] - 1
+        )
+
+    def test_parked_fleet_says_so(self, tmp_path):
+        state_path = tmp_path / FLEET_STATE_NAME
+        report = run_fleet(
+            state_path,
+            [[FakeChild(9), FakeChild(9)]],
+            restart_budget=1,
+        )
+        assert report.parked
+        state = json.loads(state_path.read_text())
+        assert state["parked"] is True
+        assert state["running"] is False
+        assert state["restarts_remaining"] == 0
+
+    def test_no_state_path_writes_nothing(self, tmp_path):
+        run_fleet(None, [[FakeChild(0)]])
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestFleetStateReader:
+    def test_missing_and_garbage_read_as_none(self, tmp_path):
+        queue = WorkQueue.init(tmp_path / "q", spec())
+        assert fleet_state(queue) is None
+        (queue.root / FLEET_STATE_NAME).write_text("{torn")
+        assert fleet_state(queue) is None
+        (queue.root / FLEET_STATE_NAME).write_text("[1, 2]")
+        assert fleet_state(queue) is None
+
+    def test_fresh_running_state_is_not_stale(self, tmp_path):
+        queue = WorkQueue.init(tmp_path / "q", spec())
+        (queue.root / FLEET_STATE_NAME).write_text(
+            json.dumps({"running": True, "updated": 1000.0})
+        )
+        state = fleet_state(queue, now=1000.0 + FLEET_STATE_STALE_S / 2)
+        assert state["stale"] is False
+
+    def test_silent_running_supervisor_is_stale(self, tmp_path):
+        queue = WorkQueue.init(tmp_path / "q", spec())
+        (queue.root / FLEET_STATE_NAME).write_text(
+            json.dumps({"running": True, "updated": 1000.0})
+        )
+        state = fleet_state(queue, now=1000.0 + FLEET_STATE_STALE_S * 2)
+        assert state["stale"] is True
+
+    def test_finished_fleet_is_never_stale(self, tmp_path):
+        queue = WorkQueue.init(tmp_path / "q", spec())
+        (queue.root / FLEET_STATE_NAME).write_text(
+            json.dumps({"running": False, "updated": 0.0})
+        )
+        assert fleet_state(queue, now=1e9)["stale"] is False
+
+
+class TestDashboardSurfacing:
+    def test_frame_carries_fleet_state(self, tmp_path):
+        queue = WorkQueue.init(tmp_path / "q", spec())
+        assert queue_top(queue)["fleet"] is None
+        (queue.root / FLEET_STATE_NAME).write_text(
+            json.dumps({"running": True, "updated": 0.0, "count": 3})
+        )
+        assert queue_top(queue)["fleet"]["count"] == 3
+
+    def test_running_fleet_line_rendered(self, tmp_path):
+        queue = WorkQueue.init(tmp_path / "q", spec())
+        (queue.root / FLEET_STATE_NAME).write_text(
+            json.dumps(
+                {
+                    "running": True,
+                    "updated": 0.0,
+                    "pid": 4242,
+                    "count": 3,
+                    "restarts": 2,
+                    "restart_budget": 9,
+                    "restarts_remaining": 7,
+                }
+            )
+        )
+        text = format_queue_top(queue_top(queue))
+        assert "fleet: pid 4242" in text
+        assert "slots 3" in text
+        assert "restarts 2/9 (7 left)" in text
+        assert "[stale — supervisor silent]" in text
+
+    def test_parked_fleet_line_rendered(self, tmp_path):
+        queue = WorkQueue.init(tmp_path / "q", spec())
+        (queue.root / FLEET_STATE_NAME).write_text(
+            json.dumps({"running": False, "parked": True, "updated": 0.0})
+        )
+        assert "[PARKED]" in format_queue_top(queue_top(queue))
+
+    def test_finished_fleet_is_omitted(self, tmp_path):
+        queue = WorkQueue.init(tmp_path / "q", spec())
+        (queue.root / FLEET_STATE_NAME).write_text(
+            json.dumps({"running": False, "parked": False, "updated": 0.0})
+        )
+        assert "fleet:" not in format_queue_top(queue_top(queue))
+
+
+class TestHeartbeatLostFlag:
+    def test_counters_flag_becomes_worker_flag_and_lost_cell(self, tmp_path):
+        queue = WorkQueue.init(tmp_path / "q", spec())
+        queue.heartbeat("w", TTL, now=1000.0)
+        queue.write_worker_counters(
+            "w", {"processed": 1, "heartbeat_lost": 1}
+        )
+        frame = queue_top(queue, now=1000.0)
+        [worker] = frame["status"]["workers"]
+        assert worker["heartbeat_lost"] is True
+        assert " LOST " in " " + format_queue_top(frame) + " "
+
+    def test_healthy_worker_not_flagged(self, tmp_path):
+        queue = WorkQueue.init(tmp_path / "q", spec())
+        queue.heartbeat("w", TTL, now=1000.0)
+        queue.write_worker_counters("w", {"processed": 1})
+        [worker] = queue_top(queue, now=1000.0)["status"]["workers"]
+        assert worker["heartbeat_lost"] is False

@@ -1,0 +1,160 @@
+"""Fleet-wide trace correlation: enqueue → claim → execute → ack.
+
+The contract under test: every telemetry event a job generates — the
+queue protocol notes in the coordinating worker and the cell/run/phase
+spans inside the executor — carries the *same* deterministic trace id
+in ``attrs["trace"]``, asserted from the merged cross-process stream.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.experiments.executor import ExperimentExecutor
+from repro.experiments.store import ResultStore
+from repro.scheduler.queue import WorkQueue
+from repro.scheduler.worker import QueueWorker
+from repro.sweeps.spec import SweepSpec
+from repro.telemetry.merge import merge_events
+from repro.telemetry.registry import telemetry_session
+from repro.telemetry.timeline import drain_timeline
+
+TTL = 30.0
+
+
+def spec(seeds=(1, 2)) -> SweepSpec:
+    return SweepSpec(
+        name="trace-unit",
+        scenarios=("captive_fixed_80",),
+        methods=("sqlb",),
+        seeds=seeds,
+        scale="tiny",
+    )
+
+
+def drain(queue, store_path, events_dir, owner, max_jobs=None):
+    """Run one worker session under its own file-backed registry."""
+    with telemetry_session(events_dir):
+        QueueWorker(
+            queue,
+            executor=ExperimentExecutor(
+                workers=1, store=ResultStore(store_path)
+            ),
+            owner=owner,
+            ttl=TTL,
+            max_jobs=max_jobs,
+        ).run()
+
+
+class TestEnqueueMintsTraces:
+    def test_job_records_carry_deterministic_trace(self, tmp_path):
+        queue = WorkQueue.init(tmp_path / "q", spec())
+        for job in queue.jobs():
+            assert job.trace == queue.trace_id(job.id)
+            assert len(job.trace) == 16
+
+    def test_distinct_jobs_distinct_traces(self, tmp_path):
+        queue = WorkQueue.init(tmp_path / "q", spec())
+        traces = {job.trace for job in queue.jobs()}
+        assert len(traces) == len(queue.jobs()) == 2
+
+    def test_pre_tracing_queue_rederives_identical_id(self, tmp_path):
+        # Queues written before this schema carry no "trace" key; the
+        # claimer must derive the exact id enqueue would have minted.
+        queue = WorkQueue.init(tmp_path / "q", spec(seeds=(1,)))
+        [record_path] = queue.jobs_dir.glob("*.json")
+        record = json.loads(record_path.read_text())
+        expected = record.pop("trace")
+        record_path.write_text(json.dumps(record))
+        lease = queue.claim("w", TTL)
+        assert lease.job.trace == expected
+
+
+class TestTwoWorkerDrain:
+    def test_every_job_event_shares_one_trace(self, tmp_path):
+        queue = WorkQueue.init(tmp_path / "q", spec())
+        expected = {job.id: job.trace for job in queue.jobs()}
+        events_dir = tmp_path / "events"
+        drain(queue, tmp_path / "s", events_dir, "w1", max_jobs=1)
+        drain(queue, tmp_path / "s", events_dir, "w2")
+        assert queue.counts().done == 2
+
+        summary = merge_events(events_dir)
+        assert summary["files"] == 2
+        merged = json.loads(
+            "["
+            + ",".join(
+                (events_dir / "merged.jsonl").read_text().splitlines()
+            )
+            + "]"
+        )
+
+        by_trace: dict[str, set[tuple[str, str]]] = {}
+        for event in merged:
+            trace = (event.get("attrs") or {}).get("trace")
+            if trace is not None:
+                by_trace.setdefault(trace, set()).add(
+                    (event["kind"], event["name"])
+                )
+        assert set(by_trace) == set(expected.values())
+        for job_id, trace in expected.items():
+            kinds = {kind for kind, _ in by_trace[trace]}
+            # Queue protocol and executor/engine spans joined by the id.
+            assert "queue" in kinds
+            assert "cell" in kinds
+            assert "run" in kinds
+            assert "phase" in kinds
+            assert ("queue", "claim") in by_trace[trace]
+            assert ("queue", "ack") in by_trace[trace]
+
+    def test_timeline_correlates_the_whole_drain(self, tmp_path):
+        queue = WorkQueue.init(tmp_path / "q", spec())
+        events_dir = tmp_path / "events"
+        drain(queue, tmp_path / "s", events_dir, "w1", max_jobs=1)
+        drain(queue, tmp_path / "s", events_dir, "w2")
+        merge_events(events_dir)
+        from repro.telemetry.merge import load_stream
+
+        timeline = drain_timeline(load_stream(events_dir))
+        drain_summary = timeline["drain"]
+        assert drain_summary["jobs"] == 2
+        assert drain_summary["acked"] == 2
+        assert drain_summary["orphan_spans"] == 0
+        assert set(timeline["workers"]) == {"w1", "w2"}
+        for lane in timeline["workers"].values():
+            assert lane["queue_wait_s"] + lane["execute_s"] + lane[
+                "idle_s"
+            ] == lane["wall_s"]
+            assert lane["execute_s"] > 0.0
+
+    def test_store_hit_job_is_accounted_via_ack(self, tmp_path):
+        # A warm job emits no cell span; the ack's trace/duration must
+        # still land it in the timeline with zero execute seconds.
+        queue = WorkQueue.init(tmp_path / "q", spec(seeds=(1,)))
+        drain(queue, tmp_path / "s", tmp_path / "warmup", "w0")
+        rerun = WorkQueue.init(tmp_path / "q2", spec(seeds=(1,)))
+        events_dir = tmp_path / "events"
+        drain(rerun, tmp_path / "s", events_dir, "w1")
+        merge_events(events_dir)
+        from repro.telemetry.merge import load_stream
+
+        timeline = drain_timeline(load_stream(events_dir))
+        [job] = timeline["jobs"]
+        assert job["state"] == "store_hit"
+        assert job["execute_s"] == 0.0
+        assert timeline["drain"]["orphan_spans"] == 0
+
+
+class TestDisabledTelemetry:
+    def test_traced_jobs_run_silently_without_registry(self, tmp_path):
+        queue = WorkQueue.init(tmp_path / "q", spec(seeds=(1,)))
+        QueueWorker(
+            queue,
+            executor=ExperimentExecutor(
+                workers=1, store=ResultStore(tmp_path / "s")
+            ),
+            owner="w",
+            ttl=TTL,
+        ).run()
+        assert queue.counts().done == 1
+        assert not list(tmp_path.glob("**/events-*.jsonl"))

@@ -1,0 +1,72 @@
+"""Ops bundle: deterministic single-file HTML, embedded data blob."""
+
+from __future__ import annotations
+
+import json
+
+from repro.telemetry.bundle import render_bundle, write_bundle
+from tests.telemetry.test_timeline import two_worker_drain
+
+
+class TestDeterminism:
+    def test_double_render_is_byte_identical(self):
+        events = two_worker_drain()
+        assert render_bundle(events) == render_bundle(events)
+
+    def test_write_bundle_round_trip(self, tmp_path):
+        out = tmp_path / "bundle.html"
+        write_bundle(out, two_worker_drain())
+        first = out.read_bytes()
+        write_bundle(out, two_worker_drain())
+        assert out.read_bytes() == first
+        assert not [p for p in tmp_path.iterdir() if p.name.startswith(".")]
+
+
+class TestContent:
+    def test_sections_present(self):
+        html = render_bundle(two_worker_drain())
+        assert "<svg" in html  # worker lanes
+        assert "Drain decomposition" in html
+        assert "Engine phases" in html
+        assert "Fleet counters" in html
+        assert "straggler <b>w1</b>" in html
+
+    def test_self_contained(self):
+        html = render_bundle(two_worker_drain())
+        # No external fetches of any kind.
+        assert "http://" not in html.replace(
+            "http://www.w3.org/2000/svg", ""
+        )
+        assert "https://" not in html
+        assert "<link" not in html
+        assert 'src="' not in html
+
+    def test_embedded_blob_parses_and_matches(self):
+        html = render_bundle(two_worker_drain())
+        marker = '<script type="application/json" id="bundle-data">'
+        start = html.index(marker) + len(marker)
+        end = html.index("</script>", start)
+        blob = json.loads(html[start:end].replace("<\\/", "</"))
+        assert blob["timeline"]["drain"]["jobs"] == 3
+        assert blob["bench"] is None
+
+    def test_bench_section_when_provided(self):
+        bench = {
+            "aggregate_qps": 1234.5,
+            "engine_version": "1",
+            "mode": "full",
+            "cells": {"captive_small/sqlb": {
+                "qps": 1000.0, "queries": 50, "seconds": 0.05,
+            }},
+        }
+        html = render_bundle(two_worker_drain(), bench=bench)
+        assert "Committed benchmark baseline" in html
+        assert "captive_small/sqlb" in html
+
+    def test_title_is_escaped(self):
+        html = render_bundle([], title="<drain> & co")
+        assert "<title>&lt;drain&gt; &amp; co</title>" in html
+
+    def test_empty_stream_renders(self):
+        html = render_bundle([])
+        assert "no acked jobs to draw" in html

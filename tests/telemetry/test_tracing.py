@@ -1,0 +1,90 @@
+"""Trace-context propagation: deterministic ids, scoped injection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry.registry import telemetry_session
+from repro.telemetry.tracing import (
+    current_trace_id,
+    mint_trace_id,
+    trace_scope,
+)
+
+
+class TestMintTraceId:
+    def test_deterministic_and_16_hex(self):
+        first = mint_trace_id("queue", "abc123", "job-1")
+        second = mint_trace_id("queue", "abc123", "job-1")
+        assert first == second
+        assert len(first) == 16
+        int(first, 16)  # hex
+
+    def test_distinct_parts_distinct_ids(self):
+        assert mint_trace_id("queue", "a", "j") != mint_trace_id(
+            "queue", "a", "k"
+        )
+        # Separator-injection resistance: ("ab", "c") != ("a", "bc").
+        assert mint_trace_id("ab", "c") != mint_trace_id("a", "bc")
+
+    def test_non_string_parts_are_stringified(self):
+        assert mint_trace_id("sweep", "h", 7) == mint_trace_id(
+            "sweep", "h", "7"
+        )
+
+    def test_no_parts_raises(self):
+        with pytest.raises(ValueError):
+            mint_trace_id()
+
+
+class TestTraceScope:
+    def test_default_is_none(self):
+        assert current_trace_id() is None
+
+    def test_scope_installs_and_restores(self):
+        with trace_scope("feedfacefeedface"):
+            assert current_trace_id() == "feedfacefeedface"
+        assert current_trace_id() is None
+
+    def test_none_scope_is_passthrough(self):
+        with trace_scope("aaaabbbbccccdddd"):
+            with trace_scope(None):
+                # None must not clear an enclosing scope: a traceless
+                # sub-job inherits its parent's correlation.
+                assert current_trace_id() == "aaaabbbbccccdddd"
+            assert current_trace_id() == "aaaabbbbccccdddd"
+
+    def test_scopes_nest_lifo(self):
+        with trace_scope("1111111111111111"):
+            with trace_scope("2222222222222222"):
+                assert current_trace_id() == "2222222222222222"
+            assert current_trace_id() == "1111111111111111"
+
+    def test_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with trace_scope("2222222222222222"):
+                raise RuntimeError("boom")
+        assert current_trace_id() is None
+
+
+class TestRegistryInjection:
+    def test_events_under_scope_carry_trace_attr(self):
+        with telemetry_session() as telemetry:
+            with trace_scope("feedfacefeedface"):
+                telemetry.event("queue", "note")
+                with telemetry.span("phase", "arrivals"):
+                    pass
+            telemetry.event("queue", "outside")
+        by_name = {event["name"]: event for event in telemetry.events}
+        assert by_name["note"]["attrs"]["trace"] == "feedfacefeedface"
+        assert by_name["arrivals"]["attrs"]["trace"] == "feedfacefeedface"
+        assert "trace" not in by_name["outside"]["attrs"]
+
+    def test_explicit_producer_trace_wins_over_scope(self):
+        with telemetry_session() as telemetry:
+            with trace_scope("ffffffffffffffff"):
+                telemetry.event(
+                    "queue", "ack", attrs={"trace": "0000000000000000"}
+                )
+        [event] = telemetry.events
+        assert event["attrs"]["trace"] == "0000000000000000"
