@@ -119,6 +119,8 @@ from repro.analysis import (
     format_compare_table,
     render_catalog,
 )
+from repro.audit import report as audit_reports
+from repro.audit.recorder import AUDIT_DIR_ENV, configure_audit
 from repro.experiments.store import ResultStore
 from repro.experiments.executor import (
     CACHE_DIR_ENV,
@@ -300,6 +302,14 @@ def build_parser() -> argparse.ArgumentParser:
             help="enable instrumentation and write span/counter event "
             "files (JSONL) to this directory; read them back with "
             "'repro telemetry report DIR'",
+        )
+        command.add_argument(
+            "--audit",
+            default=None,
+            metavar="DIR",
+            help="record every allocation decision and commit one "
+            "npz shard + manifest per simulated run to this "
+            "directory; read them back with 'repro audit report DIR'",
         )
 
     run = sub.add_parser("run", help="run one simulation")
@@ -1239,9 +1249,94 @@ def build_parser() -> argparse.ArgumentParser:
         "comparison",
     )
     telemetry_bundle_cmd.add_argument(
+        "--bench-history",
+        default=None,
+        metavar="JSONL",
+        help="embed a perf-trend section rendered from this "
+        "BENCH_history.jsonl (per-mode deltas, torn tails skipped)",
+    )
+    telemetry_bundle_cmd.add_argument(
+        "--audit-shards",
+        default=None,
+        metavar="PATH",
+        dest="audit_shards",
+        help="embed decision-audit report sections: PATH is a shard "
+        "manifest, an .npz shard, or a directory of shards",
+    )
+    telemetry_bundle_cmd.add_argument(
         "--title",
         default="repro fleet ops bundle",
         help="bundle page title",
+    )
+
+    audit = sub.add_parser(
+        "audit",
+        help="read back allocation decision shards written by "
+        "--audit DIR",
+    )
+    audit_sub = audit.add_subparsers(dest="audit_command", required=True)
+    audit_report_cmd = audit_sub.add_parser(
+        "report",
+        help="per-provider allocation shares, score-gap distribution, "
+        "per-class routing, and the anomaly sweep for one shard",
+    )
+    audit_report_cmd.add_argument(
+        "path",
+        metavar="PATH",
+        help="a shard manifest, an .npz shard, or a directory of "
+        "shards (then --method selects one)",
+    )
+    audit_report_cmd.add_argument(
+        "--method",
+        default=None,
+        help="when PATH is a directory: the shard's registry method",
+    )
+    audit_report_cmd.add_argument(
+        "--json",
+        default=None,
+        metavar="OUT",
+        help="also write the machine-readable payload to OUT "
+        "(deterministic: double renders are byte-identical)",
+    )
+    audit_explain_cmd = audit_sub.add_parser(
+        "explain",
+        help="reconstruct one decision: top-K candidates, scores, "
+        "intentions, who won and at what rank",
+    )
+    audit_explain_cmd.add_argument("path", metavar="PATH")
+    audit_explain_cmd.add_argument(
+        "index",
+        type=int,
+        metavar="QUERY_IDX",
+        help="decision index within the shard (0-based issue order)",
+    )
+    audit_explain_cmd.add_argument(
+        "--method",
+        default=None,
+        help="when PATH is a directory: the shard's registry method",
+    )
+    audit_diff_cmd = audit_sub.add_parser(
+        "diff",
+        help="paired decision-by-decision divergence of two shards "
+        "recorded over the same replayed trace",
+    )
+    audit_diff_cmd.add_argument("path_a", metavar="PATH_A")
+    audit_diff_cmd.add_argument("path_b", metavar="PATH_B")
+    audit_diff_cmd.add_argument(
+        "--method-a",
+        default=None,
+        help="when PATH_A is a directory: the first shard's method",
+    )
+    audit_diff_cmd.add_argument(
+        "--method-b",
+        default=None,
+        help="when PATH_B is a directory: the second shard's method",
+    )
+    audit_diff_cmd.add_argument(
+        "--json",
+        default=None,
+        metavar="OUT",
+        help="also write the machine-readable diff payload to OUT",
     )
     return parser
 
@@ -1681,6 +1776,11 @@ def _cmd_queue_gc(args: argparse.Namespace) -> str:
         # Covers the dot-temp event files a killed worker left behind
         # in its --telemetry directory.
         extra_roots.append(str(telemetry_dir))
+    audit_dir = getattr(args, "audit", None)
+    if audit_dir is not None:
+        # Covers the two audit crash footprints: *.npz.tmp husks and
+        # manifest-less shards from a worker killed mid-flush.
+        extra_roots.append(str(audit_dir))
     report = queue.gc(
         prune=args.prune,
         temp_age=args.temp_age,
@@ -1727,6 +1827,7 @@ def _cmd_queue_fsck(args: argparse.Namespace) -> str:
         repair=args.repair,
         temp_age=args.temp_age,
         max_attempts=args.max_attempts,
+        audit_root=getattr(args, "audit", None),
     )
     if args.json:
         output = json.dumps(report.payload(), sort_keys=True, indent=1)
@@ -1794,6 +1895,9 @@ def _cmd_queue_fleet(args: argparse.Namespace) -> str:
         worker_args += ("--telemetry", str(telemetry_dir))
     if args.profile is not None:
         worker_args += ("--profile", str(args.profile))
+    audit_dir = getattr(args, "audit", None)
+    if audit_dir is not None:
+        worker_args += ("--audit", str(audit_dir))
     supervisor = FleetSupervisor(
         spawn_cli_worker(args.queue_dir, cache_dir, worker_args),
         count=args.count,
@@ -2266,6 +2370,66 @@ def _cmd_analyze(args: argparse.Namespace) -> str:
     )  # pragma: no cover
 
 
+def _audit_bundle_payloads(path: str) -> list[dict]:
+    """Report payloads for every audit shard at ``path`` (file or dir)."""
+    target = Path(path)
+    if target.is_dir():
+        manifests = audit_reports.find_shards(target)
+        if not manifests:
+            raise audit_reports.AuditReadError(
+                f"no audit shards under {target}"
+            )
+        return [
+            audit_reports.report_payload(audit_reports.load_shard(manifest))
+            for manifest in manifests
+        ]
+    return [audit_reports.report_payload(audit_reports.load_shard(target))]
+
+
+def _write_audit_json(out: str, payload: dict) -> None:
+    """Deterministic JSON render: double renders are byte-identical."""
+    text = json.dumps(payload, sort_keys=True, indent=1, allow_nan=False)
+    Path(out).write_text(text + "\n", encoding="utf-8")
+
+
+def _cmd_audit(args: argparse.Namespace) -> str:
+    try:
+        if args.audit_command == "report":
+            shard = audit_reports.resolve_shard(
+                args.path, method=args.method
+            )
+            payload = audit_reports.report_payload(shard)
+            lines = [audit_reports.format_report(payload)]
+            if args.json is not None:
+                _write_audit_json(args.json, payload)
+                lines.append(f"payload written to {args.json}")
+            return "\n".join(lines)
+        if args.audit_command == "explain":
+            shard = audit_reports.resolve_shard(
+                args.path, method=args.method
+            )
+            payload = audit_reports.explain_payload(shard, args.index)
+            return audit_reports.format_explain(payload)
+        if args.audit_command == "diff":
+            shard_a = audit_reports.resolve_shard(
+                args.path_a, method=args.method_a
+            )
+            shard_b = audit_reports.resolve_shard(
+                args.path_b, method=args.method_b
+            )
+            payload = audit_reports.diff_payload(shard_a, shard_b)
+            lines = [audit_reports.format_diff(payload)]
+            if args.json is not None:
+                _write_audit_json(args.json, payload)
+                lines.append(f"payload written to {args.json}")
+            return "\n".join(lines)
+    except (OSError, audit_reports.AuditReadError) as error:
+        raise SystemExit(f"repro: error: {error}") from None
+    raise AssertionError(
+        f"unhandled audit command {args.audit_command!r}"
+    )  # pragma: no cover
+
+
 def _cmd_telemetry(args: argparse.Namespace) -> str:
     try:
         if args.telemetry_command == "report":
@@ -2306,11 +2470,30 @@ def _cmd_telemetry(args: argparse.Namespace) -> str:
                         f"repro: error: cannot read bench baseline "
                         f"{args.bench}: {error}"
                     ) from None
+            bench_history = None
+            if args.bench_history is not None:
+                try:
+                    bench_history = load_history(args.bench_history)
+                except OSError as error:
+                    raise SystemExit(
+                        f"repro: error: cannot read bench history "
+                        f"{args.bench_history}: {error}"
+                    ) from None
+            audit = None
+            if args.audit_shards is not None:
+                try:
+                    audit = _audit_bundle_payloads(args.audit_shards)
+                except audit_reports.AuditReadError as error:
+                    raise SystemExit(
+                        f"repro: error: {error}"
+                    ) from None
             path = write_bundle(
                 args.out,
                 load_stream(args.path),
                 bench=bench,
                 title=args.title,
+                bench_history=bench_history,
+                audit=audit,
             )
             return f"bundle written to {path}"
     except (OSError, TelemetryReadError) as error:
@@ -2417,6 +2600,12 @@ def _configure_executor(args: argparse.Namespace) -> None:
         # Telemetry instance from $REPRO_TELEMETRY_DIR on first use.
         os.environ[TELEMETRY_DIR_ENV] = str(telemetry_dir)
         configure_telemetry(telemetry_dir)
+    audit_dir = getattr(args, "audit", None)
+    if audit_dir is not None:
+        # Same split as telemetry: environment for pool children and
+        # spawned subprocesses, direct configure for this process.
+        os.environ[AUDIT_DIR_ENV] = str(audit_dir)
+        configure_audit(audit_dir)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -2442,6 +2631,8 @@ def main(argv: list[str] | None = None) -> int:
         print(_cmd_analyze(args))
     elif args.command == "telemetry":
         print(_cmd_telemetry(args))
+    elif args.command == "audit":
+        print(_cmd_audit(args))
     elif args.command == "perf":
         print(_cmd_perf(args))
     return 0

@@ -32,7 +32,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from time import perf_counter
 
-from repro.experiments.store import ResultStore
+from repro.audit.recorder import get_audit
+from repro.experiments.store import ResultStore, cache_key
 from repro.simulation.config import SimulationConfig
 from repro.simulation.engine import SimulationResult, run_simulation
 from repro.telemetry.profiling import active_profile_dir, profile_job
@@ -110,21 +111,34 @@ def _execute_job(job: SimulationJob) -> SimulationResult:
     """
     telemetry = get_telemetry()
     profile_dir = active_profile_dir()
-    if telemetry is None and profile_dir is None:
+    audit = get_audit()
+    if telemetry is None and profile_dir is None and audit is None:
         return run_simulation(job.config, job.method, seed=job.seed)
     with trace_scope(job.trace), profile_job(profile_dir):
         if telemetry is None:
-            return run_simulation(job.config, job.method, seed=job.seed)
-        started = perf_counter()
-        with telemetry.span(
-            "cell",
-            f"{job.method}/seed{job.seed}",
-            attrs={"method": job.method, "seed": job.seed},
-        ):
             result = run_simulation(job.config, job.method, seed=job.seed)
-        telemetry.count("executor.jobs")
-        telemetry.observe("executor.job_s", perf_counter() - started)
-        telemetry.flush()
+        else:
+            started = perf_counter()
+            with telemetry.span(
+                "cell",
+                f"{job.method}/seed{job.seed}",
+                attrs={"method": job.method, "seed": job.seed},
+            ):
+                result = run_simulation(job.config, job.method, seed=job.seed)
+            telemetry.count("executor.jobs")
+            telemetry.observe("executor.job_s", perf_counter() - started)
+            telemetry.flush()
+    if audit is not None:
+        # The engine buffered this run's decisions; the shard is named
+        # by the job's *store* cache key so it sits next to its result
+        # entry.  Committed here — not in the engine — because only the
+        # executor knows the registry method name the key is built from,
+        # and because pool children must flush before the job returns.
+        audit.commit(
+            cache_key(job.config, job.method, job.seed),
+            job.method,
+            job.config,
+        )
     return result
 
 

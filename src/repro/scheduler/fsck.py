@@ -119,18 +119,29 @@ def _aged_temp_files(
                 continue
             if not path.name.startswith("."):
                 # A zero-byte events-*.jsonl is a telemetry husk (a
-                # worker killed before its first flush): age-gate it
-                # like any other atomic-write litter.  See
+                # worker killed before its first flush); a ``*.npz.tmp``
+                # or a manifest-less ``*.npz`` is an audit-flush crash
+                # footprint (the manifest is the commit marker, so a
+                # shard without one can never be read).  All are
+                # age-gated like any other atomic-write litter.  See
                 # :meth:`WorkQueue.gc`.
-                if not (
+                if (
                     path.name.startswith("events-")
                     and path.name.endswith(".jsonl")
                 ):
-                    continue
-                try:
-                    if path.stat().st_size > 0:
+                    try:
+                        if path.stat().st_size > 0:
+                            continue
+                    except OSError:
                         continue
-                except OSError:
+                elif path.name.endswith(".npz.tmp"):
+                    pass
+                elif (
+                    path.suffix == ".npz"
+                    and not path.with_suffix(".json").exists()
+                ):
+                    pass
+                else:
                     continue
             try:
                 if now - path.stat().st_mtime >= temp_age:
@@ -147,6 +158,7 @@ def fsck_queue(
     now: float | None = None,
     temp_age: float = DEFAULT_TEMP_AGE,
     max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    audit_root: Path | str | None = None,
 ) -> FsckReport:
     """Check ``queue`` (and optionally ``store``) against the protocol
     invariants; with ``repair`` apply the protocol-defined self-repairs.
@@ -184,8 +196,11 @@ def fsck_queue(
         re-run safe; a store hit makes it cheap).
     10. **stranded job** — a job record with no ticket, lease, or done
         record; re-ticket.
-    11. **stale temp** — dot-prefixed atomic-write temporaries older
-        than ``temp_age``; prune.
+    11. **stale temp** — dot-prefixed atomic-write temporaries,
+        zero-byte telemetry husks, and audit-flush crash footprints
+        (``*.npz.tmp`` husks, manifest-less ``*.npz`` shards) older
+        than ``temp_age``; prune.  ``audit_root`` adds the audit shard
+        directory to the sweep.
     12. **store orphans / unreadable entries** — via
         :meth:`ResultStore.verify`; prune (none can serve as a hit).
     """
@@ -451,7 +466,11 @@ def fsck_queue(
         )
 
     # -- 11: aged atomic-write temporaries ----------------------------
-    extra_roots = (store.root,) if store is not None else ()
+    extra_roots: tuple[Path, ...] = ()
+    if store is not None:
+        extra_roots += (store.root,)
+    if audit_root is not None:
+        extra_roots += (Path(audit_root),)
     for path in _aged_temp_files(queue, now, temp_age, extra_roots):
         fixed = False
         if repair:

@@ -326,18 +326,31 @@ def queue_top(
     for worker in status["workers"]:
         counters = worker.get("counters") or {}
         rate: float | None = None
+        restarted = False
         before = previous_workers.get(worker["owner"])
         if before is not None and elapsed > 0:
             done_before = (before.get("counters") or {}).get("processed", 0)
-            rate = (
-                (counters.get("processed", 0) - done_before)
-                / elapsed
-                * 60.0
-            )
+            delta = counters.get("processed", 0) - done_before
+            if delta < 0:
+                # A fleet restart reused this owner name, so its counter
+                # file started over from zero and the previous frame's
+                # baseline belongs to a dead process.  A negative rate
+                # is nonsense; recompute from zero (the fresh session's
+                # average) and flag the row so the dashboard says why.
+                restarted = True
+                if counters.get("busy_s"):
+                    rate = (
+                        counters.get("processed", 0)
+                        / counters["busy_s"]
+                        * 60.0
+                    )
+            else:
+                rate = delta / elapsed * 60.0
         elif counters.get("busy_s"):
             # No prior frame: the session average stands in.
             rate = counters.get("processed", 0) / counters["busy_s"] * 60.0
         worker["jobs_per_min"] = rate
+        worker["restarted"] = restarted
     return frame
 
 
@@ -410,7 +423,16 @@ def format_queue_top(frame: dict) -> str:
                     if last_job is not None
                     else f"{'-':>7} "
                 )
-                + (f"{rate:>7.1f}" if rate is not None else f"{'-':>7}")
+                + (
+                    f"{rate:>6.1f}{'*' if worker.get('restarted') else ' '}"
+                    if rate is not None
+                    else f"{'-*' if worker.get('restarted') else '-':>7}"
+                )
+            )
+        if any(w.get("restarted") for w in status["workers"]):
+            lines.append(
+                "* counter file restarted (owner name reused after a "
+                "fleet restart); rate is the fresh session's average"
             )
     else:
         lines.append("no workers on record")

@@ -1054,10 +1054,14 @@ class WorkQueue:
         than ``temp_age`` seconds (younger ones may belong to a live
         writer and are left alone) in the queue directories and any
         ``extra_roots`` (the CLI passes the result store, its manifest
-        directory, and the telemetry directory).  Zero-byte
+        directory, and the telemetry and audit directories).  Zero-byte
         ``events-*.jsonl`` husks — a worker killed between ``mkstemp``
         and its first telemetry flush — are age-gated the same way:
         they hold no events and nothing will ever write to them again.
+        So are the decision-audit flush's crash footprints:
+        ``*.npz.tmp`` husks and manifest-less ``*.npz`` shards (the
+        manifest is the commit marker, so an unpaired shard is
+        unreadable litter).
         Heartbeats are stale once their *file*
         has not been touched for ``heartbeat_grace`` seconds past the
         recorded TTL *and* the owner holds no leases — a crashed
@@ -1091,17 +1095,31 @@ class WorkQueue:
                 if not path.is_file():
                     continue
                 if not path.name.startswith("."):
-                    # Aged zero-byte events files count as litter too;
-                    # anything else undotted is a real record.
-                    if not (
+                    # Aged zero-byte events files count as litter too,
+                    # as are the audit flush's two crash footprints: a
+                    # ``*.npz.tmp`` husk (killed between mkstemp and
+                    # replace) and a manifest-less ``*.npz`` shard
+                    # (killed between the shard and its manifest — the
+                    # manifest is the commit marker, so nothing will
+                    # ever read the shard).  Anything else undotted is
+                    # a real record.
+                    if (
                         path.name.startswith("events-")
                         and path.name.endswith(".jsonl")
                     ):
-                        continue
-                    try:
-                        if path.stat().st_size > 0:
+                        try:
+                            if path.stat().st_size > 0:
+                                continue
+                        except OSError:
                             continue
-                    except OSError:
+                    elif path.name.endswith(".npz.tmp"):
+                        pass
+                    elif (
+                        path.suffix == ".npz"
+                        and not path.with_suffix(".json").exists()
+                    ):
+                        pass
+                    else:
                         continue
                 try:
                     age = now - path.stat().st_mtime

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.allocation.base import AllocationMethod, AllocationRequest
 from repro.allocation.registry import build_method
+from repro.audit.recorder import get_audit
 from repro.core.intentions import (
     consumer_intention_vector,
     provider_intention_vector,
@@ -344,6 +345,23 @@ class MediatorSimulation:
         self._candidate_hits = 0
         self._candidate_misses = 0
 
+        # --- decision audit ---------------------------------------------
+        # Same discipline as telemetry: resolved once per engine, every
+        # hot-path hook behind a single ``is not None`` check, no RNG
+        # stream touched, no arithmetic reordered — the recorder reads
+        # copies of the per-query vectors only after the method has
+        # chosen, so audited runs stay bit-identical to unaudited ones.
+        self._audit = get_audit()
+        if self._audit is not None:
+            self._audit.begin_run(
+                method=self.method.name,
+                seed=self.seed,
+                capacity_rates=self.capacity.rates,
+                n_classes=len(config.query_classes.costs),
+                epsilon=config.epsilon,
+                fixed_omega=config.fixed_omega,
+            )
+
         # --- accounting -------------------------------------------------
         self._collector = TimeSeriesCollector()
         self._departures: list[DepartureRecord] = []
@@ -642,6 +660,9 @@ class MediatorSimulation:
         if acc is not None:
             started = mark = perf_counter()
 
+        audit = self._audit
+        if audit is not None:
+            hits_before = self._candidate_hits
         candidates, capacities = self._candidate_entry(query)
         if acc is not None:
             now = perf_counter()
@@ -649,6 +670,8 @@ class MediatorSimulation:
             mark = now
         if candidates.size == 0:
             self._queries_unserved += 1
+            if audit is not None:
+                audit.record_unserved()
             return
 
         self.utilization.advance(time)
@@ -756,6 +779,26 @@ class MediatorSimulation:
             self._dispatch_stride += 1
             if self._dispatch_stride % _DISPATCH_SAMPLE_STRIDE == 0:
                 self._telemetry.observe("engine.dispatch_s", now - started)
+        if audit is not None:
+            # After the phase marks so audit cost never skews the phase
+            # breakdown; everything passed is read-only to the recorder
+            # and ``consumer_satisfaction`` is the pre-update value.
+            audit.record(
+                time=time,
+                consumer=consumer,
+                klass=query.klass,
+                n_desired=query.n_desired,
+                cache_hit=self._candidate_hits > hits_before,
+                candidates=candidates,
+                positions=positions,
+                provider_intentions=provider_intentions,
+                consumer_intentions=consumer_intentions,
+                utilizations=utilizations,
+                consumer_satisfaction=consumer_satisfaction,
+                provider_satisfactions=provider_satisfactions,
+                adequation=adequation,
+                satisfaction=satisfaction,
+            )
 
     def _consumer_intentions(
         self, consumer: int, candidates: np.ndarray

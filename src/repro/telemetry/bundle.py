@@ -8,9 +8,13 @@ a reviewer needs to judge a fleet drain:
   queue-wait/execute/idle decomposition, straggler/critical path);
 * the per-phase engine breakdown and cache-efficacy table from the
   registry aggregation (:func:`repro.telemetry.report.aggregate_events`);
-* the fleet counters; and
+* the fleet counters;
 * the committed ``BENCH_engine.json`` baseline for side-by-side
-  comparison, when provided.
+  comparison, when provided;
+* the ``BENCH_history.jsonl`` perf trend (``--bench-history``), one
+  row per committed benchmark run with per-mode deltas; and
+* decision-audit report sections (``--audit``), one per shard, with
+  allocation shares and the anomaly sweep.
 
 Determinism is a contract, not an accident: the renderer reads no
 clock, generates no ids, and serialises every embedded JSON blob with
@@ -23,6 +27,7 @@ from __future__ import annotations
 
 import html
 import json
+import time
 from pathlib import Path
 
 from repro.telemetry.report import aggregate_events
@@ -189,10 +194,96 @@ def _bench_table(bench: dict) -> str:
     return "".join(rows)
 
 
+def _history_table(rows: list[dict]) -> str:
+    """The perf trend as a table (oldest row first).
+
+    Deterministic by construction: timestamps come from the rows (UTC,
+    so the rendering does not depend on the reader's timezone), never
+    from the clock, and the delta column compares each row against the
+    previous row of the *same* mode, mirroring ``repro perf history``.
+    """
+    if not rows:
+        return "<p>no perf history rows.</p>"
+    parts = [
+        "<table><tr><th>when (UTC)</th><th>mode</th><th>engine</th>"
+        "<th>aggregate qps</th><th>delta</th><th>cells</th></tr>"
+    ]
+    last_by_mode: dict[str, float] = {}
+    for row in rows:
+        stamp = row.get("t")
+        when = (
+            time.strftime("%Y-%m-%d %H:%M", time.gmtime(stamp))
+            if isinstance(stamp, (int, float))
+            else "baseline"
+        )
+        mode = str(row.get("mode", "?"))
+        aggregate = float(row.get("aggregate_qps", 0.0))
+        previous = last_by_mode.get(mode)
+        delta = (
+            f"{(aggregate / previous - 1.0) * 100:+.0f}%" if previous else "-"
+        )
+        last_by_mode[mode] = aggregate
+        parts.append(
+            f"<tr><td>{_esc(when)}</td><td>{_esc(mode)}</td>"
+            f"<td>{_esc(row.get('engine_version', '?'))}</td>"
+            f"<td>{aggregate:,.0f}</td><td>{_esc(delta)}</td>"
+            f"<td>{len(row.get('cells', {}))}</td></tr>"
+        )
+    parts.append("</table>")
+    return "".join(parts)
+
+
+def _audit_section(payload: dict, top: int = 8) -> str:
+    """One decision-audit report payload as tiles + tables."""
+    tiles = [
+        _tile("decisions", str(payload["decisions"])),
+        _tile("unserved", str(payload["unserved"])),
+        _tile("imposed", str(payload["imposed"])),
+        _tile("anomalies", str(payload["anomaly_count"])),
+    ]
+    ranked = sorted(
+        payload["providers"],
+        key=lambda row: (-row["allocations"], row["provider"]),
+    )
+    parts = [
+        f"<h2>Decision audit — {_esc(payload['method'])} "
+        f"seed {_esc(payload['seed'])}</h2>",
+        f'<div class="tiles">{"".join(tiles)}</div>',
+        "<table><tr><th>provider</th><th>allocations</th><th>share</th>"
+        "<th>capacity share</th><th>imposed</th></tr>",
+    ]
+    for row in ranked[:top]:
+        parts.append(
+            f"<tr><td>{row['provider']}</td><td>{row['allocations']}</td>"
+            f"<td>{row['share'] * 100:.1f}%</td>"
+            f"<td>{row['capacity_share'] * 100:.1f}%</td>"
+            f"<td>{row['imposed']}</td></tr>"
+        )
+    parts.append("</table>")
+    if payload["anomalies"]:
+        parts.append("<ul>")
+        for anomaly in payload["anomalies"]:
+            detail = {
+                key: value
+                for key, value in sorted(anomaly.items())
+                if key != "kind"
+            }
+            parts.append(
+                f"<li><b>{_esc(anomaly['kind'])}</b> "
+                f"{_esc(json.dumps(detail, sort_keys=True))}</li>"
+            )
+        parts.append("</ul>")
+    else:
+        parts.append("<p>no anomalies detected.</p>")
+    return "".join(parts)
+
+
 def render_bundle(
     events: list[dict],
     bench: dict | None = None,
     title: str = "repro fleet ops bundle",
+    bench_history: list[dict] | None = None,
+    audit: list[dict] | None = None,
 ) -> str:
     """The full HTML document for ``events`` (a merged stream)."""
     timeline = drain_timeline(events)
@@ -225,7 +316,13 @@ def render_bundle(
     # same canonical-JSON discipline as the figure catalog's exports.
     # "</" must not appear inside a <script> element's text.
     blob = json.dumps(
-        {"timeline": timeline, "report": report, "bench": bench},
+        {
+            "timeline": timeline,
+            "report": report,
+            "bench": bench,
+            "bench_history": bench_history,
+            "audit": audit,
+        },
         sort_keys=True,
         allow_nan=False,
         indent=1,
@@ -251,6 +348,11 @@ def render_bundle(
     if bench is not None:
         sections += ["<h2>Committed benchmark baseline</h2>",
                      _bench_table(bench)]
+    if bench_history is not None:
+        sections += ["<h2>Benchmark history</h2>",
+                     _history_table(bench_history)]
+    for payload in audit or ():
+        sections.append(_audit_section(payload))
     sections += [
         "<details><summary>Machine-readable data</summary>",
         f'<pre><script type="application/json" id="bundle-data">{blob}'
@@ -265,10 +367,17 @@ def write_bundle(
     events: list[dict],
     bench: dict | None = None,
     title: str = "repro fleet ops bundle",
+    bench_history: list[dict] | None = None,
+    audit: list[dict] | None = None,
 ) -> Path:
     """Render and atomically write the bundle; returns the path."""
     from repro.telemetry.events import atomic_write_bytes
 
     path = Path(path)
-    atomic_write_bytes(path, render_bundle(events, bench, title).encode("utf-8"))
+    atomic_write_bytes(
+        path,
+        render_bundle(
+            events, bench, title, bench_history=bench_history, audit=audit
+        ).encode("utf-8"),
+    )
     return path

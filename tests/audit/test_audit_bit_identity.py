@@ -1,0 +1,101 @@
+"""Decision auditing must never perturb simulation numerics.
+
+Same contract (and same frozen goldens) as the telemetry layer: an
+audited run draws nothing from any RNG stream and reorders no
+arithmetic — the recorder only *reads* the per-query vectors after the
+method has chosen, and recomputes scores through the same pure
+functions on copies.  A single extra draw or reordered reduction
+anywhere in the hot path trips these within a handful of samples.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro.audit.recorder import audit_session
+from repro.experiments.executor import ExperimentExecutor, SimulationJob
+from repro.experiments.store import ResultStore
+from repro.simulation.config import DepartureRules, WorkloadSpec, tiny_config
+from repro.simulation.engine import run_simulation
+
+#: Frozen in tests/experiments/test_golden.py before telemetry (and
+#: audit) existed; duplicated — not imported — so an accidental golden
+#: edit cannot silently relax this file too.
+PRE_TELEMETRY_SHA256 = {
+    ("captive", "sqlb"):
+        "ed01bf370eb314688efd21fdc17658306e149634f040aadce6794acd972352f4",
+    ("autonomous", "sqlb"):
+        "668b18ba87b72be7179d34fce2d2fefaf9507e7deeaa07ca937356f1e3ccea6b",
+}
+
+
+def _fingerprint(result) -> str:
+    digest = hashlib.sha256()
+    digest.update(result.times().tobytes())
+    for name in sorted(result.collector.names):
+        digest.update(name.encode())
+        digest.update(result.series(name).tobytes())
+    return digest.hexdigest()
+
+
+def _config(label):
+    if label == "captive":
+        return tiny_config(duration=60.0)
+    return tiny_config(
+        duration=120.0, workload=WorkloadSpec.fixed(1.0)
+    ).with_departures(DepartureRules.autonomous(True))
+
+
+@pytest.mark.parametrize("label", ["captive", "autonomous"])
+@pytest.mark.parametrize("method", ["sqlb", "capacity"])
+def test_enabled_and_disabled_runs_are_bit_identical(
+    label, method, tmp_path
+):
+    config = _config(label)
+    disabled = run_simulation(config, method, seed=5)
+    with audit_session(tmp_path) as audit:
+        enabled = run_simulation(config, method, seed=5)
+        # The recorder genuinely ran on the enabled side: the run's
+        # buffer holds exactly one record per served query.
+        manifest_path = audit.commit("f" * 16, method, config)
+    assert manifest_path is not None
+    import json
+
+    manifest = json.loads(manifest_path.read_text())
+    assert manifest["decisions"] == enabled.queries_served
+    assert _fingerprint(enabled) == _fingerprint(disabled)
+
+
+@pytest.mark.parametrize(
+    ("label", "method"), sorted(PRE_TELEMETRY_SHA256)
+)
+def test_audited_run_matches_pre_telemetry_goldens(label, method, tmp_path):
+    with audit_session(tmp_path):
+        result = run_simulation(_config(label), method, seed=5)
+    assert _fingerprint(result) == PRE_TELEMETRY_SHA256[(label, method)]
+
+
+def test_audited_store_payloads_are_byte_identical(tmp_path):
+    """The persisted result halves must not know audit ever ran."""
+    config = tiny_config(duration=60.0)
+    job = SimulationJob(config, "sqlb", 3)
+
+    plain_store = ResultStore(tmp_path / "plain")
+    ExperimentExecutor(store=plain_store).run([job])
+
+    audited_store = ResultStore(tmp_path / "audited")
+    with audit_session(tmp_path / "shards"):
+        ExperimentExecutor(store=audited_store).run([job])
+
+    plain = sorted(p for p in (tmp_path / "plain").glob("*.npz"))
+    audited = sorted(p for p in (tmp_path / "audited").glob("*.npz"))
+    assert [p.name for p in plain] == [p.name for p in audited]
+    assert plain, "store persisted nothing"
+    for left, right in zip(plain, audited):
+        assert left.read_bytes() == right.read_bytes(), left.name
+    # And the audit shard itself landed where configured, not in the
+    # store (store verify pairs *.npz/*.json by stem at its top level).
+    assert list((tmp_path / "shards").glob("audit-*.json"))
+    assert not list((tmp_path / "audited").glob("audit-*"))

@@ -1,0 +1,131 @@
+"""Audit crash footprints are gc/fsck litter; committed shards never are.
+
+A worker killed mid-``DecisionAudit.commit`` leaves one of two
+footprints in its ``--audit`` directory: a ``*.npz.tmp`` husk (died
+between mkstemp and the rename) or a manifest-less ``*.npz`` (died
+after the shard rename, before the manifest — the manifest is the
+commit marker).  Both are age-gated litter; a paired shard+manifest is
+data, whatever its age.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.scheduler.fsck import fsck_queue
+from repro.scheduler.queue import WorkQueue
+from repro.sweeps.spec import SweepSpec
+
+
+def spec() -> SweepSpec:
+    return SweepSpec(
+        name="audit-husk-unit",
+        scenarios=("captive_fixed_80",),
+        methods=("sqlb",),
+        seeds=(1,),
+        scale="tiny",
+    )
+
+
+def _aged(path, age_s: float):
+    old = time.time() - age_s
+    os.utime(path, (old, old))
+    return path
+
+
+def make_tmp_husk(directory, age_s: float):
+    path = directory / "audit-sqlb-seed1-abc123-x9q2.npz.tmp"
+    path.write_bytes(b"partial")
+    return _aged(path, age_s)
+
+
+def make_orphan_shard(directory, age_s: float):
+    path = directory / "audit-sqlb-seed1-abc123.npz"
+    path.write_bytes(b"shard-without-manifest")
+    return _aged(path, age_s)
+
+
+def make_committed_shard(directory, age_s: float):
+    shard = directory / "audit-sqlb-seed2-def456.npz"
+    shard.write_bytes(b"shard")
+    manifest = directory / "audit-sqlb-seed2-def456.json"
+    manifest.write_text("{}")
+    return _aged(shard, age_s), _aged(manifest, age_s)
+
+
+class TestGc:
+    def test_aged_tmp_husk_is_pruned(self, tmp_path):
+        queue = WorkQueue.init(tmp_path / "q", spec())
+        audit_dir = tmp_path / "aud"
+        audit_dir.mkdir()
+        husk = make_tmp_husk(audit_dir, age_s=10_000.0)
+        report = queue.gc(
+            prune=True, temp_age=3600.0, extra_roots=(audit_dir,)
+        )
+        assert husk in report.temp_files
+        assert not husk.exists()
+
+    def test_aged_orphan_shard_is_pruned(self, tmp_path):
+        queue = WorkQueue.init(tmp_path / "q", spec())
+        audit_dir = tmp_path / "aud"
+        audit_dir.mkdir()
+        orphan = make_orphan_shard(audit_dir, age_s=10_000.0)
+        report = queue.gc(
+            prune=True, temp_age=3600.0, extra_roots=(audit_dir,)
+        )
+        assert orphan in report.temp_files
+        assert not orphan.exists()
+
+    def test_young_footprints_left_alone(self, tmp_path):
+        # A live worker legitimately owns both shapes mid-commit.
+        queue = WorkQueue.init(tmp_path / "q", spec())
+        audit_dir = tmp_path / "aud"
+        audit_dir.mkdir()
+        husk = make_tmp_husk(audit_dir, age_s=1.0)
+        orphan = make_orphan_shard(audit_dir, age_s=1.0)
+        report = queue.gc(
+            prune=True, temp_age=3600.0, extra_roots=(audit_dir,)
+        )
+        assert not report.temp_files
+        assert husk.exists() and orphan.exists()
+
+    def test_committed_shard_is_data_not_litter(self, tmp_path):
+        queue = WorkQueue.init(tmp_path / "q", spec())
+        audit_dir = tmp_path / "aud"
+        audit_dir.mkdir()
+        shard, manifest = make_committed_shard(audit_dir, age_s=10_000.0)
+        report = queue.gc(
+            prune=True, temp_age=3600.0, extra_roots=(audit_dir,)
+        )
+        assert not report.temp_files
+        assert shard.exists() and manifest.exists()
+
+
+class TestFsck:
+    def test_aged_footprints_are_stale_temps(self, tmp_path):
+        queue = WorkQueue.init(tmp_path / "q", spec())
+        audit_dir = tmp_path / "aud"
+        audit_dir.mkdir()
+        husk = make_tmp_husk(audit_dir, age_s=10_000.0)
+        orphan = make_orphan_shard(audit_dir, age_s=10_000.0)
+        shard, manifest = make_committed_shard(audit_dir, age_s=10_000.0)
+        report = fsck_queue(queue, repair=True, audit_root=audit_dir)
+        flagged = {
+            v.subject
+            for v in report.violations
+            if v.kind == "stale-temp"
+        }
+        assert flagged == {str(husk), str(orphan)}
+        assert not husk.exists()
+        assert not orphan.exists()
+        assert shard.exists() and manifest.exists()
+
+    def test_no_audit_root_means_no_audit_checks(self, tmp_path):
+        queue = WorkQueue.init(tmp_path / "q", spec())
+        audit_dir = tmp_path / "aud"
+        audit_dir.mkdir()
+        husk = make_tmp_husk(audit_dir, age_s=10_000.0)
+        report = fsck_queue(queue, repair=True)
+        assert report.clean
+        assert husk.exists()

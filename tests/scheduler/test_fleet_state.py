@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import json
 
+import pytest
+
 from repro.scheduler.fleet import FLEET_STATE_NAME, FleetSupervisor
 from repro.scheduler.monitor import (
     FLEET_STATE_STALE_S,
@@ -175,3 +177,58 @@ class TestHeartbeatLostFlag:
         queue.write_worker_counters("w", {"processed": 1})
         [worker] = queue_top(queue, now=1000.0)["status"]["workers"]
         assert worker["heartbeat_lost"] is False
+
+
+class TestRestartedCounterRate:
+    """A fleet restart reuses owner names; rates must never go negative."""
+
+    def _frame_pair(self, queue, counters_before, counters_after):
+        queue.heartbeat("w", TTL, now=1000.0)
+        queue.write_worker_counters("w", counters_before)
+        before = queue_top(queue, now=1000.0)
+        queue.write_worker_counters("w", counters_after)
+        return queue_top(queue, now=1060.0, previous=before)
+
+    def test_forward_counter_delta_is_the_rate(self, tmp_path):
+        queue = WorkQueue.init(tmp_path / "q", spec())
+        frame = self._frame_pair(
+            queue, {"processed": 10}, {"processed": 16}
+        )
+        [worker] = frame["status"]["workers"]
+        assert worker["jobs_per_min"] == pytest.approx(6.0)
+        assert worker["restarted"] is False
+
+    def test_counter_reset_clamps_and_flags(self, tmp_path):
+        # The previous frame saw processed=10; the restarted worker's
+        # fresh counter file says 3.  A naive delta would report
+        # -7 jobs/min; the dashboard must clamp to the fresh session's
+        # average and flag the row instead.
+        queue = WorkQueue.init(tmp_path / "q", spec())
+        frame = self._frame_pair(
+            queue,
+            {"processed": 10},
+            {"processed": 3, "busy_s": 30.0},
+        )
+        [worker] = frame["status"]["workers"]
+        assert worker["restarted"] is True
+        assert worker["jobs_per_min"] == pytest.approx(6.0)
+        text = format_queue_top(frame)
+        assert "6.0*" in text
+        assert "counter file restarted" in text
+
+    def test_counter_reset_without_busy_time_has_no_rate(self, tmp_path):
+        queue = WorkQueue.init(tmp_path / "q", spec())
+        frame = self._frame_pair(
+            queue, {"processed": 10}, {"processed": 0}
+        )
+        [worker] = frame["status"]["workers"]
+        assert worker["restarted"] is True
+        assert worker["jobs_per_min"] is None
+        assert "counter file restarted" in format_queue_top(frame)
+
+    def test_unrestarted_rows_carry_no_footnote(self, tmp_path):
+        queue = WorkQueue.init(tmp_path / "q", spec())
+        frame = self._frame_pair(
+            queue, {"processed": 10}, {"processed": 16}
+        )
+        assert "counter file restarted" not in format_queue_top(frame)

@@ -70,3 +70,69 @@ class TestContent:
     def test_empty_stream_renders(self):
         html = render_bundle([])
         assert "no acked jobs to draw" in html
+
+
+class TestBenchHistorySection:
+    ROWS = [
+        {"t": 1754000000, "mode": "quick", "engine_version": "1",
+         "aggregate_qps": 5000.0, "cells": {"a": 1}},
+        {"t": 1754100000, "mode": "quick", "engine_version": "1",
+         "aggregate_qps": 5500.0, "cells": {"a": 1}},
+        {"mode": "full", "engine_version": "1",
+         "aggregate_qps": 9000.0, "cells": {"a": 1, "b": 2}},
+    ]
+
+    def test_section_present_and_deterministic(self):
+        events = two_worker_drain()
+        html = render_bundle(events, bench_history=self.ROWS)
+        assert "Benchmark history" in html
+        # Per-mode delta: second quick row vs first, full row has none.
+        assert "+10%" in html
+        assert "baseline" in html
+        # Timestamps render in UTC — independent of the reader's TZ.
+        assert "2025-07-31 22:13" in html
+        assert html == render_bundle(events, bench_history=self.ROWS)
+
+    def test_omitted_when_not_provided(self):
+        assert "Benchmark history" not in render_bundle(two_worker_drain())
+
+
+class TestAuditSection:
+    PAYLOAD = {
+        "method": "sqlb",
+        "seed": 3,
+        "decisions": 100,
+        "unserved": 2,
+        "imposed": 5,
+        "anomaly_count": 1,
+        "providers": [
+            {"provider": 0, "allocations": 60, "share": 0.6,
+             "capacity_share": 0.5, "imposed": 5},
+            {"provider": 1, "allocations": 40, "share": 0.4,
+             "capacity_share": 0.5, "imposed": 0},
+        ],
+        "anomalies": [
+            {"kind": "starvation", "provider": 1, "longest_gap": 80,
+             "expected_gap": 2.0, "capacity_share": 0.5,
+             "allocations": 40},
+        ],
+    }
+
+    def test_section_present_and_deterministic(self):
+        events = two_worker_drain()
+        html = render_bundle(events, audit=[self.PAYLOAD])
+        assert "Decision audit — sqlb seed 3" in html
+        assert "<b>starvation</b>" in html
+        assert html == render_bundle(events, audit=[self.PAYLOAD])
+
+    def test_blob_carries_audit_payloads(self):
+        html = render_bundle(two_worker_drain(), audit=[self.PAYLOAD])
+        marker = '<script type="application/json" id="bundle-data">'
+        start = html.index(marker) + len(marker)
+        end = html.index("</script>", start)
+        blob = json.loads(html[start:end].replace("<\\/", "</"))
+        assert blob["audit"][0]["method"] == "sqlb"
+        assert blob["bench_history"] is None
+
+    def test_omitted_when_not_provided(self):
+        assert "Decision audit" not in render_bundle(two_worker_drain())

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.audit.recorder import AUDIT_DIR_ENV, configure_audit
 from repro.cli import build_parser, main, resolve_seeds
 from repro.experiments.executor import set_default_executor
 from repro.experiments.harness import DEFAULT_SEEDS, PAPER_SEEDS
@@ -12,13 +13,15 @@ from repro.telemetry.registry import TELEMETRY_DIR_ENV, configure_telemetry
 
 @pytest.fixture(autouse=True)
 def _reset_default_executor(monkeypatch):
-    """CLI commands install default executors (and, via --telemetry,
-    a process-wide telemetry registry plus its environment knob);
-    never leak either into the next test."""
+    """CLI commands install default executors (and, via --telemetry /
+    --audit, process-wide registries plus their environment knobs);
+    never leak any of them into the next test."""
     monkeypatch.delenv(TELEMETRY_DIR_ENV, raising=False)
+    monkeypatch.delenv(AUDIT_DIR_ENV, raising=False)
     yield
     set_default_executor(None)
     configure_telemetry(enabled=False)
+    configure_audit(None)
 
 
 class TestParser:
@@ -903,3 +906,81 @@ class TestReliabilityCommands:
                 ["queue", "fleet", "--queue-dir", str(tmp_path / "q"),
                  "--no-cache", "-n", "0"]
             )
+
+
+class TestAuditCli:
+    def _run(self, capsys, *argv: str) -> str:
+        assert main(list(argv)) == 0
+        return capsys.readouterr().out
+
+    def test_audited_run_then_report_explain_diff(self, tmp_path, capsys):
+        import json as jsonlib
+
+        audit_dir = str(tmp_path / "aud")
+        store = str(tmp_path / "store")
+        trace = str(tmp_path / "trace.json")
+        self._run(
+            capsys, "trace", "record", "--out", trace,
+            "--scenario", "captive_fixed_80", "--scale", "tiny",
+            "--seed", "3", "--cache-dir", store,
+        )
+        self._run(
+            capsys, "trace", "replay", "--trace", trace,
+            "--methods", "sqlb", "capacity",
+            "--cache-dir", store, "--audit", audit_dir,
+        )
+
+        report = self._run(
+            capsys, "audit", "report", audit_dir, "--method", "sqlb",
+            "--json", str(tmp_path / "report.json"),
+        )
+        assert "audit report: method=sqlb seed=3" in report
+        payload = jsonlib.loads((tmp_path / "report.json").read_text())
+        assert payload["method"] == "sqlb"
+        assert payload["decisions"] > 0
+        # The --json export is deterministic: a double render of the
+        # same shard is byte-identical.
+        first = (tmp_path / "report.json").read_bytes()
+        self._run(
+            capsys, "audit", "report", audit_dir, "--method", "sqlb",
+            "--json", str(tmp_path / "report.json"),
+        )
+        assert (tmp_path / "report.json").read_bytes() == first
+
+        explain = self._run(
+            capsys, "audit", "explain", audit_dir, "0", "--method", "sqlb"
+        )
+        assert "decision #0" in explain
+        assert "chosen: provider" in explain
+
+        diff = self._run(
+            capsys, "audit", "diff", audit_dir, audit_dir,
+            "--method-a", "sqlb", "--method-b", "capacity",
+            "--json", str(tmp_path / "diff.json"),
+        )
+        assert "audit diff: sqlb vs capacity" in diff
+        diff_payload = jsonlib.loads((tmp_path / "diff.json").read_text())
+        assert diff_payload["paired"] > 0
+        assert diff_payload["first_divergence"] is not None
+
+    def test_report_on_empty_directory_is_an_error(self, tmp_path):
+        (tmp_path / "aud").mkdir()
+        with pytest.raises(SystemExit, match="no committed audit shard"):
+            main(["audit", "report", str(tmp_path / "aud")])
+
+    def test_ambiguous_directory_demands_method(self, tmp_path, capsys):
+        audit_dir = str(tmp_path / "aud")
+        store = str(tmp_path / "store")
+        trace = str(tmp_path / "trace.json")
+        self._run(
+            capsys, "trace", "record", "--out", trace,
+            "--scenario", "captive_fixed_80", "--scale", "tiny",
+            "--seed", "3", "--cache-dir", store,
+        )
+        self._run(
+            capsys, "trace", "replay", "--trace", trace,
+            "--methods", "sqlb", "capacity",
+            "--cache-dir", store, "--audit", audit_dir,
+        )
+        with pytest.raises(SystemExit, match="pass --method"):
+            main(["audit", "report", audit_dir])
